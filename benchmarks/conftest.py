@@ -1,0 +1,114 @@
+"""Shared state for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  The
+expensive artifacts (fitted case studies, detection results) are built
+once per session here; individual benches measure and print their own
+regeneration step.
+
+Scale note: the paper's full plant (128 sensors → 32,512 pair models)
+is not tractable on one CPU with the neural engine; benches default to
+a reduced-scale plant and the n-gram translation engine, which
+preserves the result *shapes* (see DESIGN.md, "Substitutions").  Set
+``REPRO_BENCH_SCALE=full`` to run the paper-scale configuration.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines.evaluation import evaluate_ocsvm, evaluate_random_forest
+from repro.datasets import (
+    BackblazeConfig,
+    PlantConfig,
+    generate_backblaze_dataset,
+    generate_plant_dataset,
+)
+from repro.lang import LanguageConfig
+from repro.pipeline import FrameworkConfig, HDDCaseStudy, PlantCaseStudy
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small") == "full"
+
+
+def plant_config() -> PlantConfig:
+    if FULL_SCALE:
+        return PlantConfig()
+    return PlantConfig(
+        num_sensors=20,
+        days=30,
+        samples_per_day=96,
+        num_components=4,
+        seed=7,
+    )
+
+
+def plant_framework_config() -> FrameworkConfig:
+    if FULL_SCALE:
+        return FrameworkConfig.plant()
+    return FrameworkConfig(
+        language=LanguageConfig(
+            word_size=6, word_stride=1, sentence_length=8, sentence_stride=8
+        ),
+        engine="ngram",
+        popular_threshold=10,
+    )
+
+
+@pytest.fixture(scope="session")
+def plant_dataset():
+    return generate_plant_dataset(plant_config())
+
+
+@pytest.fixture(scope="session")
+def plant_study(plant_dataset):
+    return PlantCaseStudy(
+        dataset=plant_dataset, config=plant_framework_config()
+    ).fit()
+
+
+@pytest.fixture(scope="session")
+def plant_detection(plant_study):
+    return plant_study.detect()
+
+
+@pytest.fixture(scope="session")
+def backblaze_dataset():
+    return generate_backblaze_dataset(
+        BackblazeConfig(num_drives=24, days=360, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def hdd_study(backblaze_dataset):
+    return HDDCaseStudy(dataset=backblaze_dataset).fit()
+
+
+@pytest.fixture(scope="session")
+def hdd_trajectories(hdd_study):
+    return hdd_study.trajectories()
+
+
+@pytest.fixture(scope="session")
+def baseline_dataset():
+    """A larger population so the baselines' recall is stable."""
+    return generate_backblaze_dataset(
+        BackblazeConfig(num_drives=60, days=360, seed=13)
+    )
+
+
+@pytest.fixture(scope="session")
+def forest_result(baseline_dataset):
+    return evaluate_random_forest(baseline_dataset, num_trees=40, seed=0)
+
+
+@pytest.fixture(scope="session")
+def ocsvm_result(baseline_dataset):
+    return evaluate_ocsvm(baseline_dataset, seed=0)
+
+
+def run_once(benchmark, func):
+    """Benchmark a regeneration step exactly once (no warmup rounds —
+    these are pipeline steps, not microbenchmarks)."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+"""Ablation — NMT architecture: recurrent unit and attention score.
+
+The paper fixes the NMT architecture (2-layer LSTM, Luong "general"
+attention) and argues that what matters is *relative* scores across
+pairs, not translation quality per se.  This ablation swaps the
+recurrent unit (LSTM/GRU) and the attention score function
+(dot/general/concat) and verifies that every variant preserves the
+related-vs-unrelated separation the framework relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.lang import LanguageConfig, MultiLanguageCorpus, MultivariateEventLog
+from repro.report import ascii_table
+from repro.translation import NMTConfig, Seq2SeqTranslator
+
+VARIANTS = (
+    ("lstm", "general"),  # the paper's configuration
+    ("lstm", "dot"),
+    ("gru", "general"),
+    ("gru", "concat"),
+)
+
+
+def build_corpora():
+    rng = np.random.default_rng(17)
+    total = 420
+    a = [("ON" if (t // 6) % 2 == 0 else "OFF") for t in range(total)]
+    b = ["OFF"] + a[:-1]
+    c = [str(rng.integers(0, 2)) for _ in range(total)]
+    log = MultivariateEventLog.from_mapping({"sA": a, "sB": b, "sC": c})
+    corpus = MultiLanguageCorpus.fit(
+        log, LanguageConfig(word_size=4, word_stride=1, sentence_length=4, sentence_stride=4)
+    )
+    return corpus.parallel("sA", "sB"), corpus.parallel("sA", "sC")
+
+
+def test_ablation_nmt_architecture(benchmark):
+    related, unrelated = build_corpora()
+
+    def run_variant(unit: str, score: str) -> tuple[float, float]:
+        config = NMTConfig(
+            embedding_size=10,
+            hidden_size=14,
+            num_layers=2,
+            dropout=0.0,
+            training_steps=160,
+            batch_size=12,
+            learning_rate=5e-3,
+            seed=3,
+            recurrent_unit=unit,
+            attention_score=score,
+        )
+        related_bleu = Seq2SeqTranslator(config).fit(related).score(related)
+        unrelated_bleu = Seq2SeqTranslator(config).fit(unrelated).score(unrelated)
+        return related_bleu, unrelated_bleu
+
+    def regenerate():
+        return {variant: run_variant(*variant) for variant in VARIANTS}
+
+    results = run_once(benchmark, regenerate)
+    rows = [
+        {
+            "unit": unit,
+            "attention": score,
+            "related BLEU": f"{rel:.1f}",
+            "unrelated BLEU": f"{unrel:.1f}",
+            "separation": f"{rel - unrel:+.1f}",
+        }
+        for (unit, score), (rel, unrel) in results.items()
+    ]
+    print("\n" + ascii_table(rows, title="Ablation — NMT architecture"))
+
+    for variant, (rel, unrel) in results.items():
+        assert rel > unrel + 10, f"{variant} lost the separation"
+
+    # The paper's configuration is competitive with every alternative.
+    paper_sep = results[("lstm", "general")][0] - results[("lstm", "general")][1]
+    best_sep = max(rel - unrel for rel, unrel in results.values())
+    assert paper_sep >= 0.5 * best_sep

@@ -1,0 +1,59 @@
+"""Ablation — the popular-sensor in-degree threshold.
+
+Paper: popular sensors (in-degree >= 100 of 127 possible) are removed
+to obtain local subgraphs; keeping them leaves the graph "too densely
+connected to provide useful clustering information" (Figure 6 vs 7).
+
+Reproduction: sweep the threshold and verify the monotone trade-off —
+lower thresholds remove more sensors and yield sparser, more fragmented
+local subgraphs (more, smaller clusters).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.graph import connected_component_clusters, local_subgraph, popular_sensors
+from repro.report import ascii_table
+
+
+def test_ablation_popular_threshold(benchmark, plant_study):
+    global_graph = plant_study.framework.global_subgraph()
+    max_degree = max((d for _, d in global_graph.in_degree()), default=0)
+    thresholds = sorted({max(1, max_degree // 2), max(2, max_degree), max_degree + 1})
+
+    def regenerate():
+        sweep = {}
+        for threshold in thresholds:
+            local = local_subgraph(global_graph, threshold)
+            sweep[threshold] = (
+                popular_sensors(global_graph, threshold),
+                local,
+                connected_component_clusters(local),
+            )
+        return sweep
+
+    sweep = run_once(benchmark, regenerate)
+    rows = [
+        {
+            "threshold": threshold,
+            "popular removed": len(popular),
+            "local nodes": local.number_of_nodes(),
+            "local edges": local.number_of_edges(),
+            "clusters": len(clusters),
+        }
+        for threshold, (popular, local, clusters) in sweep.items()
+    ]
+    print("\n" + ascii_table(rows, title="Ablation — popular-sensor threshold"))
+
+    # Monotone: raising the threshold removes fewer sensors and keeps
+    # more edges.
+    removed = [len(sweep[t][0]) for t in thresholds]
+    edges = [sweep[t][1].number_of_edges() for t in thresholds]
+    assert removed == sorted(removed, reverse=True)
+    assert edges == sorted(edges)
+
+    # Beyond the maximum in-degree nothing is popular: the "local"
+    # subgraph degenerates to the global one.
+    top = thresholds[-1]
+    assert sweep[top][0] == []
+    assert sweep[top][1].number_of_edges() == global_graph.number_of_edges()

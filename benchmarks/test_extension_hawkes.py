@@ -1,0 +1,104 @@
+"""Extension — multivariate Hawkes process vs the translation graph.
+
+The related work ([22], [27]) models inter-dependent event streams with
+multidimensional Hawkes processes.  This bench runs the from-scratch
+Hawkes baseline on the plant task and compares:
+
+1. *structure discovery* — the Hawkes influence matrix's edges vs the
+   translation graph's strong edges (do they agree on who relates to
+   whom?), and
+2. *anomaly detection* — likelihood-based window scores vs Algorithm 2
+   on the marginal-preserving desynchronization anomalies.
+
+Hawkes sees only state-change *timing* co-occurrence; the paper's
+method additionally sees state *content* alignment, which is why it
+separates the plant anomalies more sharply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import plant_framework_config, run_once
+from repro.baselines import HawkesAnomalyDetector, MultivariateHawkes, state_change_times
+from repro.graph import ScoreRange
+from repro.report import ascii_table
+
+
+def test_extension_hawkes(benchmark, plant_dataset, plant_study, plant_detection):
+    config = plant_framework_config()
+    train, dev, test = plant_dataset.split(
+        plant_study.train_days, plant_study.dev_days
+    )
+    spd = plant_dataset.config.samples_per_day
+
+    def regenerate():
+        sensors = plant_study.framework.graph.sensors
+        events = {
+            name: state_change_times(train[name]) for name in sensors
+        }
+        hawkes = MultivariateHawkes(decay=0.2, iterations=30).fit(
+            events, float(train.num_samples)
+        )
+        detector = HawkesAnomalyDetector(
+            window_size=config.language.samples_per_sentence(),
+            window_stride=config.language.effective_sentence_stride,
+        )
+        detector.model = hawkes
+        dev_rates = detector._nll_rates(dev.select(sensors))
+        detector._threshold = float(np.quantile(dev_rates, 0.99))
+        detector._scale = max(float(dev_rates.std()), 1e-6)
+        result = detector.detect(test.select(sensors))
+        return hawkes, result
+
+    hawkes, hawkes_result = run_once(benchmark, regenerate)
+
+    # --- structure agreement ------------------------------------------
+    strong_edges = set(
+        plant_study.framework.global_subgraph(
+            ScoreRange(70, 100, inclusive_high=True)
+        ).edges
+    )
+    influence = hawkes.influence_graph(threshold=0.0)
+    ranked = sorted(influence, key=influence.get, reverse=True)[: len(strong_edges)]
+    overlap = len(set(ranked) & strong_edges) / max(1, len(strong_edges))
+
+    # --- detection comparison -----------------------------------------
+    hawkes_per_day: dict[int, float] = {}
+    for window in range(hawkes_result.windows):
+        day = plant_study.first_test_day + (
+            window * config.language.effective_sentence_stride
+        ) // spd
+        hawkes_per_day[day] = max(
+            hawkes_per_day.get(day, 0.0), float(hawkes_result.anomaly_scores[window])
+        )
+    graph_per_day = {
+        s.day: s.max_score for s in plant_study.day_scores(plant_detection)
+    }
+
+    def margin(per_day):
+        anomaly = min(per_day[d] for d in plant_dataset.anomaly_days)
+        normal = max(
+            v for d, v in per_day.items()
+            if d not in plant_dataset.anomaly_days
+            and d not in plant_dataset.precursor_days
+        )
+        return anomaly - normal
+
+    rows = [
+        {
+            "method": "Hawkes process (timing only)",
+            "anomaly margin": f"{margin(hawkes_per_day):+.2f}",
+        },
+        {
+            "method": "translation graph (timing + content)",
+            "anomaly margin": f"{margin(graph_per_day):+.2f}",
+        },
+    ]
+    print("\n" + ascii_table(rows, title="Extension — Hawkes vs translation graph"))
+    print(f"structure agreement with strong BLEU edges: {overlap:.0%}")
+
+    # The translation graph separates at least as well as the
+    # timing-only Hawkes model on marginal-preserving anomalies.
+    assert margin(graph_per_day) >= margin(hawkes_per_day)
+    assert margin(graph_per_day) > 0

@@ -1,0 +1,90 @@
+"""Extension — univariate Markov chains vs the translation graph.
+
+The paper's introduction argues that anomalies in complex systems live
+in *joint* behaviour: each sensor's own sequence looks plausible
+(Figure 2), so univariate models miss them.  This extension benchmark
+makes that argument quantitative: a per-sensor Markov-chain detector
+(the natural univariate baseline for discrete sequences) is run on the
+same plant test period as the relationship graph.  The simulator's
+anomalies are desynchronizations that preserve marginals — the Markov
+baseline's anomaly/normal separation collapses while the translation
+graph's stays wide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import plant_framework_config, run_once
+from repro.baselines import MarkovAnomalyDetector
+from repro.report import ascii_table
+
+
+def day_margins(per_day: dict[int, float], dataset) -> tuple[float, float]:
+    anomaly_floor = min(per_day[d] for d in dataset.anomaly_days)
+    normal_peak = max(
+        score
+        for day, score in per_day.items()
+        if day not in dataset.anomaly_days and day not in dataset.precursor_days
+    )
+    return anomaly_floor, normal_peak
+
+
+def test_extension_markov_vs_translation_graph(
+    benchmark, plant_dataset, plant_study, plant_detection
+):
+    config = plant_framework_config()
+    train, dev, test = plant_dataset.split(
+        plant_study.train_days, plant_study.dev_days
+    )
+    spd = plant_dataset.config.samples_per_day
+
+    def regenerate():
+        detector = MarkovAnomalyDetector(
+            order=2,
+            window_size=config.language.samples_per_sentence(),
+            window_stride=config.language.effective_sentence_stride,
+            calibration_quantile=0.99,
+        ).fit(train, dev)
+        return detector.detect(test)
+
+    markov_result = run_once(benchmark, regenerate)
+
+    # Collapse both detectors' window scores to per-day maxima.
+    markov_per_day: dict[int, float] = {}
+    for window in range(markov_result.windows):
+        day = plant_study.first_test_day + (
+            window * config.language.effective_sentence_stride
+        ) // spd
+        markov_per_day[day] = max(
+            markov_per_day.get(day, 0.0), float(markov_result.anomaly_scores[window])
+        )
+    graph_per_day = {
+        s.day: s.max_score for s in plant_study.day_scores(plant_detection)
+    }
+
+    markov_floor, markov_normal = day_margins(markov_per_day, plant_dataset)
+    graph_floor, graph_normal = day_margins(graph_per_day, plant_dataset)
+
+    rows = [
+        {
+            "detector": "per-sensor Markov chains (univariate)",
+            "anomaly-day floor": f"{markov_floor:.2f}",
+            "normal-day peak": f"{markov_normal:.2f}",
+            "margin": f"{markov_floor - markov_normal:+.2f}",
+        },
+        {
+            "detector": "translation graph (ours)",
+            "anomaly-day floor": f"{graph_floor:.2f}",
+            "normal-day peak": f"{graph_normal:.2f}",
+            "margin": f"{graph_floor - graph_normal:+.2f}",
+        },
+    ]
+    print("\n" + ascii_table(rows, title="Extension — univariate vs pairwise detection"))
+
+    graph_margin = graph_floor - graph_normal
+    markov_margin = markov_floor - markov_normal
+    # The pairwise method separates; the univariate method separates
+    # much worse (or not at all) on marginal-preserving anomalies.
+    assert graph_margin > 0
+    assert graph_margin > markov_margin + 0.1

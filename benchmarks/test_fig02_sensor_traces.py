@@ -1,0 +1,89 @@
+"""Figure 2 — discrete event sequences on a normal vs an abnormal day.
+
+Paper: two representative sensors (one periodic, one mostly-OFF) whose
+normal-day and anomaly-day traces are visually indistinguishable; the
+anomaly lives in *joint* behaviour, not marginals.
+
+Reproduction: extract both day traces for a periodic and a mostly-OFF
+sensor, print run-length summaries, and check that the marginal state
+distributions on the anomalous day stay close to the normal day's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+
+
+def run_lengths(events: tuple[str, ...]) -> list[int]:
+    lengths = [1]
+    for previous, current in zip(events, events[1:]):
+        if current == previous:
+            lengths[-1] += 1
+        else:
+            lengths.append(1)
+    return lengths
+
+
+def pick_sensors(dataset) -> tuple[str, str]:
+    """One periodic sensor and one mostly-OFF sensor (Figure 2a/2b)."""
+    periodic, mostly_off = None, None
+    for sequence in dataset.log:
+        if sequence.cardinality != 2:
+            continue
+        counts = {state: 0 for state in sequence.unique_states}
+        for event in sequence.events:
+            counts[event] += 1
+        minority = min(counts.values()) / len(sequence)
+        if minority < 0.1 and mostly_off is None:
+            mostly_off = sequence.sensor
+        elif minority > 0.3 and periodic is None:
+            periodic = sequence.sensor
+        if periodic and mostly_off:
+            break
+    assert periodic and mostly_off, "simulator must produce both sensor kinds"
+    return periodic, mostly_off
+
+
+def test_fig02_sensor_traces(benchmark, plant_dataset):
+    periodic, mostly_off = pick_sensors(plant_dataset)
+    normal_day = 15
+    abnormal_day = plant_dataset.anomaly_days[0]
+
+    def regenerate():
+        return {
+            sensor: (
+                plant_dataset.day_slice(normal_day)[sensor],
+                plant_dataset.day_slice(abnormal_day)[sensor],
+            )
+            for sensor in (periodic, mostly_off)
+        }
+
+    traces = run_once(benchmark, regenerate)
+
+    print("\nFigure 2 — normal vs abnormal day traces")
+    for sensor, (normal, abnormal) in traces.items():
+        normal_runs = run_lengths(normal.events)
+        abnormal_runs = run_lengths(abnormal.events)
+        print(
+            f"  {sensor}: normal day {len(normal_runs)} state changes "
+            f"(median run {np.median(normal_runs):.0f}), abnormal day "
+            f"{len(abnormal_runs)} changes (median run {np.median(abnormal_runs):.0f})"
+        )
+
+        # Marginal state distributions stay close (paper: "challenging
+        # to visually distinguish status changes").
+        for state in normal.unique_states:
+            normal_fraction = normal.events.count(state) / len(normal)
+            abnormal_fraction = abnormal.events.count(state) / len(abnormal)
+            assert abs(normal_fraction - abnormal_fraction) < 0.25, (
+                sensor,
+                state,
+            )
+
+    # The periodic sensor changes state much more often than the
+    # mostly-OFF one, matching the two panels of Figure 2.
+    periodic_changes = len(run_lengths(traces[periodic][0].events))
+    quiet_changes = len(run_lengths(traces[mostly_off][0].events))
+    assert periodic_changes > quiet_changes

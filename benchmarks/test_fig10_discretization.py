@@ -1,0 +1,67 @@
+"""Figure 10 — the two feature-discretization schemes.
+
+Paper: SMART 187 (reported uncorrectable errors) is mostly zero, so it
+gets the binary zero/nonzero scheme (10a); SMART 9 (power-on hours)
+spreads broadly, so it is cut at the training 20/40/60/80th percentiles
+into five categories (10b).
+
+Reproduction: regenerate both feature CDFs from the drive population,
+fit the discretizers, and check exactly those scheme assignments and
+the balanced-quintile property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.datasets.discretize import (
+    BinaryDiscretizer,
+    QuantileDiscretizer,
+    fit_discretizer,
+)
+from repro.report import cdf_at
+
+
+def pooled(dataset, column):
+    return np.concatenate([drive.values[column] for drive in dataset.drives])
+
+
+def test_fig10_discretization_schemes(benchmark, backblaze_dataset):
+    def regenerate():
+        errors = pooled(backblaze_dataset, "smart_187")
+        hours = pooled(backblaze_dataset, "smart_9")
+        return (
+            errors,
+            hours,
+            fit_discretizer("smart_187", errors),
+            fit_discretizer("smart_9", hours),
+        )
+
+    errors, hours, error_discretizer, hour_discretizer = run_once(benchmark, regenerate)
+
+    zero_fraction = cdf_at(errors, 0.0)
+    print(
+        f"\nFigure 10a — SMART 187 CDF: {zero_fraction:.1%} of observations are zero"
+        " -> binary zero/nonzero scheme"
+    )
+    assert isinstance(error_discretizer, BinaryDiscretizer)
+    assert zero_fraction > 0.5
+
+    print("Figure 10b — SMART 9 percentile boundaries:", end=" ")
+    assert isinstance(hour_discretizer, QuantileDiscretizer)
+    print([f"{b:.0f}" for b in hour_discretizer.boundaries])
+    np.testing.assert_allclose(
+        hour_discretizer.boundaries, np.quantile(hours, (0.2, 0.4, 0.6, 0.8))
+    )
+
+    # The quintile scheme balances category populations on its own
+    # training data.
+    labels = hour_discretizer.transform(hours)
+    counts = {label: labels.count(label) for label in set(labels)}
+    print(f"  quintile populations: {dict(sorted(counts.items()))}")
+    assert set(counts) == {"q1", "q2", "q3", "q4", "q5"}
+    assert max(counts.values()) < 2 * min(counts.values())
+
+    # Binary scheme semantics on unseen values.
+    assert error_discretizer.transform([0.0, 7.0]) == ["zero", "nonzero"]

@@ -1,0 +1,76 @@
+"""Robustness — the headline plant result across simulator seeds.
+
+A reproduction that only works for one random seed is a coincidence.
+This bench re-runs the full plant pipeline (generate → fit → detect)
+for several seeds and requires the Figure 8 shape — both anomaly days
+above every clean normal day — to hold in every run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import plant_framework_config, run_once
+from repro.datasets import PlantConfig, generate_plant_dataset
+from repro.pipeline import PlantCaseStudy
+from repro.report import ascii_table
+
+SEEDS = (7, 19, 31)
+
+
+def run_seed(seed: int) -> dict[str, float]:
+    dataset = generate_plant_dataset(
+        PlantConfig(
+            num_sensors=20,
+            days=30,
+            samples_per_day=96,
+            num_components=4,
+            seed=seed,
+        )
+    )
+    study = PlantCaseStudy(dataset=dataset, config=plant_framework_config()).fit()
+    result = study.detect()
+    days = study.day_scores(result)
+    anomaly_floor = min(s.max_score for s in days if s.is_anomaly)
+    normal_peak = max(
+        s.max_score for s in days if not s.is_anomaly and not s.is_precursor
+    )
+    threshold = study.calibrated_alarm_threshold()
+    evaluation = study.evaluate(result, alarm_threshold=threshold)
+    return {
+        "anomaly_floor": anomaly_floor,
+        "normal_peak": normal_peak,
+        "threshold": threshold,
+        "recall": evaluation.recall,
+        "false_alarms": len(evaluation.false_alarm_days),
+    }
+
+
+def test_robustness_across_seeds(benchmark):
+    def regenerate():
+        return {seed: run_seed(seed) for seed in SEEDS}
+
+    outcomes = run_once(benchmark, regenerate)
+    rows = [
+        {
+            "seed": seed,
+            "anomaly-day floor": f"{o['anomaly_floor']:.2f}",
+            "normal-day peak": f"{o['normal_peak']:.2f}",
+            "margin": f"{o['anomaly_floor'] - o['normal_peak']:+.2f}",
+            "calibrated threshold": f"{o['threshold']:.2f}",
+            "day recall": f"{o['recall']:.0%}",
+            "false-alarm days": o["false_alarms"],
+        }
+        for seed, o in outcomes.items()
+    ]
+    print("\n" + ascii_table(rows, title="Robustness — plant detection across seeds"))
+
+    for seed, outcome in outcomes.items():
+        # Shape: anomaly days top every clean normal day.
+        assert outcome["anomaly_floor"] > outcome["normal_peak"], f"seed {seed}"
+    # With the dev-calibrated alarm threshold, detection recalls most
+    # anomalies across seeds (anomaly magnitudes vary with the random
+    # disturbance draw; false alarms stay bounded).
+    mean_recall = float(np.mean([o["recall"] for o in outcomes.values()]))
+    assert mean_recall >= 0.5
+    assert all(o["false_alarms"] <= 6 for o in outcomes.values())

@@ -1,0 +1,60 @@
+"""Table I — statistics of global subgraphs per BLEU score range.
+
+Paper (128 sensors): the ranges [0,60) .. [90,100] hold 10.6 / 12.8 /
+28.8 / 17.8 / 29.9 % of relationships; every range keeps a substantial
+sensor population and a handful of popular (in-degree >= 100) sensors.
+
+Reproduction: regenerate the table at the bench scale and check the
+partition invariants and the shape facts — the high ranges hold most of
+the mass, each populated range spans many sensors, and popular sensors
+exist in at least one range.
+"""
+
+from __future__ import annotations
+
+from conftest import FULL_SCALE, run_once
+from repro.report import ascii_table
+
+PAPER_ROWS = {
+    "[0, 60)": 10.6,
+    "[60, 70)": 12.8,
+    "[70, 80)": 28.8,
+    "[80, 90)": 17.8,
+    "[90, 100]": 29.9,
+}
+
+
+def test_table1_global_subgraph_statistics(benchmark, plant_study):
+    framework = plant_study.framework
+
+    def regenerate():
+        return framework.subgraph_statistics()
+
+    stats = run_once(benchmark, regenerate)
+
+    rows = []
+    for stat in stats:
+        row = stat.as_row()
+        row["paper %"] = PAPER_ROWS[stat.score_range.label]
+        rows.append(row)
+    print("\n" + ascii_table(rows, title="Table I — global subgraph statistics"))
+
+    # Partition invariant: every relationship in exactly one range.
+    assert abs(sum(s.relationship_fraction for s in stats) - 1.0) < 1e-9
+
+    by_label = {s.score_range.label: s for s in stats}
+    # Shape: strong relationships dominate — the >= 70 ranges together
+    # hold the majority of edges (paper: 76.5%).
+    strong_mass = sum(
+        by_label[label].relationship_fraction
+        for label in ("[70, 80)", "[80, 90)", "[90, 100]")
+    )
+    print(f"mass at BLEU >= 70: {strong_mass:.1%} (paper: 76.5%)")
+    assert strong_mass > (0.25 if FULL_SCALE else 0.4)
+
+    # The detection range is populated (it drives Figures 6-9).
+    assert by_label["[80, 90)"].num_sensors >= 3
+    assert by_label["[80, 90)"].relationship_fraction > (0.03 if FULL_SCALE else 0.05)
+
+    # Popular sensors appear somewhere in the partition.
+    assert any(s.num_popular > 0 for s in stats)

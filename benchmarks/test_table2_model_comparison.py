@@ -1,0 +1,69 @@
+"""Table II — model comparison on the Backblaze-style dataset.
+
+Paper: Random Forest (supervised, feature-engineered) reaches 70-80%
+recall; one-class SVM (unsupervised, feature-engineered) 60%; the
+framework (unsupervised, no feature engineering, works directly on
+discrete sequences) 58% — comparable to OC-SVM without its feature
+engineering.
+
+Reproduction: run all three on synthetic populations and check the
+ordering — RF best, the framework below the supervised baseline and in
+the vicinity of OC-SVM — plus the capability matrix.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.report import ascii_table
+
+PAPER = {"Random Forest": "70-80%", "One-class SVM": "60%", "Ours": "58%"}
+
+
+def test_table2_model_comparison(
+    benchmark, hdd_study, forest_result, ocsvm_result
+):
+    def regenerate():
+        return hdd_study.evaluate()
+
+    ours = run_once(benchmark, regenerate)
+
+    rows = [
+        {
+            "model": "Random Forest",
+            "unsupervised": "no",
+            "feature engineering": "yes",
+            "feature ranking": "yes",
+            "recall (measured)": f"{forest_result.recall:.0%}",
+            "recall (paper)": PAPER["Random Forest"],
+            "discrete sequences": "no",
+        },
+        {
+            "model": "One-class SVM",
+            "unsupervised": "yes",
+            "feature engineering": "yes",
+            "feature ranking": "no",
+            "recall (measured)": f"{ocsvm_result.recall:.0%}",
+            "recall (paper)": PAPER["One-class SVM"],
+            "discrete sequences": "no",
+        },
+        {
+            "model": "Ours",
+            "unsupervised": "yes",
+            "feature engineering": "no",
+            "feature ranking": "yes",
+            "recall (measured)": f"{ours.recall:.0%}",
+            "recall (paper)": PAPER["Ours"],
+            "discrete sequences": "yes",
+        },
+    ]
+    print("\n" + ascii_table(rows, title="Table II — model comparison"))
+
+    # Shape facts from the paper:
+    # (1) the supervised baseline wins;
+    assert forest_result.recall >= ocsvm_result.recall
+    assert forest_result.recall >= ours.recall
+    # (2) the framework is competitive despite being unsupervised and
+    #     feature-engineering-free: it recalls a substantial share and
+    #     is not an order of magnitude behind OC-SVM.
+    assert ours.recall >= 0.4
+    assert ours.recall >= ocsvm_result.recall - 0.35

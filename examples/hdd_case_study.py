@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Case Study II: hard-disk-drive failures (Section IV of the paper).
+
+Generates a Backblaze-style SMART dataset (public-data substitute),
+discretizes the 16 framework features with the Figure 10 schemes,
+builds the relationship graph on pooled healthy months, and then:
+
+- ranks features by in-degree (Figure 11a / Table III);
+- compares against the Random Forest and one-class SVM baselines
+  (Table II), including the RF feature-importance overlap (Figure 11b);
+- evaluates disk-failure detection with the sharp-increase rule
+  (Figure 12), reporting recall.
+
+Run:  python examples/hdd_case_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.evaluation import evaluate_ocsvm, evaluate_random_forest
+from repro.datasets import BackblazeConfig, generate_backblaze_dataset
+from repro.datasets.smart import KEY_FAILURE_ATTRIBUTES, SMART_ATTRIBUTES
+from repro.pipeline import HDDCaseStudy
+from repro.report import ascii_table
+
+
+def main() -> None:
+    dataset = generate_backblaze_dataset(BackblazeConfig(num_drives=24, days=360))
+    print(
+        f"Drive population: {len(dataset)} drives, "
+        f"{len(dataset.failed_serials)} failures"
+    )
+
+    print("\nFitting the framework on each drive's healthy months...")
+    study = HDDCaseStudy(dataset=dataset).fit()
+
+    print("\nFigure 11a / Table III — features ranked by in-degree at [80, 90):")
+    descriptions = {a.column: a.name for a in SMART_ATTRIBUTES}
+    rows = [
+        {
+            "feature": name,
+            "name": descriptions.get(name, ""),
+            "in-degree": in_degree,
+            "out-degree": out_degree,
+        }
+        for name, in_degree, out_degree in study.feature_ranking(top=5)
+    ]
+    print(ascii_table(rows))
+    key = {f"smart_{i}" for i in KEY_FAILURE_ATTRIBUTES}
+    overlap = key & {row["feature"] for row in rows}
+    print(f"Overlap with the paper's Table III features: {sorted(overlap)}")
+
+    print("\nFigure 12 — anomaly-score trajectories before failure:")
+    trajectories = study.trajectories()
+    evaluation = study.evaluate()
+    detected = {o.drive for o in evaluation.outcomes if o.failed and o.detected}
+    shown = 0
+    for serial in sorted(trajectories):
+        failed = serial in dataset.failed_serials
+        if not failed or shown >= 4:
+            continue
+        shown += 1
+        status = "DETECTED" if serial in detected else "missed  "
+        tail = np.array2string(
+            np.round(trajectories[serial][-8:], 2), separator=", "
+        )
+        print(f"  {serial} ({status}): final windows {tail}")
+
+    print("\nTable II — model comparison:")
+    forest = evaluate_random_forest(dataset)
+    ocsvm = evaluate_ocsvm(dataset)
+    print(
+        ascii_table(
+            [
+                {
+                    "model": "Random Forest",
+                    "unsupervised": "no",
+                    "feature engineering": "yes",
+                    "feature ranking": "yes",
+                    "recall": f"{forest.recall:.0%}",
+                    "works on discrete sequences": "no",
+                },
+                {
+                    "model": "One-class SVM",
+                    "unsupervised": "yes",
+                    "feature engineering": "yes",
+                    "feature ranking": "no",
+                    "recall": f"{ocsvm.recall:.0%}",
+                    "works on discrete sequences": "no",
+                },
+                {
+                    "model": "Ours (translation graph)",
+                    "unsupervised": "yes",
+                    "feature engineering": "no",
+                    "feature ranking": "yes",
+                    "recall": f"{evaluation.recall:.0%}",
+                    "works on discrete sequences": "yes",
+                },
+            ]
+        )
+    )
+
+    rf_top10 = {name.removesuffix("_diff") for name, _ in forest.feature_ranking[:10]}
+    print(
+        "\nFigure 11b — key features in the RF top-10 importances: "
+        f"{sorted(key & rf_top10)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Knowledge discovery: recovering system structure from sequences.
+
+The paper's Section III-B shows that the relationship graph's local
+subgraphs recover the plant's component structure without any domain
+knowledge — useful when sensor names are anonymised.  This example
+builds a plant whose component layout is known, hides it from the
+framework, and measures how well the discovered clusters match the
+ground truth, comparing connected components with the from-scratch
+Walktrap community detection (Pons & Latapy, the paper's citation [33]).
+
+Run:  python examples/knowledge_discovery.py
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.datasets import PlantConfig, generate_plant_dataset
+from repro.graph import ScoreRange
+from repro.lang import LanguageConfig
+from repro.pipeline import FrameworkConfig, PlantCaseStudy
+
+
+def pair_agreement(clusters: list[set[str]], component_of: dict[str, str]) -> tuple[float, int]:
+    """Fraction of co-clustered sensor pairs sharing a true component."""
+    same = 0
+    total = 0
+    for cluster in clusters:
+        for a, b in itertools.combinations(sorted(cluster), 2):
+            total += 1
+            same += component_of[a] == component_of[b]
+    return (same / total if total else 0.0), total
+
+
+def main() -> None:
+    dataset = generate_plant_dataset(PlantConfig.small(seed=21))
+    config = FrameworkConfig(
+        language=LanguageConfig(word_size=6, word_stride=1, sentence_length=8, sentence_stride=8),
+        engine="ngram",
+        popular_threshold=10,
+    )
+    study = PlantCaseStudy(dataset=dataset, config=config).fit()
+    framework = study.framework
+
+    print("Ground-truth components (hidden from the framework):")
+    by_component: dict[str, list[str]] = {}
+    for sensor, component in dataset.component_of.items():
+        by_component.setdefault(component, []).append(sensor)
+    for component, sensors in sorted(by_component.items()):
+        print(f"  {component}: {sorted(sensors)}")
+
+    print("\nPopular sensors removed before clustering:", framework.popular_sensors())
+
+    strong = ScoreRange(70, 100, inclusive_high=True)
+    for method in ("components", "walktrap"):
+        clusters = [c for c in framework.clusters(strong, method=method) if len(c) >= 2]
+        agreement, pairs = pair_agreement(clusters, dataset.component_of)
+        print(f"\nDiscovered clusters ({method}):")
+        for cluster in clusters:
+            components = {dataset.component_of[s] for s in cluster}
+            print(f"  {sorted(cluster)}  <- true components: {sorted(components)}")
+        print(
+            f"  co-clustered pair agreement: {agreement:.0%} "
+            f"over {pairs} sensor pairs"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Case Study I: the physical-plant workload (Section III of the paper).
+
+Simulates a plant (the proprietary dataset substitute), trains the
+relationship graph on 10 normal days, scores it on 3 development days,
+and then detects the injected anomalies on days 21 and 28 of the
+17-day test period, reproducing the Figure 8a timeline shape.  Ends
+with fault diagnosis of the strongest anomaly (Figure 9).
+
+Run:  python examples/plant_case_study.py [--full]
+
+``--full`` uses the paper's full scale (128 sensors, minute sampling);
+the default is a reduced scale that finishes in under a minute on a
+laptop CPU.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.datasets import PlantConfig, generate_plant_dataset
+from repro.lang import LanguageConfig
+from repro.pipeline import FrameworkConfig, PlantCaseStudy
+from repro.report import ascii_table
+
+
+def make_case_study(full_scale: bool) -> PlantCaseStudy:
+    if full_scale:
+        dataset = generate_plant_dataset(PlantConfig())
+        config = FrameworkConfig.plant()
+    else:
+        dataset = generate_plant_dataset(PlantConfig.small())
+        config = FrameworkConfig(
+            language=LanguageConfig(
+                word_size=6, word_stride=1, sentence_length=8, sentence_stride=8
+            ),
+            engine="ngram",
+            popular_threshold=10,
+        )
+    return PlantCaseStudy(dataset=dataset, config=config)
+
+
+def main(argv: list[str]) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale run")
+    args = parser.parse_args(argv)
+
+    study = make_case_study(args.full)
+    print(
+        f"Simulated plant: {study.dataset.config.num_sensors} sensors, "
+        f"{study.dataset.config.days} days, anomalies on days "
+        f"{study.dataset.anomaly_days}"
+    )
+
+    print("\nTraining pairwise translation models (Algorithm 1)...")
+    study.fit()
+    graph = study.framework.graph
+    scores = np.array(list(graph.scores().values()))
+    print(
+        f"  {graph.num_edges} directed relationships; "
+        f"BLEU median {np.median(scores):.1f}, "
+        f"{100 * (scores > 60).mean():.0f}% above 60"
+    )
+
+    print("\nTable I — global subgraph statistics per BLEU range:")
+    print(ascii_table([s.as_row() for s in study.framework.subgraph_statistics()]))
+
+    popular = study.framework.popular_sensors()
+    print(f"\nPopular sensors (critical health indicators): {popular}")
+    clusters = study.framework.clusters()
+    print(f"Local-subgraph clusters: {[sorted(c) for c in clusters]}")
+
+    print("\nDetecting anomalies over the test period (Algorithm 2)...")
+    result = study.detect()
+    print("\nFigure 8a — per-day anomaly-score timeline:")
+    for day_score in study.day_scores(result):
+        label = (
+            "ANOMALY " if day_score.is_anomaly
+            else "precursor" if day_score.is_precursor
+            else ""
+        )
+        bar = "#" * int(30 * day_score.max_score)
+        print(f"  day {day_score.day:2d}: max {day_score.max_score:4.2f} {bar:<31}{label}")
+
+    quality = study.detection_quality(result)
+    print(f"\nDetected anomaly days: {quality['detected_days']}")
+    print(f"False-alarm days (often early warnings): {quality['false_alarm_days']}")
+
+    peak = int(np.argmax(result.anomaly_scores))
+    diagnosis = study.framework.diagnose(result, peak)
+    print(
+        f"\nFigure 9 — fault diagnosis at the peak window "
+        f"(day {study.window_day(peak)}): {len(diagnosis.broken_edges)} broken / "
+        f"{len(diagnosis.normal_edges)} intact local relationships"
+    )
+    for cluster in diagnosis.faulty_clusters():
+        print(
+            f"  faulty cluster {sorted(cluster.sensors)}: "
+            f"{cluster.broken_edges}/{cluster.total_edges} edges broken"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Training the paper's NMT model on one sensor pair, step by step.
+
+A close-up of Algorithm 1's inner loop using the faithful seq2seq
+engine: build the two sensor languages, train the 2-layer LSTM +
+attention translator with early stopping on development BLEU, then
+compare greedy and beam-search decoding on held-out sentences.
+
+Run:  python examples/train_nmt_pair.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lang import LanguageConfig, MultiLanguageCorpus, MultivariateEventLog, ParallelCorpus
+from repro.translation import (
+    NMTConfig,
+    beam_search_translate,
+    corpus_bleu,
+    sentence_bleu,
+    train_with_early_stopping,
+)
+
+
+def build_log(total: int, seed: int = 0) -> MultivariateEventLog:
+    """A valve whose state follows the pump with a 2-sample delay."""
+    rng = np.random.default_rng(seed)
+    pump = [("RUN" if (t // 7) % 2 == 0 else "IDLE") for t in range(total)]
+    valve = ["closed", "closed"] + ["open" if s == "RUN" else "closed" for s in pump[:-2]]
+    return MultivariateEventLog.from_mapping({"pump": pump, "valve": valve})
+
+
+def main() -> None:
+    log = build_log(900)
+    config = LanguageConfig(word_size=5, word_stride=1, sentence_length=6, sentence_stride=6)
+    corpus = MultiLanguageCorpus.fit(log.slice(0, 600), config)
+
+    train_pc = corpus.parallel("pump", "valve")
+    dev_sentences_src = corpus["pump"].sentences_for(log.slice(600, 900)["pump"])
+    dev_sentences_tgt = corpus["valve"].sentences_for(log.slice(600, 900)["valve"])
+    dev_pc = ParallelCorpus.from_sentences(
+        "pump", "valve", dev_sentences_src, dev_sentences_tgt
+    )
+    print(
+        f"Languages: pump vocabulary {corpus['pump'].vocabulary_size}, "
+        f"valve vocabulary {corpus['valve'].vocabulary_size}; "
+        f"{len(train_pc)} training / {len(dev_pc)} development sentence pairs"
+    )
+
+    nmt = NMTConfig(
+        embedding_size=16,
+        hidden_size=24,
+        num_layers=2,
+        dropout=0.1,
+        training_steps=600,
+        batch_size=16,
+        learning_rate=5e-3,
+        seed=0,
+    )
+    print("\nTraining seq2seq with early stopping on dev BLEU...")
+    model, record = train_with_early_stopping(
+        train_pc, dev_pc, nmt, eval_every=100, patience=2
+    )
+    for steps, bleu in record.eval_history:
+        print(f"  after {steps:4d} steps: dev BLEU {bleu:5.1f}")
+    print(
+        f"  stopped {'early' if record.stopped_early else 'at budget'}; "
+        f"train {record.train_seconds:.1f}s, final dev BLEU {record.dev_bleu:.1f}"
+    )
+
+    print("\nGreedy vs beam-search decoding on 3 development sentences:")
+    for source, target in dev_pc.pairs[:3]:
+        greedy = model.translate([source])[0]
+        beam = beam_search_translate(model, source, beam_width=4)
+        print(f"  source    {' '.join(source)}")
+        print(f"  reference {' '.join(target)}")
+        print(f"  greedy    {' '.join(greedy)}   (BLEU {sentence_bleu(greedy, target):.0f})")
+        print(f"  beam      {' '.join(beam)}   (BLEU {sentence_bleu(beam, target):.0f})")
+
+    translations = model.translate(dev_pc.source_sentences)
+    print(
+        f"\nCorpus BLEU on development set: "
+        f"{corpus_bleu(translations, dev_pc.target_sentences, smooth=True):.1f} "
+        "— this number is the edge weight s(pump, valve) in the relationship graph."
+    )
+
+
+if __name__ == "__main__":
+    main()

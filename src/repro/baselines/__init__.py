@@ -1,0 +1,36 @@
+"""Baseline models (Section IV-B): Random Forest, OC-SVM, K-Means."""
+
+from .forest import RandomForest, balance_classes
+from .hawkes import (
+    HawkesAnomalyDetector,
+    HawkesDetectionResult,
+    MultivariateHawkes,
+    state_change_times,
+)
+from .kmeans import KMeans
+from .markov import MarkovAnomalyDetector, MarkovChainModel, MarkovDetectionResult
+from .metrics import ConfusionMatrix, confusion_matrix, f1_score, precision, recall
+from .ocsvm import OneClassSVM, project_capped_simplex, rbf_kernel
+from .tree import DecisionTree
+
+__all__ = [
+    "ConfusionMatrix",
+    "DecisionTree",
+    "HawkesAnomalyDetector",
+    "HawkesDetectionResult",
+    "KMeans",
+    "MarkovAnomalyDetector",
+    "MarkovChainModel",
+    "MarkovDetectionResult",
+    "MultivariateHawkes",
+    "OneClassSVM",
+    "RandomForest",
+    "balance_classes",
+    "confusion_matrix",
+    "f1_score",
+    "precision",
+    "project_capped_simplex",
+    "rbf_kernel",
+    "recall",
+    "state_change_times",
+]

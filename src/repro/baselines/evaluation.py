@@ -1,0 +1,126 @@
+"""Drive-level baseline evaluation for Table II.
+
+Runs the paper's two baselines on a Backblaze-style dataset:
+
+- **Random Forest** (supervised): 80/20 drive split, non-failures
+  undersampled to 1:1, recall measured on held-out failure days;
+  feature importances feed Figure 11b.
+- **One-class SVM** (unsupervised): fitted on observations from drives
+  never seen to fail (subsampled — the paper notes OC-SVM scales
+  poorly), recall measured on failure days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.backblaze import BackblazeDataset
+from ..datasets.features import BaselineMatrix, build_baseline_matrix
+from .forest import RandomForest, balance_classes
+from .metrics import ConfusionMatrix, confusion_matrix
+from .ocsvm import OneClassSVM
+
+__all__ = ["BaselineResult", "evaluate_random_forest", "evaluate_ocsvm"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline run."""
+
+    model_name: str
+    recall: float
+    confusion: ConfusionMatrix
+    feature_ranking: list[tuple[str, float]] | None = None
+
+
+def _standardize(train: np.ndarray, *others: np.ndarray) -> list[np.ndarray]:
+    """Z-score using training statistics (needed by the RBF kernel)."""
+    mean = train.mean(axis=0)
+    std = train.std(axis=0)
+    std[std == 0] = 1.0
+    return [(block - mean) / std for block in (train, *others)]
+
+
+def _split_drives(
+    matrix: BaselineMatrix, dataset: BackblazeDataset, train_fraction: float, rng: np.random.Generator
+) -> tuple[set[int], set[int]]:
+    """Split drive indices so both sides contain failed drives."""
+    failed = [i for i, d in enumerate(dataset.drives) if d.failed]
+    healthy = [i for i, d in enumerate(dataset.drives) if not d.failed]
+    rng.shuffle(failed)
+    rng.shuffle(healthy)
+
+    def cut(items: list[int]) -> tuple[list[int], list[int]]:
+        k = max(1, int(round(train_fraction * len(items)))) if items else 0
+        k = min(k, len(items) - 1) if len(items) > 1 else k
+        return items[:k], items[k:]
+
+    train_f, test_f = cut(failed)
+    train_h, test_h = cut(healthy)
+    return set(train_f + train_h), set(test_f + test_h)
+
+
+def evaluate_random_forest(
+    dataset: BackblazeDataset,
+    num_trees: int = 40,
+    max_depth: int = 8,
+    train_fraction: float = 0.8,
+    seed: int = 0,
+) -> BaselineResult:
+    """Table II's supervised baseline."""
+    rng = np.random.default_rng(seed)
+    matrix = build_baseline_matrix(dataset)
+    train_drives, test_drives = _split_drives(matrix, dataset, train_fraction, rng)
+    train = matrix.rows_for_drives(train_drives)
+    test = matrix.rows_for_drives(test_drives)
+
+    features, labels = balance_classes(train.features, train.labels, rng)
+    forest = RandomForest(num_trees=num_trees, max_depth=max_depth, seed=seed)
+    forest.fit(features, labels)
+
+    predictions = forest.predict(test.features)
+    confusion = confusion_matrix(test.labels, predictions)
+    return BaselineResult(
+        model_name="Random Forest",
+        recall=confusion.recall,
+        confusion=confusion,
+        feature_ranking=forest.feature_ranking(matrix.feature_names),
+    )
+
+
+def evaluate_ocsvm(
+    dataset: BackblazeDataset,
+    nu: float = 0.1,
+    max_training_rows: int = 400,
+    seed: int = 0,
+) -> BaselineResult:
+    """Table II's unsupervised baseline.
+
+    Trained only on rows from drives never observed to fail, then
+    evaluated on every drive-day: failure days should fall outside the
+    learned boundary.
+    """
+    rng = np.random.default_rng(seed)
+    matrix = build_baseline_matrix(dataset)
+    healthy_drives = {i for i, d in enumerate(dataset.drives) if not d.failed}
+    healthy = matrix.rows_for_drives(healthy_drives)
+    if healthy.num_rows == 0:
+        raise ValueError("OC-SVM needs at least one never-failed drive")
+
+    rows = rng.choice(
+        healthy.num_rows, size=min(max_training_rows, healthy.num_rows), replace=False
+    )
+    train_features, test_features = _standardize(
+        healthy.features[rows], matrix.features
+    )
+    model = OneClassSVM(nu=nu, seed=seed).fit(train_features)
+    predictions = model.predict(test_features) == -1  # anomaly = positive
+    confusion = confusion_matrix(matrix.labels, predictions)
+    return BaselineResult(
+        model_name="One-class SVM",
+        recall=confusion.recall,
+        confusion=confusion,
+        feature_ranking=None,
+    )

@@ -1,0 +1,112 @@
+"""Random forest classifier with Gini feature importances.
+
+The paper's supervised baseline (Section IV-B): bagged CART trees,
+trained on a 1:1 subsample of failure/non-failure drive-days, with
+feature-importance ranking used in Figure 11b.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import DecisionTree
+
+__all__ = ["RandomForest", "balance_classes"]
+
+
+def balance_classes(
+    features: np.ndarray,
+    labels: np.ndarray,
+    rng: np.random.Generator,
+    ratio: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random-undersample the majority class to ``ratio`` : 1.
+
+    The paper sub-samples non-failures so training data has a 1-to-1
+    majority-to-minority ratio.
+    """
+    labels = np.asarray(labels)
+    classes, counts = np.unique(labels, return_counts=True)
+    if len(classes) != 2:
+        raise ValueError(f"balance_classes expects two classes, got {classes}")
+    minority = classes[counts.argmin()]
+    minority_rows = np.nonzero(labels == minority)[0]
+    majority_rows = np.nonzero(labels != minority)[0]
+    keep = min(len(majority_rows), max(1, int(round(ratio * len(minority_rows)))))
+    chosen = rng.choice(majority_rows, size=keep, replace=False)
+    rows = np.concatenate([minority_rows, chosen])
+    rng.shuffle(rows)
+    return np.asarray(features)[rows], labels[rows]
+
+
+class RandomForest:
+    """Bagging ensemble of :class:`DecisionTree` with sqrt feature sampling."""
+
+    def __init__(
+        self,
+        num_trees: int = 50,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if num_trees < 1:
+            raise ValueError("num_trees must be >= 1")
+        self.num_trees = num_trees
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.seed = seed
+        self.trees: list[DecisionTree] = []
+        self.classes_: np.ndarray | None = None
+        self.feature_importances_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForest":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        rng = np.random.default_rng(self.seed)
+        self.classes_ = np.unique(labels)
+        rows = features.shape[0]
+        self.trees = []
+        importances = np.zeros(features.shape[1])
+        for _ in range(self.num_trees):
+            bootstrap = rng.integers(0, rows, size=rows)
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features="sqrt",
+                rng=np.random.default_rng(rng.integers(0, 2**63)),
+            )
+            tree.fit(features[bootstrap], labels[bootstrap])
+            self.trees.append(tree)
+            importances += tree.feature_importances_
+        self.feature_importances_ = importances / self.num_trees
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if not self.trees:
+            raise RuntimeError("forest has not been fitted")
+        features = np.asarray(features, dtype=np.float64)
+        assert self.classes_ is not None
+        total = np.zeros((features.shape[0], len(self.classes_)))
+        for tree in self.trees:
+            proba = tree.predict_proba(features)
+            # Align tree classes (bootstrap may miss a class) to forest's.
+            for column, cls in enumerate(tree.classes_):
+                target = int(np.searchsorted(self.classes_, cls))
+                total[:, target] += proba[:, column]
+        return total / self.num_trees
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        probabilities = self.predict_proba(features)
+        assert self.classes_ is not None
+        return self.classes_[probabilities.argmax(axis=1)]
+
+    def feature_ranking(self, names: list[str], top: int | None = None) -> list[tuple[str, float]]:
+        """Features sorted by importance (Figure 11b's top-10 list)."""
+        if self.feature_importances_ is None:
+            raise RuntimeError("forest has not been fitted")
+        if len(names) != self.feature_importances_.shape[0]:
+            raise ValueError("names length must match feature count")
+        ranked = sorted(
+            zip(names, self.feature_importances_), key=lambda item: -item[1]
+        )
+        return ranked[:top] if top is not None else ranked

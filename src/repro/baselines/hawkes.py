@@ -1,0 +1,310 @@
+"""Multivariate Hawkes process baseline (related work [22], [27]).
+
+The paper's related-work section names multidimensional Hawkes
+processes as the established way to model inter-dependent relationships
+across multi-source event streams.  This module implements that
+comparator from scratch:
+
+- each sensor's *state changes* become a point process;
+- a multivariate Hawkes process with exponential kernels
+
+      λ_i(t) = μ_i + Σ_j Σ_{t^j_l < t} α_ij · β · exp(−β (t − t^j_l))
+
+  is fitted by expectation–maximisation (Lewis & Mohler style):
+  the E-step attributes each event to the background or to a previous
+  event, the M-step re-estimates the background rates ``μ`` and the
+  influence matrix ``α``;
+- the influence matrix doubles as a relationship graph (who excites
+  whom), the Hawkes analogue of the paper's BLEU edges;
+- windows whose log-likelihood rate falls far below the development
+  distribution are anomalous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lang.events import EventSequence, MultivariateEventLog
+
+__all__ = [
+    "state_change_times",
+    "MultivariateHawkes",
+    "HawkesAnomalyDetector",
+    "HawkesDetectionResult",
+]
+
+
+def state_change_times(sequence: EventSequence) -> np.ndarray:
+    """Timestamps (sample indices) where the sensor changes state."""
+    events = sequence.events
+    return np.asarray(
+        [t for t in range(1, len(events)) if events[t] != events[t - 1]],
+        dtype=np.float64,
+    )
+
+
+class MultivariateHawkes:
+    """Exponential-kernel multivariate Hawkes process fitted by EM.
+
+    Parameters
+    ----------
+    decay:
+        Kernel decay ``β`` (per sample).  Larger = shorter memory.
+    iterations:
+        EM iterations.
+    max_lag:
+        Only event pairs closer than this many samples are considered
+        as potential trigger pairs (the kernel at ``max_lag`` is
+        negligible for sensible ``decay``); bounds the E-step cost.
+    """
+
+    def __init__(
+        self,
+        decay: float = 0.2,
+        iterations: int = 50,
+        max_lag: float | None = None,
+        min_rate: float = 1e-6,
+    ) -> None:
+        if decay <= 0:
+            raise ValueError("decay must be positive")
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.decay = decay
+        self.iterations = iterations
+        self.max_lag = max_lag if max_lag is not None else 10.0 / decay
+        self.min_rate = min_rate
+        self.dimensions: list[str] = []
+        self.mu_: np.ndarray | None = None
+        self.alpha_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _merge(event_times: dict[str, np.ndarray]) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        """Merge per-dimension times into a sorted (times, dims) stream."""
+        names = sorted(event_times)
+        times: list[float] = []
+        dims: list[int] = []
+        for index, name in enumerate(names):
+            for t in event_times[name]:
+                times.append(float(t))
+                dims.append(index)
+        order = np.argsort(times, kind="stable")
+        return np.asarray(times)[order], np.asarray(dims)[order], names
+
+    def fit(self, event_times: dict[str, np.ndarray], horizon: float) -> "MultivariateHawkes":
+        """EM fit on one observation window ``[0, horizon]``."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        times, dims, names = self._merge(event_times)
+        self.dimensions = names
+        d = len(names)
+        n = len(times)
+        if n == 0:
+            self.mu_ = np.full(d, self.min_rate)
+            self.alpha_ = np.zeros((d, d))
+            return self
+
+        beta = self.decay
+        mu = np.full(d, max(self.min_rate, n / (d * horizon)))
+        alpha = np.full((d, d), 0.1)
+
+        # Precompute candidate trigger pairs (l -> k) within max_lag.
+        pair_child: list[int] = []
+        pair_parent: list[int] = []
+        pair_kernel: list[float] = []
+        start = 0
+        for k in range(n):
+            while times[k] - times[start] > self.max_lag:
+                start += 1
+            for l in range(start, k):
+                delta = times[k] - times[l]
+                if delta <= 0:
+                    continue
+                pair_child.append(k)
+                pair_parent.append(l)
+                pair_kernel.append(beta * np.exp(-beta * delta))
+        child = np.asarray(pair_child, dtype=np.int64)
+        parent = np.asarray(pair_parent, dtype=np.int64)
+        kernel = np.asarray(pair_kernel)
+
+        # Kernel integrals over [t_l, horizon] per parent event.
+        integral = 1.0 - np.exp(-beta * (horizon - times))
+        counts = np.bincount(dims, minlength=d).astype(np.float64)
+
+        for _ in range(self.iterations):
+            # E-step: responsibilities.
+            background = mu[dims]  # (n,)
+            excitation = alpha[dims[child], dims[parent]] * kernel if len(child) else np.zeros(0)
+            denom = background.copy()
+            if len(child):
+                np.add.at(denom, child, excitation)
+            p_background = background / denom
+            # M-step.
+            mu = np.bincount(dims, weights=p_background, minlength=d) / horizon
+            mu = np.maximum(mu, self.min_rate)
+            if len(child):
+                p_pair = excitation / denom[child]
+                new_alpha = np.zeros((d, d))
+                np.add.at(new_alpha, (dims[child], dims[parent]), p_pair)
+                # Expected number of opportunities: sum of kernel
+                # integrals over parent events of each source dim.
+                opportunity = np.zeros(d)
+                np.add.at(opportunity, dims, integral)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    alpha = np.where(
+                        opportunity[None, :] > 0,
+                        new_alpha / opportunity[None, :],
+                        0.0,
+                    )
+        self.mu_ = mu
+        self.alpha_ = alpha
+        return self
+
+    # ------------------------------------------------------------------
+    def log_likelihood(self, event_times: dict[str, np.ndarray], horizon: float) -> float:
+        """Exact exponential-kernel log-likelihood on ``[0, horizon]``."""
+        if self.mu_ is None or self.alpha_ is None:
+            raise RuntimeError("model has not been fitted")
+        names = self.dimensions
+        index_of = {name: i for i, name in enumerate(names)}
+        times, dims, merged_names = self._merge(
+            {name: event_times.get(name, np.zeros(0)) for name in names}
+        )
+        # Remap merged dims onto model dimensions (sorted names match).
+        assert merged_names == names
+        beta = self.decay
+        d = len(names)
+        n = len(times)
+
+        total = 0.0
+        # Recursive intensity contribution per source dimension.
+        r = np.zeros(d)
+        last_time = 0.0
+        for k in range(n):
+            delta = times[k] - last_time
+            r *= np.exp(-beta * delta)
+            dim = dims[k]
+            intensity = self.mu_[dim] + float(self.alpha_[dim] @ (beta * r))
+            total += np.log(max(intensity, 1e-12))
+            r[dim] += 1.0
+            last_time = times[k]
+
+        # Compensator.
+        total -= float(self.mu_.sum()) * horizon
+        if n:
+            integral = 1.0 - np.exp(-beta * (horizon - times))
+            per_source = np.zeros(d)
+            np.add.at(per_source, dims, integral)
+            total -= float(self.alpha_.sum(axis=0) @ per_source)
+        return total
+
+    def influence_graph(self, threshold: float = 0.05) -> dict[tuple[str, str], float]:
+        """Directed edges ``source -> target`` with α above threshold —
+        the Hawkes analogue of the paper's relationship edges."""
+        if self.alpha_ is None:
+            raise RuntimeError("model has not been fitted")
+        edges: dict[tuple[str, str], float] = {}
+        for target_index, target in enumerate(self.dimensions):
+            for source_index, source in enumerate(self.dimensions):
+                if source == target:
+                    continue
+                weight = float(self.alpha_[target_index, source_index])
+                if weight >= threshold:
+                    edges[(source, target)] = weight
+        return edges
+
+
+@dataclass
+class HawkesDetectionResult:
+    """Windowed anomaly scores from the Hawkes baseline."""
+
+    windows: int
+    window_nll_rate: np.ndarray
+    threshold: float
+    anomaly_scores: np.ndarray
+
+
+class HawkesAnomalyDetector:
+    """Window-level anomaly detection from a fitted Hawkes model.
+
+    Fits on training state-change events, calibrates the window
+    negative-log-likelihood rate on development data, and scores test
+    windows by how far they exceed the calibration quantile (scores are
+    squashed to [0, 1] via a soft margin).
+    """
+
+    def __init__(
+        self,
+        window_size: int = 20,
+        window_stride: int | None = None,
+        decay: float = 0.2,
+        calibration_quantile: float = 0.99,
+    ) -> None:
+        if window_size < 2:
+            raise ValueError("window_size must be >= 2")
+        self.window_size = window_size
+        self.window_stride = window_stride or window_size
+        self.decay = decay
+        self.calibration_quantile = calibration_quantile
+        self.model: MultivariateHawkes | None = None
+        self._threshold: float = 0.0
+        self._scale: float = 1.0
+
+    def _window_events(
+        self, log: MultivariateEventLog, start: int
+    ) -> dict[str, np.ndarray]:
+        events: dict[str, np.ndarray] = {}
+        for sequence in log:
+            times = state_change_times(sequence.slice(start, start + self.window_size))
+            events[sequence.sensor] = times
+        return events
+
+    def _window_starts(self, log: MultivariateEventLog) -> list[int]:
+        count = max(0, (log.num_samples - self.window_size) // self.window_stride + 1)
+        return [i * self.window_stride for i in range(count)]
+
+    def _nll_rates(self, log: MultivariateEventLog) -> np.ndarray:
+        assert self.model is not None
+        rates = []
+        for start in self._window_starts(log):
+            ll = self.model.log_likelihood(
+                self._window_events(log, start), float(self.window_size)
+            )
+            rates.append(-ll / self.window_size)
+        return np.asarray(rates)
+
+    def fit(
+        self,
+        training_log: MultivariateEventLog,
+        development_log: MultivariateEventLog,
+    ) -> "HawkesAnomalyDetector":
+        events = {
+            sequence.sensor: state_change_times(sequence) for sequence in training_log
+        }
+        self.model = MultivariateHawkes(decay=self.decay).fit(
+            events, float(training_log.num_samples)
+        )
+        dev_rates = self._nll_rates(development_log)
+        if dev_rates.size == 0:
+            raise ValueError("development log too short for one window")
+        self._threshold = float(np.quantile(dev_rates, self.calibration_quantile))
+        spread = float(dev_rates.std())
+        self._scale = max(spread, 1e-6)
+        return self
+
+    def detect(self, test_log: MultivariateEventLog) -> HawkesDetectionResult:
+        if self.model is None:
+            raise RuntimeError("detector has not been fitted")
+        rates = self._nll_rates(test_log)
+        if rates.size == 0:
+            raise ValueError("test log too short for one window")
+        # Soft margin: 0 at/below threshold, saturating at ~3 spreads.
+        excess = np.maximum(0.0, rates - self._threshold) / (3.0 * self._scale)
+        return HawkesDetectionResult(
+            windows=len(rates),
+            window_nll_rate=rates,
+            threshold=self._threshold,
+            anomaly_scores=np.clip(excess, 0.0, 1.0),
+        )

@@ -1,0 +1,91 @@
+"""K-Means clustering (Lloyd's algorithm with k-means++ seeding).
+
+Listed by the paper's introduction among the unsupervised alternatives;
+included for completeness and used in tests of the baseline layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KMeans"]
+
+
+class KMeans:
+    """Plain K-Means with k-means++ initialisation."""
+
+    def __init__(
+        self,
+        num_clusters: int,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if num_clusters < 1:
+            raise ValueError("num_clusters must be >= 1")
+        self.num_clusters = num_clusters
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.seed = seed
+        self.centers_: np.ndarray | None = None
+        self.inertia_: float = float("inf")
+
+    def _init_centers(self, features: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread initial centers apart."""
+        n = features.shape[0]
+        centers = [features[rng.integers(0, n)]]
+        for _ in range(1, self.num_clusters):
+            distances = np.min(
+                ((features[:, None, :] - np.asarray(centers)[None, :, :]) ** 2).sum(axis=2),
+                axis=1,
+            )
+            total = distances.sum()
+            if total <= 0:
+                centers.append(features[rng.integers(0, n)])
+                continue
+            probabilities = distances / total
+            centers.append(features[rng.choice(n, p=probabilities)])
+        return np.asarray(centers)
+
+    def fit(self, features: np.ndarray) -> "KMeans":
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[0] < self.num_clusters:
+            raise ValueError("fewer samples than clusters")
+        rng = np.random.default_rng(self.seed)
+        centers = self._init_centers(features, rng)
+        for _ in range(self.max_iterations):
+            assignment = self._assign(features, centers)
+            new_centers = centers.copy()
+            for cluster in range(self.num_clusters):
+                members = features[assignment == cluster]
+                if len(members):
+                    new_centers[cluster] = members.mean(axis=0)
+            shift = float(np.abs(new_centers - centers).max())
+            centers = new_centers
+            if shift < self.tolerance:
+                break
+        self.centers_ = centers
+        assignment = self._assign(features, centers)
+        self.inertia_ = float(
+            ((features - centers[assignment]) ** 2).sum()
+        )
+        return self
+
+    @staticmethod
+    def _assign(features: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        distances = ((features[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        return distances.argmin(axis=1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.centers_ is None:
+            raise RuntimeError("model has not been fitted")
+        return self._assign(np.asarray(features, dtype=np.float64), self.centers_)
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Distances to each cluster center."""
+        if self.centers_ is None:
+            raise RuntimeError("model has not been fitted")
+        features = np.asarray(features, dtype=np.float64)
+        return np.sqrt(
+            ((features[:, None, :] - self.centers_[None, :, :]) ** 2).sum(axis=2)
+        )

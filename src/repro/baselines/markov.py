@@ -1,0 +1,186 @@
+"""Per-sensor Markov-chain anomaly detector (extension baseline).
+
+A natural unsupervised comparator for discrete event sequences: model
+each sensor independently with a k-th-order Markov chain and flag
+windows whose negative log-likelihood exceeds what normal operation
+produced.  Crucially this method is *univariate* — it sees each
+sensor's marginal dynamics only — so it cannot detect the paper's
+central anomaly class: joint-behaviour breaks where every individual
+sequence still looks plausible (Figure 2).  The extension benchmark
+``benchmarks/test_extension_markov.py`` demonstrates exactly that
+failure, motivating the pairwise translation graph.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lang.events import EventSequence, MultivariateEventLog
+
+__all__ = ["MarkovChainModel", "MarkovAnomalyDetector", "MarkovDetectionResult"]
+
+
+class MarkovChainModel:
+    """k-th-order Markov chain over one sensor's states.
+
+    Laplace-smoothed transition probabilities; unseen states fall back
+    to a uniform distribution over the training alphabet plus one
+    pseudo-state (so likelihoods stay finite on novel symbols).
+    """
+
+    def __init__(self, order: int = 2, smoothing: float = 1.0) -> None:
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        self.order = order
+        self.smoothing = smoothing
+        self._transitions: dict[tuple[str, ...], Counter] = defaultdict(Counter)
+        self._alphabet: set[str] = set()
+        self.fitted = False
+
+    def fit(self, sequence: EventSequence) -> "MarkovChainModel":
+        if len(sequence) <= self.order:
+            raise ValueError(
+                f"sequence of length {len(sequence)} too short for order {self.order}"
+            )
+        self._alphabet = set(sequence.events)
+        for position in range(self.order, len(sequence)):
+            context = sequence.events[position - self.order : position]
+            self._transitions[context][sequence.events[position]] += 1
+        self.fitted = True
+        return self
+
+    def _log_probability(self, context: tuple[str, ...], state: str) -> float:
+        vocabulary = len(self._alphabet) + 1  # +1 for novel states
+        counts = self._transitions.get(context)
+        total = sum(counts.values()) if counts else 0
+        count = counts.get(state, 0) if counts else 0
+        return math.log(
+            (count + self.smoothing) / (total + self.smoothing * vocabulary)
+        )
+
+    def negative_log_likelihood(self, events: tuple[str, ...]) -> float:
+        """Mean per-step NLL of a window under the chain."""
+        if not self.fitted:
+            raise RuntimeError("model has not been fitted")
+        if len(events) <= self.order:
+            raise ValueError("window shorter than the Markov order")
+        total = 0.0
+        steps = 0
+        for position in range(self.order, len(events)):
+            context = tuple(events[position - self.order : position])
+            total -= self._log_probability(context, events[position])
+            steps += 1
+        return total / steps
+
+
+@dataclass
+class MarkovDetectionResult:
+    """Windowed detection output, aligned with Algorithm 2's shape."""
+
+    windows: int
+    sensor_nll: dict[str, np.ndarray]
+    sensor_thresholds: dict[str, float]
+    anomaly_scores: np.ndarray
+
+    def anomalous_windows(self, threshold: float = 0.5) -> list[int]:
+        return [int(t) for t in np.nonzero(self.anomaly_scores >= threshold)[0]]
+
+
+class MarkovAnomalyDetector:
+    """System-level detector from independent per-sensor chains.
+
+    The anomaly score of a window is the fraction of sensors whose
+    window NLL exceeds their calibration threshold (a high quantile of
+    their development-set window NLLs) — structurally identical to
+    Algorithm 2's broken-pair fraction, but with *sensors* instead of
+    *pairs* as the voting units.
+    """
+
+    def __init__(
+        self,
+        order: int = 2,
+        window_size: int = 20,
+        window_stride: int | None = None,
+        calibration_quantile: float = 0.99,
+    ) -> None:
+        if window_size <= order:
+            raise ValueError("window_size must exceed the Markov order")
+        if not 0.0 < calibration_quantile <= 1.0:
+            raise ValueError("calibration_quantile must be in (0, 1]")
+        self.order = order
+        self.window_size = window_size
+        self.window_stride = window_stride or window_size
+        self.calibration_quantile = calibration_quantile
+        self._models: dict[str, MarkovChainModel] = {}
+        self._thresholds: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def _windows(self, events: tuple[str, ...]) -> list[tuple[str, ...]]:
+        count = max(0, (len(events) - self.window_size) // self.window_stride + 1)
+        return [
+            tuple(events[i * self.window_stride : i * self.window_stride + self.window_size])
+            for i in range(count)
+        ]
+
+    def fit(
+        self,
+        training_log: MultivariateEventLog,
+        development_log: MultivariateEventLog,
+    ) -> "MarkovAnomalyDetector":
+        """Fit per-sensor chains and calibrate window-NLL thresholds."""
+        self._models = {}
+        self._thresholds = {}
+        for sequence in training_log:
+            if sequence.is_constant():
+                continue
+            model = MarkovChainModel(self.order).fit(sequence)
+            dev_windows = self._windows(development_log[sequence.sensor].events)
+            if not dev_windows:
+                raise ValueError("development log too short for one window")
+            dev_nll = [model.negative_log_likelihood(w) for w in dev_windows]
+            self._models[sequence.sensor] = model
+            self._thresholds[sequence.sensor] = float(
+                np.quantile(dev_nll, self.calibration_quantile)
+            )
+        if not self._models:
+            raise ValueError("no non-constant sensors to model")
+        return self
+
+    def detect(self, test_log: MultivariateEventLog) -> MarkovDetectionResult:
+        """Score every window of the test log."""
+        if not self._models:
+            raise RuntimeError("detector has not been fitted")
+        sensors = [name for name in self._models if name in test_log]
+        if not sensors:
+            raise ValueError("test log contains none of the modelled sensors")
+        per_sensor: dict[str, np.ndarray] = {}
+        window_count: int | None = None
+        for name in sensors:
+            windows = self._windows(test_log[name].events)
+            nll = np.asarray(
+                [self._models[name].negative_log_likelihood(w) for w in windows]
+            )
+            per_sensor[name] = nll
+            window_count = len(nll) if window_count is None else min(window_count, len(nll))
+        if not window_count:
+            raise ValueError("test log too short for one window")
+
+        exceeded = np.stack(
+            [
+                per_sensor[name][:window_count] > self._thresholds[name]
+                for name in sensors
+            ],
+            axis=1,
+        )
+        return MarkovDetectionResult(
+            windows=window_count,
+            sensor_nll={name: per_sensor[name][:window_count] for name in sensors},
+            sensor_thresholds=dict(self._thresholds),
+            anomaly_scores=exceeded.mean(axis=1),
+        )

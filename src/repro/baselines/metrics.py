@@ -1,0 +1,70 @@
+"""Binary classification metrics used in the evaluation (Table II)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConfusionMatrix", "confusion_matrix", "recall", "precision", "f1_score"]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Counts for a binary problem with ``1`` the positive class."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positive + self.false_negative
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positive + self.false_positive
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = (
+            self.true_positive + self.false_positive + self.true_negative + self.false_negative
+        )
+        return (self.true_positive + self.true_negative) / total if total else 0.0
+
+
+def confusion_matrix(labels: np.ndarray, predictions: np.ndarray) -> ConfusionMatrix:
+    """Build the confusion matrix for 0/1 labels and predictions."""
+    labels = np.asarray(labels).astype(bool)
+    predictions = np.asarray(predictions).astype(bool)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must be aligned")
+    return ConfusionMatrix(
+        true_positive=int((labels & predictions).sum()),
+        false_positive=int((~labels & predictions).sum()),
+        true_negative=int((~labels & ~predictions).sum()),
+        false_negative=int((labels & ~predictions).sum()),
+    )
+
+
+def recall(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """True positives / actual positives (Table II's headline metric)."""
+    return confusion_matrix(labels, predictions).recall
+
+
+def precision(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """True positives / predicted positives."""
+    return confusion_matrix(labels, predictions).precision
+
+
+def f1_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Harmonic mean of precision and recall."""
+    return confusion_matrix(labels, predictions).f1

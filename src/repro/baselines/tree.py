@@ -1,0 +1,176 @@
+"""CART decision tree (Gini impurity), the unit of the random forest."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DecisionTree"]
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry class probabilities."""
+
+    prediction: np.ndarray  # class probability vector
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "Optional[_Node]" = None
+    right: "Optional[_Node]" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(class_counts: np.ndarray) -> float:
+    total = class_counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = class_counts / total
+    return float(1.0 - (proportions**2).sum())
+
+
+class DecisionTree:
+    """Binary-split classification tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth limit (None = grow until pure or below
+        ``min_samples_split``).
+    min_samples_split:
+        Minimum node size eligible for splitting.
+    max_features:
+        Features sampled per split — ``"sqrt"``, an int, or None for
+        all features (random forests pass ``"sqrt"``).
+    rng:
+        Generator used for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        max_features: "int | str | None" = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = max(2, min_samples_split)
+        self.max_features = max_features
+        self._rng = rng or np.random.default_rng()
+        self._root: _Node | None = None
+        self.classes_: np.ndarray | None = None
+        self.feature_importances_: np.ndarray | None = None
+        self._num_features = 0
+
+    # ------------------------------------------------------------------
+    def _features_per_split(self, num_features: int) -> int:
+        if self.max_features is None:
+            return num_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(num_features)))
+        if isinstance(self.max_features, int):
+            return min(num_features, max(1, self.max_features))
+        raise ValueError(f"invalid max_features: {self.max_features!r}")
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTree":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.ndim != 2 or features.shape[0] != labels.shape[0]:
+            raise ValueError("features must be (rows, cols) aligned with labels")
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        self._num_features = features.shape[1]
+        self.feature_importances_ = np.zeros(self._num_features)
+        self._root = self._grow(features, encoded, depth=0)
+        total = self.feature_importances_.sum()
+        if total > 0:
+            self.feature_importances_ /= total
+        return self
+
+    def _class_counts(self, encoded: np.ndarray) -> np.ndarray:
+        return np.bincount(encoded, minlength=len(self.classes_)).astype(np.float64)
+
+    def _grow(self, features: np.ndarray, encoded: np.ndarray, depth: int) -> _Node:
+        counts = self._class_counts(encoded)
+        node = _Node(prediction=counts / counts.sum())
+        if (
+            len(encoded) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or counts.max() == counts.sum()
+        ):
+            return node
+
+        best = self._best_split(features, encoded, counts)
+        if best is None:
+            return node
+        feature, threshold, gain = best
+        mask = features[:, feature] <= threshold
+        assert self.feature_importances_ is not None
+        self.feature_importances_[feature] += gain * len(encoded)
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[mask], encoded[mask], depth + 1)
+        node.right = self._grow(features[~mask], encoded[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, features: np.ndarray, encoded: np.ndarray, counts: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        rows, cols = features.shape
+        parent_impurity = _gini(counts)
+        candidates = self._rng.choice(
+            cols, size=self._features_per_split(cols), replace=False
+        )
+        best_gain = 1e-12
+        best: tuple[int, float, float] | None = None
+        num_classes = len(self.classes_)
+
+        for feature in candidates:
+            order = np.argsort(features[:, feature], kind="mergesort")
+            sorted_values = features[order, feature]
+            sorted_classes = encoded[order]
+            # Prefix class counts: left side of a split after position i.
+            one_hot = np.zeros((rows, num_classes))
+            one_hot[np.arange(rows), sorted_classes] = 1.0
+            prefix = np.cumsum(one_hot, axis=0)
+            # Valid split positions: between distinct consecutive values.
+            distinct = np.nonzero(sorted_values[1:] != sorted_values[:-1])[0]
+            if distinct.size == 0:
+                continue
+            left_counts = prefix[distinct]
+            right_counts = counts[None, :] - left_counts
+            left_totals = left_counts.sum(axis=1)
+            right_totals = right_counts.sum(axis=1)
+            left_gini = 1.0 - ((left_counts / left_totals[:, None]) ** 2).sum(axis=1)
+            right_gini = 1.0 - ((right_counts / right_totals[:, None]) ** 2).sum(axis=1)
+            weighted = (left_totals * left_gini + right_totals * right_gini) / rows
+            gains = parent_impurity - weighted
+            best_index = int(np.argmax(gains))
+            if gains[best_index] > best_gain:
+                best_gain = float(gains[best_index])
+                position = distinct[best_index]
+                threshold = float(
+                    (sorted_values[position] + sorted_values[position + 1]) / 2.0
+                )
+                best = (int(feature), threshold, best_gain)
+        return best
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree has not been fitted")
+        features = np.asarray(features, dtype=np.float64)
+        output = np.empty((features.shape[0], len(self.classes_)))
+        for row in range(features.shape[0]):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if features[row, node.feature] <= node.threshold else node.right
+            output[row] = node.prediction
+        return output
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        probabilities = self.predict_proba(features)
+        return self.classes_[probabilities.argmax(axis=1)]

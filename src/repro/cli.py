@@ -1,0 +1,246 @@
+"""Command-line interface.
+
+Three subcommands mirror the framework's lifecycle on CSV event logs
+(one column per sensor, one row per sampling interval):
+
+- ``train``   — fit Algorithm 1 on a training + development CSV and
+  save the fitted framework;
+- ``detect``  — run Algorithm 2 on a testing CSV with a saved
+  framework, printing per-window anomaly scores (optionally as JSON);
+- ``inspect`` — print a saved framework's Table-I statistics, popular
+  sensors and clusters, optionally exporting the graph to JSON/GraphML.
+
+Example::
+
+    python -m repro.cli train train.csv dev.csv --model plant.pkl \
+        --word-size 10 --sentence-length 20
+    python -m repro.cli detect test.csv --model plant.pkl --threshold 0.5
+    python -m repro.cli inspect --model plant.pkl --export-json graph.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .graph.export import save_graph_json, save_graphml
+from .graph.ranges import ScoreRange
+from .lang.corpus import LanguageConfig
+from .lang.events import MultivariateEventLog
+from .pipeline.config import FrameworkConfig
+from .pipeline.framework import AnalyticsFramework
+from .pipeline.persistence import load_framework, save_framework
+from .report.tables import ascii_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Discrete-event-sequence analytics (Nie et al., DSN 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="fit the relationship graph (Algorithm 1)")
+    train.add_argument("training_csv", type=Path)
+    train.add_argument("development_csv", type=Path)
+    train.add_argument("--model", type=Path, required=True, help="output model path")
+    train.add_argument("--word-size", type=int, default=10)
+    train.add_argument("--word-stride", type=int, default=1)
+    train.add_argument("--sentence-length", type=int, default=20)
+    train.add_argument("--sentence-stride", type=int, default=None)
+    train.add_argument("--engine", choices=("ngram", "seq2seq"), default="ngram")
+    train.add_argument("--popular-threshold", type=int, default=100)
+    train.add_argument(
+        "--range",
+        type=str,
+        default="80:90",
+        help="detection BLEU range, LOW:HIGH (default 80:90)",
+    )
+
+    detect = sub.add_parser("detect", help="score a testing log (Algorithm 2)")
+    detect.add_argument("testing_csv", type=Path)
+    detect.add_argument("--model", type=Path, required=True)
+    detect.add_argument("--threshold", type=float, default=0.5, help="alarm threshold")
+    detect.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    inspect = sub.add_parser("inspect", help="summarise a trained model")
+    inspect.add_argument("--model", type=Path, required=True)
+    inspect.add_argument("--export-json", type=Path, default=None)
+    inspect.add_argument("--export-graphml", type=Path, default=None)
+    inspect.add_argument(
+        "--report", type=Path, default=None, help="write a markdown report here"
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="generate a synthetic dataset to files"
+    )
+    simulate.add_argument("kind", choices=("plant", "backblaze"))
+    simulate.add_argument("output_dir", type=Path)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--sensors", type=int, default=20, help="plant only")
+    simulate.add_argument("--days", type=int, default=30)
+    simulate.add_argument(
+        "--samples-per-day", type=int, default=96, help="plant only"
+    )
+    simulate.add_argument("--drives", type=int, default=24, help="backblaze only")
+    simulate.add_argument(
+        "--split",
+        type=str,
+        default=None,
+        help="plant only: TRAIN:DEV day counts; also writes train/dev/test CSVs",
+    )
+    return parser
+
+
+def _parse_range(text: str) -> ScoreRange:
+    try:
+        low_text, high_text = text.split(":")
+        low, high = float(low_text), float(high_text)
+    except ValueError as error:
+        raise SystemExit(f"invalid --range {text!r}; expected LOW:HIGH") from error
+    return ScoreRange(low, high, inclusive_high=high >= 100.0)
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    training = MultivariateEventLog.from_csv(args.training_csv)
+    development = MultivariateEventLog.from_csv(args.development_csv)
+    config = FrameworkConfig(
+        language=LanguageConfig(
+            word_size=args.word_size,
+            word_stride=args.word_stride,
+            sentence_length=args.sentence_length,
+            sentence_stride=args.sentence_stride,
+        ),
+        engine=args.engine,
+        detection_range=_parse_range(args.range),
+        popular_threshold=args.popular_threshold,
+    )
+    framework = AnalyticsFramework(config)
+    fitted = framework.fit(training, development)
+    path = save_framework(fitted, args.model)
+    graph = fitted.graph
+    print(
+        f"trained {graph.num_edges} pair models over {len(graph.sensors)} sensors; "
+        f"saved to {path}"
+    )
+    return 0
+
+
+def _command_detect(args: argparse.Namespace) -> int:
+    framework = load_framework(args.model)
+    testing = MultivariateEventLog.from_csv(args.testing_csv)
+    result = framework.detect(testing)
+    if args.json:
+        payload = {
+            "anomaly_scores": [float(s) for s in result.anomaly_scores],
+            "alarms": result.anomalous_windows(args.threshold),
+            "valid_pairs": [list(pair) for pair in result.valid_pairs],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{result.num_windows} windows over {result.num_valid_pairs} valid pairs")
+    for window, score in enumerate(result.anomaly_scores):
+        alarm = "  <-- ALARM" if score >= args.threshold else ""
+        print(f"window {window:4d}: {score:5.3f}{alarm}")
+    alarms = result.anomalous_windows(args.threshold)
+    print(f"alarms (score >= {args.threshold}): {alarms}")
+    return 0
+
+
+def _command_inspect(args: argparse.Namespace) -> int:
+    framework = load_framework(args.model)
+    if framework.graph is None:
+        print("model is not fitted", file=sys.stderr)
+        return 1
+    print(ascii_table(
+        [s.as_row() for s in framework.subgraph_statistics()],
+        title="Global subgraph statistics (Table I)",
+    ))
+    print(f"\npopular sensors: {framework.popular_sensors()}")
+    clusters = framework.clusters()
+    print(f"clusters: {[sorted(c) for c in clusters]}")
+    if args.export_json is not None:
+        path = save_graph_json(framework.graph, args.export_json)
+        print(f"graph JSON written to {path}")
+    if args.export_graphml is not None:
+        path = save_graphml(framework.graph, args.export_graphml)
+        print(f"GraphML written to {path}")
+    if args.report is not None:
+        from .pipeline.reporting import write_report
+
+        path = write_report(framework, args.report)
+        print(f"markdown report written to {path}")
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    from .datasets import (
+        BackblazeConfig,
+        PlantConfig,
+        generate_backblaze_dataset,
+        generate_plant_dataset,
+        save_backblaze_dataset,
+        save_plant_dataset,
+    )
+
+    if args.kind == "plant":
+        # Scale the default anomaly/precursor days (21/28 and 19/20/27
+        # of a 30-day month) to the requested horizon.
+        def scaled(day: int) -> int:
+            return max(2, min(args.days, round(day * args.days / 30)))
+
+        config = PlantConfig(
+            num_sensors=args.sensors,
+            days=args.days,
+            samples_per_day=args.samples_per_day,
+            anomaly_days=tuple(sorted({scaled(21), scaled(28)})),
+            precursor_days=tuple(sorted({scaled(19), scaled(20), scaled(27)} - {scaled(21), scaled(28)})),
+            seed=args.seed,
+        )
+        dataset = generate_plant_dataset(config)
+        directory = save_plant_dataset(dataset, args.output_dir)
+        print(
+            f"plant dataset: {config.num_sensors} sensors x "
+            f"{config.total_samples} samples -> {directory}"
+        )
+        if args.split is not None:
+            try:
+                train_days, dev_days = (int(v) for v in args.split.split(":"))
+            except ValueError as error:
+                raise SystemExit(
+                    f"invalid --split {args.split!r}; expected TRAIN:DEV"
+                ) from error
+            train, dev, test = dataset.split(train_days, dev_days)
+            train.to_csv(directory / "train.csv")
+            dev.to_csv(directory / "dev.csv")
+            test.to_csv(directory / "test.csv")
+            print(f"split CSVs written ({train_days}/{dev_days}/rest days)")
+    else:
+        config = BackblazeConfig(num_drives=args.drives, days=max(args.days, 60), seed=args.seed)
+        dataset = generate_backblaze_dataset(config)
+        directory = save_backblaze_dataset(dataset, args.output_dir)
+        print(
+            f"backblaze dataset: {len(dataset)} drives "
+            f"({len(dataset.failed_serials)} failures) -> {directory}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "train": _command_train,
+        "detect": _command_detect,
+        "inspect": _command_inspect,
+        "simulate": _command_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

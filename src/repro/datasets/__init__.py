@@ -1,0 +1,71 @@
+"""Dataset generators and preprocessing (plant + Backblaze substitutes)."""
+
+from .backblaze import (
+    BackblazeConfig,
+    BackblazeDataset,
+    DriveTrace,
+    generate_backblaze_dataset,
+)
+from .discretize import (
+    BinaryDiscretizer,
+    Discretizer,
+    QuantileDiscretizer,
+    discretize_records,
+    fit_discretizers,
+)
+from .features import (
+    BaselineMatrix,
+    baseline_feature_names,
+    build_baseline_matrix,
+    first_difference,
+)
+from .inject import desynchronize, freeze, swap_sensors
+from .io import (
+    load_backblaze_dataset,
+    load_plant_dataset,
+    save_backblaze_dataset,
+    save_plant_dataset,
+)
+from .plant import PlantConfig, PlantDataset, generate_plant_dataset
+from .smart import (
+    BARELY_CHANGING_ATTRIBUTES,
+    KEY_FAILURE_ATTRIBUTES,
+    SMART_ATTRIBUTES,
+    SmartAttribute,
+    cumulative_attribute_names,
+    framework_attribute_names,
+    raw_attribute_names,
+)
+
+__all__ = [
+    "BARELY_CHANGING_ATTRIBUTES",
+    "BackblazeConfig",
+    "BackblazeDataset",
+    "BaselineMatrix",
+    "BinaryDiscretizer",
+    "Discretizer",
+    "DriveTrace",
+    "KEY_FAILURE_ATTRIBUTES",
+    "PlantConfig",
+    "PlantDataset",
+    "QuantileDiscretizer",
+    "SMART_ATTRIBUTES",
+    "SmartAttribute",
+    "baseline_feature_names",
+    "build_baseline_matrix",
+    "cumulative_attribute_names",
+    "desynchronize",
+    "discretize_records",
+    "first_difference",
+    "fit_discretizers",
+    "framework_attribute_names",
+    "freeze",
+    "generate_backblaze_dataset",
+    "generate_plant_dataset",
+    "load_backblaze_dataset",
+    "load_plant_dataset",
+    "raw_attribute_names",
+    "save_backblaze_dataset",
+    "save_plant_dataset",
+    "swap_sensors",
+]

@@ -1,0 +1,87 @@
+"""Feature engineering for the baseline models (Section IV-B).
+
+The baselines consume numeric matrices: the 20 raw SMART features plus
+first-order differences of the 14 cumulative ones — 34 columns.  Each
+row is one drive-day; the label marks failure days (the drive's last
+day of operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .backblaze import BackblazeDataset, DriveTrace
+from .smart import cumulative_attribute_names, raw_attribute_names
+
+__all__ = ["first_difference", "BaselineMatrix", "build_baseline_matrix", "baseline_feature_names"]
+
+
+def first_difference(series: np.ndarray) -> np.ndarray:
+    """Daily deltas with a leading zero (keeps row alignment)."""
+    array = np.asarray(series, dtype=np.float64)
+    if array.size == 0:
+        return array.copy()
+    deltas = np.empty_like(array)
+    deltas[0] = 0.0
+    deltas[1:] = np.diff(array)
+    return deltas
+
+
+def baseline_feature_names() -> list[str]:
+    """The 34 baseline columns: 20 raw + 14 differenced cumulative."""
+    return raw_attribute_names() + [f"{name}_diff" for name in cumulative_attribute_names()]
+
+
+@dataclass
+class BaselineMatrix:
+    """A drive-day design matrix with labels and provenance."""
+
+    features: np.ndarray  # (rows, 34)
+    labels: np.ndarray  # (rows,) 1 on failure days
+    drive_of_row: np.ndarray  # (rows,) drive index
+    feature_names: list[str]
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.features.shape[0])
+
+    def rows_for_drives(self, drive_indices: set[int]) -> "BaselineMatrix":
+        """Subset the matrix to specific drives (for per-drive splits)."""
+        mask = np.isin(self.drive_of_row, sorted(drive_indices))
+        return BaselineMatrix(
+            features=self.features[mask],
+            labels=self.labels[mask],
+            drive_of_row=self.drive_of_row[mask],
+            feature_names=self.feature_names,
+        )
+
+
+def _drive_rows(drive: DriveTrace) -> np.ndarray:
+    raw = np.column_stack([drive.values[name] for name in raw_attribute_names()])
+    diffs = np.column_stack(
+        [first_difference(drive.values[name]) for name in cumulative_attribute_names()]
+    )
+    return np.hstack([raw, diffs])
+
+
+def build_baseline_matrix(dataset: BackblazeDataset) -> BaselineMatrix:
+    """Assemble the full drive-day matrix for the RF / OC-SVM baselines."""
+    blocks: list[np.ndarray] = []
+    labels: list[np.ndarray] = []
+    drive_ids: list[np.ndarray] = []
+    for index, drive in enumerate(dataset.drives):
+        rows = _drive_rows(drive)
+        day_labels = np.zeros(rows.shape[0])
+        if drive.failed and rows.shape[0] > 0:
+            day_labels[-1] = 1.0  # last observed day is the failure day
+        blocks.append(rows)
+        labels.append(day_labels)
+        drive_ids.append(np.full(rows.shape[0], index))
+    return BaselineMatrix(
+        features=np.vstack(blocks),
+        labels=np.concatenate(labels),
+        drive_of_row=np.concatenate(drive_ids),
+        feature_names=baseline_feature_names(),
+    )

@@ -1,0 +1,95 @@
+"""Anomaly injection on arbitrary event logs.
+
+The plant simulator injects its own ground-truth anomalies; users
+evaluating the framework on *their* data need the same capability.
+Three injectors cover the interesting anomaly classes:
+
+- :func:`desynchronize` — shift/reverse a sensor's timing within a
+  window; marginals preserved, joint behaviour broken (the paper's
+  Figure 2 class; invisible to univariate detectors);
+- :func:`freeze` — hold the entry state for a window (stuck sensor);
+- :func:`swap_sensors` — exchange two sensors' streams for a window
+  (miswired instrumentation).
+
+All injectors are pure: they return a new log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lang.events import EventSequence, MultivariateEventLog
+
+__all__ = ["desynchronize", "freeze", "swap_sensors"]
+
+
+def _check_window(log: MultivariateEventLog, start: int, stop: int) -> None:
+    if not 0 <= start < stop <= log.num_samples:
+        raise ValueError(
+            f"invalid window [{start}, {stop}) for log of {log.num_samples} samples"
+        )
+
+
+def _replace(
+    log: MultivariateEventLog, replacements: dict[str, list[str]]
+) -> MultivariateEventLog:
+    return MultivariateEventLog(
+        EventSequence(seq.sensor, replacements.get(seq.sensor, list(seq.events)))
+        for seq in log
+    )
+
+
+def desynchronize(
+    log: MultivariateEventLog,
+    sensors: list[str],
+    start: int,
+    stop: int,
+    seed: int = 0,
+) -> MultivariateEventLog:
+    """Circularly shift (or reverse) each sensor's window content.
+
+    The shifted sensor keeps its exact state multiset inside the
+    window, so its marginal statistics are untouched.
+    """
+    _check_window(log, start, stop)
+    rng = np.random.default_rng(seed)
+    replacements: dict[str, list[str]] = {}
+    for name in sensors:
+        events = list(log[name].events)
+        window = events[start:stop]
+        if len(window) >= 4:
+            if rng.random() < 0.5:
+                offset = int(rng.integers(len(window) // 3, 2 * len(window) // 3 + 1))
+                window = window[offset:] + window[:offset]
+            else:
+                window = window[::-1]
+        events[start:stop] = window
+        replacements[name] = events
+    return _replace(log, replacements)
+
+
+def freeze(
+    log: MultivariateEventLog, sensors: list[str], start: int, stop: int
+) -> MultivariateEventLog:
+    """Hold each sensor at its window-entry state (a stuck sensor)."""
+    _check_window(log, start, stop)
+    replacements: dict[str, list[str]] = {}
+    for name in sensors:
+        events = list(log[name].events)
+        events[start:stop] = [events[start]] * (stop - start)
+        replacements[name] = events
+    return _replace(log, replacements)
+
+
+def swap_sensors(
+    log: MultivariateEventLog, first: str, second: str, start: int, stop: int
+) -> MultivariateEventLog:
+    """Exchange two sensors' streams inside a window (miswiring)."""
+    _check_window(log, start, stop)
+    first_events = list(log[first].events)
+    second_events = list(log[second].events)
+    first_events[start:stop], second_events[start:stop] = (
+        second_events[start:stop],
+        first_events[start:stop],
+    )
+    return _replace(log, {first: first_events, second: second_events})

@@ -1,0 +1,150 @@
+"""Persisting generated datasets to disk.
+
+Benchmarks regenerate datasets from seeds, but users adapting the
+library to their own systems need file formats: the plant dataset saves
+as the event-log CSV plus a ground-truth JSON sidecar; the drive
+population saves as one SMART CSV per drive plus a manifest.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .backblaze import BackblazeConfig, BackblazeDataset, DriveTrace
+from .plant import PlantConfig, PlantDataset
+from ..lang.events import MultivariateEventLog
+
+__all__ = [
+    "save_plant_dataset",
+    "load_plant_dataset",
+    "save_backblaze_dataset",
+    "load_backblaze_dataset",
+]
+
+
+def save_plant_dataset(dataset: PlantDataset, directory: str | Path) -> Path:
+    """Write ``events.csv`` and ``ground_truth.json`` under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    dataset.log.to_csv(directory / "events.csv")
+    ground_truth = {
+        "config": {
+            "num_sensors": dataset.config.num_sensors,
+            "days": dataset.config.days,
+            "samples_per_day": dataset.config.samples_per_day,
+            "anomaly_days": list(dataset.config.anomaly_days),
+            "precursor_days": list(dataset.config.precursor_days),
+            "num_components": dataset.config.num_components,
+            "seed": dataset.config.seed,
+        },
+        "component_of": dataset.component_of,
+        "disturbed_sensors": {
+            str(day): list(sensors)
+            for day, sensors in dataset.disturbed_sensors.items()
+        },
+    }
+    (directory / "ground_truth.json").write_text(json.dumps(ground_truth, indent=2))
+    return directory
+
+
+def load_plant_dataset(directory: str | Path) -> PlantDataset:
+    """Load a dataset written by :func:`save_plant_dataset`."""
+    directory = Path(directory)
+    log = MultivariateEventLog.from_csv(directory / "events.csv")
+    payload = json.loads((directory / "ground_truth.json").read_text())
+    config_data = payload["config"]
+    config = PlantConfig(
+        num_sensors=config_data["num_sensors"],
+        days=config_data["days"],
+        samples_per_day=config_data["samples_per_day"],
+        anomaly_days=tuple(config_data["anomaly_days"]),
+        precursor_days=tuple(config_data["precursor_days"]),
+        num_components=config_data["num_components"],
+        seed=config_data["seed"],
+    )
+    return PlantDataset(
+        log=log,
+        config=config,
+        component_of=payload["component_of"],
+        anomaly_days=config.anomaly_days,
+        precursor_days=config.precursor_days,
+        disturbed_sensors={
+            int(day): tuple(sensors)
+            for day, sensors in payload["disturbed_sensors"].items()
+        },
+    )
+
+
+def save_backblaze_dataset(dataset: BackblazeDataset, directory: str | Path) -> Path:
+    """Write one ``<serial>.csv`` per drive plus ``manifest.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for drive in dataset.drives:
+        columns = sorted(drive.values)
+        with (directory / f"{drive.serial}.csv").open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["day"] + columns)
+            for day in range(drive.days_observed):
+                writer.writerow(
+                    [day] + [repr(float(drive.values[c][day])) for c in columns]
+                )
+    manifest = {
+        "config": {
+            "num_drives": dataset.config.num_drives,
+            "days": dataset.config.days,
+            "failure_fraction": dataset.config.failure_fraction,
+            "silent_failure_fraction": dataset.config.silent_failure_fraction,
+            "ramp_days": dataset.config.ramp_days,
+            "incident_rate": dataset.config.incident_rate,
+            "seed": dataset.config.seed,
+        },
+        "drives": [
+            {
+                "serial": drive.serial,
+                "failed": drive.failed,
+                "failure_day": drive.failure_day,
+            }
+            for drive in dataset.drives
+        ],
+    }
+    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def load_backblaze_dataset(directory: str | Path) -> BackblazeDataset:
+    """Load a population written by :func:`save_backblaze_dataset`."""
+    directory = Path(directory)
+    manifest = json.loads((directory / "manifest.json").read_text())
+    config_data = manifest["config"]
+    config = BackblazeConfig(
+        num_drives=config_data["num_drives"],
+        days=config_data["days"],
+        failure_fraction=config_data["failure_fraction"],
+        silent_failure_fraction=config_data["silent_failure_fraction"],
+        ramp_days=config_data["ramp_days"],
+        incident_rate=config_data["incident_rate"],
+        seed=config_data["seed"],
+    )
+    drives = []
+    for entry in manifest["drives"]:
+        path = directory / f"{entry['serial']}.csv"
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            columns: dict[str, list[float]] = {name: [] for name in header[1:]}
+            for row in reader:
+                for name, value in zip(header[1:], row[1:]):
+                    columns[name].append(float(value))
+        drives.append(
+            DriveTrace(
+                serial=entry["serial"],
+                values={name: np.asarray(values) for name, values in columns.items()},
+                failed=entry["failed"],
+                failure_day=entry["failure_day"],
+            )
+        )
+    return BackblazeDataset(drives=drives, config=config)

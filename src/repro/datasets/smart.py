@@ -1,0 +1,85 @@
+"""SMART attribute catalogue for the HDD case study (Section IV).
+
+The paper restricts Backblaze to the 20 raw SMART features recorded by
+all drive types, differences the 14 cumulative ones into daily deltas
+(34 features for the baselines), and feeds the 20 raw features to the
+framework after dropping 4 that barely change — leaving 16 graph nodes.
+Table III identifies five error counters as the top health indicators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SmartAttribute",
+    "SMART_ATTRIBUTES",
+    "KEY_FAILURE_ATTRIBUTES",
+    "BARELY_CHANGING_ATTRIBUTES",
+    "raw_attribute_names",
+    "cumulative_attribute_names",
+    "framework_attribute_names",
+]
+
+
+@dataclass(frozen=True)
+class SmartAttribute:
+    """One SMART attribute and how it behaves over a drive's life."""
+
+    smart_id: int
+    name: str
+    cumulative: bool
+    zero_inflated: bool
+    description: str
+
+    @property
+    def column(self) -> str:
+        return f"smart_{self.smart_id}"
+
+
+#: The 20 raw attributes recorded for all drive types (paper, IV-B).
+SMART_ATTRIBUTES: tuple[SmartAttribute, ...] = (
+    SmartAttribute(1, "Read Error Rate", False, False, "Vendor-scaled read error rate."),
+    SmartAttribute(3, "Spin-Up Time", False, False, "Average time to spin up the platters."),
+    SmartAttribute(4, "Start/Stop Count", True, False, "Count of spindle start/stop cycles."),
+    SmartAttribute(5, "Reallocated Sectors Count", True, True, "Bad sectors found and remapped."),
+    SmartAttribute(7, "Seek Error Rate", False, False, "Vendor-scaled seek error rate."),
+    SmartAttribute(9, "Power-On Hours", True, False, "Cumulative powered-on time."),
+    SmartAttribute(10, "Spin Retry Count", True, True, "Retries needed to spin up."),
+    SmartAttribute(12, "Power Cycle Count", True, False, "Count of full power cycles."),
+    SmartAttribute(183, "SATA Downshift Errors", True, True, "Interface speed downshift events."),
+    SmartAttribute(184, "End-to-End Errors", True, True, "Parity errors between cache and host."),
+    SmartAttribute(187, "Reported Uncorrectable Errors", True, True, "Errors not recoverable by ECC."),
+    SmartAttribute(188, "Command Timeout", True, True, "Aborted operations due to timeout."),
+    SmartAttribute(189, "High Fly Writes", True, True, "Head flying outside normal range."),
+    SmartAttribute(190, "Airflow Temperature", False, False, "Drive airflow temperature (°C)."),
+    SmartAttribute(192, "Power-off Retract Count", True, True, "Power-off or emergency retract cycles."),
+    SmartAttribute(193, "Load Cycle Count", True, False, "Head load/unload cycles."),
+    SmartAttribute(194, "Temperature", False, False, "Internal drive temperature (°C)."),
+    SmartAttribute(197, "Current Pending Sector Count", False, True, "Unstable sectors awaiting remap."),
+    SmartAttribute(198, "Offline Uncorrectable Sector Count", True, True, "Uncorrectable sector reads/writes."),
+    SmartAttribute(199, "UDMA CRC Error Count", True, True, "Interface CRC transfer errors."),
+)
+
+#: Table III's five critical health indicators.
+KEY_FAILURE_ATTRIBUTES: tuple[int, ...] = (192, 187, 198, 197, 5)
+
+#: Attributes whose values "are barely changed in the year" and are
+#: removed before graph construction (paper IV-C): four quiet counters.
+BARELY_CHANGING_ATTRIBUTES: tuple[int, ...] = (10, 184, 189, 183)
+
+
+def raw_attribute_names() -> list[str]:
+    """Column names of all 20 raw attributes."""
+    return [attribute.column for attribute in SMART_ATTRIBUTES]
+
+
+def cumulative_attribute_names() -> list[str]:
+    """Columns of the 14 cumulative attributes (differenced for baselines)."""
+    return [attribute.column for attribute in SMART_ATTRIBUTES if attribute.cumulative]
+
+
+def framework_attribute_names() -> list[str]:
+    """The 16 columns fed to the relationship graph (20 raw − 4 quiet)."""
+    quiet = {f"smart_{smart_id}" for smart_id in BARELY_CHANGING_ATTRIBUTES}
+    return [name for name in raw_attribute_names() if name not in quiet]

@@ -1,0 +1,43 @@
+"""Anomaly detection, fault diagnosis and disk-failure evaluation."""
+
+from .anomaly import AnomalyDetector, DetectionResult
+from .attribution import SensorBlame, attribute_anomaly
+from .diagnosis import ClusterDiagnosis, FaultDiagnosis, diagnose
+from .drift import DriftReport, PairDrift, assess_drift
+from .episodes import AlarmEpisode, extract_episodes
+from .evaluation import DayLevelEvaluation, evaluate_days, threshold_sweep
+from .online import OnlineAnomalyDetector, WindowScore
+from .disk import (
+    DEFAULT_JUMP,
+    DiskEvaluation,
+    DriveOutcome,
+    detects_failure,
+    evaluate_drives,
+    sharp_increases,
+)
+
+__all__ = [
+    "AlarmEpisode",
+    "AnomalyDetector",
+    "ClusterDiagnosis",
+    "DEFAULT_JUMP",
+    "DayLevelEvaluation",
+    "DetectionResult",
+    "DiskEvaluation",
+    "DriftReport",
+    "DriveOutcome",
+    "FaultDiagnosis",
+    "OnlineAnomalyDetector",
+    "PairDrift",
+    "SensorBlame",
+    "WindowScore",
+    "assess_drift",
+    "attribute_anomaly",
+    "detects_failure",
+    "diagnose",
+    "evaluate_days",
+    "evaluate_drives",
+    "extract_episodes",
+    "sharp_increases",
+    "threshold_sweep",
+]

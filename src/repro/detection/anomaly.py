@@ -1,0 +1,169 @@
+"""Online anomaly detection (Algorithm 2).
+
+Given the trained relationship graph and a testing log, every valid
+pair model re-translates the test sentences; window ``t``'s test BLEU
+``f(i, j)`` is compared to the training score ``s(i, j)``.  A pair is
+*broken* when ``f < s``; the anomaly score ``a_t`` is the fraction of
+valid pairs broken at ``t`` and ``W_t`` records which pairs broke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..graph.mvrg import MultivariateRelationshipGraph
+from ..graph.ranges import DETECTION_RANGE, ScoreRange
+from ..lang.events import MultivariateEventLog
+from ..translation.bleu import sentence_bleu
+
+__all__ = ["AnomalyDetector", "DetectionResult"]
+
+
+@dataclass
+class DetectionResult:
+    """Output of Algorithm 2 over ``L`` detection windows.
+
+    Attributes
+    ----------
+    valid_pairs:
+        The directed pairs whose training BLEU fell in the detector's
+        score range (``p_t`` of Algorithm 2 is their count).
+    anomaly_scores:
+        ``a_t`` per window, each in ``[0, 1]``.
+    alerts:
+        Boolean matrix ``(L, P)``: ``W_t`` — which pairs broke when.
+    test_scores:
+        Test BLEU ``f(i, j)`` per window and pair, shape ``(L, P)``.
+    training_scores:
+        ``s(i, j)`` per valid pair, shape ``(P,)``.
+    """
+
+    valid_pairs: list[tuple[str, str]]
+    anomaly_scores: np.ndarray
+    alerts: np.ndarray
+    test_scores: np.ndarray
+    training_scores: np.ndarray
+
+    @property
+    def num_windows(self) -> int:
+        return int(self.anomaly_scores.shape[0])
+
+    @property
+    def num_valid_pairs(self) -> int:
+        return len(self.valid_pairs)
+
+    def broken_pairs(self, window: int) -> list[tuple[str, str]]:
+        """Pairs whose relationship is broken at ``window``."""
+        flags = self.alerts[window]
+        return [pair for pair, broken in zip(self.valid_pairs, flags) if broken]
+
+    def anomalous_windows(self, threshold: float = 0.5) -> list[int]:
+        """Windows whose anomaly score meets ``threshold``."""
+        return [int(t) for t in np.nonzero(self.anomaly_scores >= threshold)[0]]
+
+    def max_score(self) -> float:
+        return float(self.anomaly_scores.max()) if self.num_windows else 0.0
+
+
+class AnomalyDetector:
+    """Applies Algorithm 2 using models from a relationship graph.
+
+    Parameters
+    ----------
+    graph:
+        Trained :class:`MultivariateRelationshipGraph`.
+    score_range:
+        Validity range for models (the paper finds ``[80, 90)`` best).
+    margin:
+        Optional slack: a pair breaks when ``f < T - margin``.  The
+        paper uses ``margin=0``.
+    threshold:
+        How the break threshold ``T(i, j)`` is derived from training:
+        ``"train"`` (paper-literal, ``T = s(i, j)``), ``"dev-min"`` or
+        ``"dev-quantile"`` (robust variants based on the per-sentence
+        development-set BLEU distribution; see
+        :meth:`repro.graph.PairwiseRelationship.threshold`).
+    quantile:
+        The quantile used by ``"dev-quantile"``.
+    """
+
+    def __init__(
+        self,
+        graph: MultivariateRelationshipGraph,
+        score_range: ScoreRange = DETECTION_RANGE,
+        margin: float = 0.0,
+        threshold: str = "dev-quantile",
+        quantile: float = 0.05,
+    ) -> None:
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        if threshold not in ("train", "dev-min", "dev-quantile"):
+            raise ValueError(f"unknown threshold strategy {threshold!r}")
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        self.graph = graph
+        self.score_range = score_range
+        self.margin = margin
+        self.threshold = threshold
+        self.quantile = quantile
+
+    def valid_pairs(self, sensors: Sequence[str] | None = None) -> list[tuple[str, str]]:
+        """Directed pairs whose training score lies in the range."""
+        available = set(sensors) if sensors is not None else None
+        pairs = []
+        for (source, target), rel in self.graph.relationships.items():
+            if available is not None and (source not in available or target not in available):
+                continue
+            if self.score_range.contains(rel.score):
+                pairs.append((source, target))
+        return pairs
+
+    def detect(self, test_log: MultivariateEventLog) -> DetectionResult:
+        """Run Algorithm 2 over a testing log.
+
+        Sentences are generated with the *training* languages (fitted
+        encoders handle unseen states via the unknown character), so
+        window ``t`` is time-aligned across sensors.
+        """
+        pairs = self.valid_pairs(test_log.sensors)
+        if not pairs:
+            raise ValueError(
+                f"no valid pair models in range {self.score_range}; "
+                "choose a different score range or retrain"
+            )
+        corpus = self.graph.corpus
+        involved = sorted({sensor for pair in pairs for sensor in pair})
+        sentences = {
+            name: corpus[name].sentences_for(test_log[name]) for name in involved
+        }
+        window_count = min(len(sentences[name]) for name in involved)
+        if window_count == 0:
+            raise ValueError(
+                "testing log is too short to produce a single sentence window"
+            )
+
+        test_scores = np.zeros((window_count, len(pairs)))
+        training_scores = np.zeros(len(pairs))
+        thresholds = np.zeros(len(pairs))
+        for column, (source, target) in enumerate(pairs):
+            rel = self.graph[(source, target)]
+            training_scores[column] = rel.score
+            thresholds[column] = rel.threshold(self.threshold, self.quantile)
+            translations = rel.model.translate(sentences[source][:window_count])
+            for window in range(window_count):
+                test_scores[window, column] = sentence_bleu(
+                    translations[window], sentences[target][window]
+                )
+
+        alerts = test_scores < (thresholds[None, :] - self.margin)
+        anomaly_scores = alerts.mean(axis=1)
+        return DetectionResult(
+            valid_pairs=pairs,
+            anomaly_scores=anomaly_scores,
+            alerts=alerts,
+            test_scores=test_scores,
+            training_scores=training_scores,
+        )

@@ -1,0 +1,100 @@
+"""Fault diagnosis via broken relationships (Section III-C, Figure 9).
+
+After an anomaly is detected, the local subgraphs locate the sensors
+responsible: edges whose relationship broke are marked, and clusters
+with a high fraction of broken edges are flagged as faulty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..graph.community import connected_component_clusters
+from .anomaly import DetectionResult
+
+__all__ = ["FaultDiagnosis", "ClusterDiagnosis", "diagnose"]
+
+
+@dataclass(frozen=True)
+class ClusterDiagnosis:
+    """Diagnosis of one sensor cluster at one detection window."""
+
+    sensors: frozenset[str]
+    broken_edges: int
+    total_edges: int
+
+    @property
+    def broken_fraction(self) -> float:
+        return self.broken_edges / self.total_edges if self.total_edges else 0.0
+
+    def is_faulty(self, threshold: float = 0.5) -> bool:
+        """A cluster is faulty when most of its relationships broke."""
+        return self.total_edges > 0 and self.broken_fraction >= threshold
+
+
+@dataclass
+class FaultDiagnosis:
+    """Broken-edge annotation of a subgraph at one window."""
+
+    window: int
+    broken_edges: list[tuple[str, str]]
+    normal_edges: list[tuple[str, str]]
+    clusters: list[ClusterDiagnosis]
+
+    @property
+    def severity(self) -> float:
+        """Fraction of subgraph edges broken — Figure 9's visual density."""
+        total = len(self.broken_edges) + len(self.normal_edges)
+        return len(self.broken_edges) / total if total else 0.0
+
+    def faulty_clusters(self, threshold: float = 0.5) -> list[ClusterDiagnosis]:
+        """Clusters responsible for the anomaly (Figure 9's green circles)."""
+        return [cluster for cluster in self.clusters if cluster.is_faulty(threshold)]
+
+    def faulty_sensors(self, threshold: float = 0.5) -> set[str]:
+        """Union of sensors in faulty clusters."""
+        sensors: set[str] = set()
+        for cluster in self.faulty_clusters(threshold):
+            sensors |= set(cluster.sensors)
+        return sensors
+
+
+def diagnose(
+    result: DetectionResult, subgraph: nx.DiGraph, window: int
+) -> FaultDiagnosis:
+    """Annotate ``subgraph`` with the alerts of ``result`` at ``window``.
+
+    Parameters
+    ----------
+    result:
+        Output of :class:`~repro.detection.anomaly.AnomalyDetector`.
+    subgraph:
+        Typically the local subgraph at the detection range; any edge
+        subset of the relationship graph works.
+    window:
+        Detection window index to diagnose.
+    """
+    if not 0 <= window < result.num_windows:
+        raise IndexError(f"window {window} out of range [0, {result.num_windows})")
+    broken_set = set(result.broken_pairs(window))
+    broken = [edge for edge in subgraph.edges if edge in broken_set]
+    normal = [edge for edge in subgraph.edges if edge not in broken_set]
+
+    clusters = []
+    for component in connected_component_clusters(subgraph):
+        edges = [
+            (u, v) for u, v in subgraph.edges if u in component and v in component
+        ]
+        broken_count = sum(1 for edge in edges if edge in broken_set)
+        clusters.append(
+            ClusterDiagnosis(
+                sensors=frozenset(component),
+                broken_edges=broken_count,
+                total_edges=len(edges),
+            )
+        )
+    return FaultDiagnosis(
+        window=window, broken_edges=broken, normal_edges=normal, clusters=clusters
+    )

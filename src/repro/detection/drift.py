@@ -1,0 +1,98 @@
+"""Model-drift monitoring for deployed relationship graphs.
+
+A relationship graph trained on last month's normal operation slowly
+goes stale as the plant's regime shifts (new setpoints, seasonal duty
+cycles).  Stale models inflate the anomaly score on *every* window —
+indistinguishable from a real anomaly unless tracked.  This module
+compares the live distribution of per-window pair BLEU scores against
+the development-set distribution with a two-sample Kolmogorov–Smirnov
+test: a persistent, significant shift across many pairs signals that
+the graph needs retraining rather than that the plant is failing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..graph.mvrg import MultivariateRelationshipGraph
+from .anomaly import DetectionResult
+
+__all__ = ["PairDrift", "DriftReport", "assess_drift"]
+
+
+@dataclass(frozen=True)
+class PairDrift:
+    """Drift statistics for one directed pair."""
+
+    pair: tuple[str, str]
+    ks_statistic: float
+    p_value: float
+    dev_median: float
+    live_median: float
+
+    def is_drifted(self, alpha: float = 0.01) -> bool:
+        return self.p_value < alpha
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Aggregate drift assessment over all monitored pairs."""
+
+    pairs: tuple[PairDrift, ...]
+    alpha: float
+
+    @property
+    def drifted_pairs(self) -> tuple[PairDrift, ...]:
+        return tuple(pair for pair in self.pairs if pair.is_drifted(self.alpha))
+
+    @property
+    def drift_fraction(self) -> float:
+        return len(self.drifted_pairs) / len(self.pairs) if self.pairs else 0.0
+
+    def needs_retraining(self, fraction_threshold: float = 0.5) -> bool:
+        """Retrain when a majority of pairs shifted — a regime change,
+        not a localized anomaly (anomalies break a *subset* of pairs
+        for a *bounded time*; drift shifts everything persistently)."""
+        return self.drift_fraction >= fraction_threshold
+
+
+def assess_drift(
+    graph: MultivariateRelationshipGraph,
+    result: DetectionResult,
+    alpha: float = 0.01,
+) -> DriftReport:
+    """Compare live test BLEU distributions against dev distributions.
+
+    Parameters
+    ----------
+    graph:
+        The trained graph (holds per-pair dev sentence BLEU).
+    result:
+        A detection run over a recent window of live data
+        (``result.test_scores`` holds per-window pair BLEU).
+    alpha:
+        KS-test significance level per pair.
+    """
+    pairs: list[PairDrift] = []
+    for column, pair in enumerate(result.valid_pairs):
+        relationship = graph[pair]
+        dev_scores = relationship.dev_sentence_scores
+        if dev_scores is None or len(dev_scores) < 2:
+            continue
+        live_scores = result.test_scores[:, column]
+        if len(live_scores) < 2:
+            continue
+        ks = stats.ks_2samp(dev_scores, live_scores)
+        pairs.append(
+            PairDrift(
+                pair=pair,
+                ks_statistic=float(ks.statistic),
+                p_value=float(ks.pvalue),
+                dev_median=float(np.median(dev_scores)),
+                live_median=float(np.median(live_scores)),
+            )
+        )
+    return DriftReport(pairs=tuple(pairs), alpha=alpha)

@@ -1,0 +1,93 @@
+"""Grouping anomalous windows into alarm episodes.
+
+Operators act on *incidents*, not on individual 20-minute windows: a
+disturbance that spans two hours should page once, with a start, an
+end, a peak and the implicated sensors — not six times.  This module
+folds a :class:`~repro.detection.anomaly.DetectionResult` into
+:class:`AlarmEpisode` records, merging anomalous windows separated by
+short quiet gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .anomaly import DetectionResult
+from .attribution import attribute_anomaly
+
+__all__ = ["AlarmEpisode", "extract_episodes"]
+
+
+@dataclass(frozen=True)
+class AlarmEpisode:
+    """One contiguous anomaly incident."""
+
+    start_window: int
+    end_window: int  # inclusive
+    peak_window: int
+    peak_score: float
+    mean_score: float
+    top_sensors: tuple[str, ...]
+
+    @property
+    def duration_windows(self) -> int:
+        return self.end_window - self.start_window + 1
+
+    def overlaps(self, window: int) -> bool:
+        return self.start_window <= window <= self.end_window
+
+
+def extract_episodes(
+    result: DetectionResult,
+    threshold: float = 0.5,
+    merge_gap: int = 1,
+    top_sensors: int = 3,
+) -> list[AlarmEpisode]:
+    """Fold anomalous windows into episodes.
+
+    Parameters
+    ----------
+    result:
+        Algorithm 2 output.
+    threshold:
+        Windows with ``a_t >= threshold`` are anomalous.
+    merge_gap:
+        Anomalous windows separated by at most this many quiet windows
+        belong to the same episode.
+    top_sensors:
+        How many highest-blame sensors to attach per episode (from the
+        peak window's attribution).
+    """
+    if merge_gap < 0:
+        raise ValueError("merge_gap must be >= 0")
+    flagged = result.anomalous_windows(threshold)
+    if not flagged:
+        return []
+
+    groups: list[list[int]] = [[flagged[0]]]
+    for window in flagged[1:]:
+        if window - groups[-1][-1] <= merge_gap + 1:
+            groups[-1].append(window)
+        else:
+            groups.append([window])
+
+    episodes = []
+    for group in groups:
+        start, end = group[0], group[-1]
+        span = result.anomaly_scores[start : end + 1]
+        peak_offset = int(np.argmax(span))
+        peak_window = start + peak_offset
+        blames = attribute_anomaly(result, peak_window)
+        episodes.append(
+            AlarmEpisode(
+                start_window=start,
+                end_window=end,
+                peak_window=peak_window,
+                peak_score=float(span[peak_offset]),
+                mean_score=float(span.mean()),
+                top_sensors=tuple(b.sensor for b in blames[:top_sensors]),
+            )
+        )
+    return episodes

@@ -1,0 +1,151 @@
+"""Streaming anomaly detection.
+
+Production deployments receive sensor events incrementally, not as a
+complete testing log.  :class:`OnlineAnomalyDetector` wraps the batch
+Algorithm 2 with a sliding buffer: push one multivariate sample at a
+time; whenever enough samples have accumulated to complete a new
+sentence window, the window is scored and an
+:class:`~repro.detection.anomaly.DetectionResult`-style record is
+emitted.
+
+The detection latency therefore equals the sentence span (the paper's
+"granularity of detection"): with the plant settings, one score every
+20 minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..graph.mvrg import MultivariateRelationshipGraph
+from ..graph.ranges import DETECTION_RANGE, ScoreRange
+from ..lang.events import EventSequence
+from ..translation.bleu import sentence_bleu
+
+__all__ = ["OnlineAnomalyDetector", "WindowScore"]
+
+
+@dataclass(frozen=True)
+class WindowScore:
+    """One emitted detection window."""
+
+    window_index: int
+    start_sample: int
+    anomaly_score: float
+    broken_pairs: tuple[tuple[str, str], ...]
+
+
+class OnlineAnomalyDetector:
+    """Incremental Algorithm 2 over a stream of multivariate samples.
+
+    Parameters
+    ----------
+    graph:
+        Trained relationship graph (Algorithm 1 output).
+    score_range, threshold, quantile, margin:
+        As in :class:`~repro.detection.anomaly.AnomalyDetector`.
+    """
+
+    def __init__(
+        self,
+        graph: MultivariateRelationshipGraph,
+        score_range: ScoreRange = DETECTION_RANGE,
+        threshold: str = "dev-quantile",
+        quantile: float = 0.05,
+        margin: float = 0.0,
+    ) -> None:
+        self.graph = graph
+        self.score_range = score_range
+        config = graph.corpus[graph.sensors[0]].config
+        self._config = config
+        self._pairs = [
+            pair
+            for pair, rel in graph.relationships.items()
+            if score_range.contains(rel.score)
+        ]
+        if not self._pairs:
+            raise ValueError(f"no valid pair models in range {score_range}")
+        self._thresholds = {
+            pair: graph[pair].threshold(threshold, quantile) - margin
+            for pair in self._pairs
+        }
+        self._sensors = sorted({s for pair in self._pairs for s in pair})
+        self._buffers: dict[str, list[str]] = {name: [] for name in self._sensors}
+        self._samples_seen = 0
+        self._windows_emitted = 0
+        self._trimmed = 0  # samples dropped from the front of the buffers
+
+    # ------------------------------------------------------------------
+    @property
+    def window_span(self) -> int:
+        """Samples covered by one sentence window."""
+        return self._config.samples_per_sentence()
+
+    @property
+    def window_stride(self) -> int:
+        """Samples between consecutive windows (detection granularity)."""
+        return self._config.effective_sentence_stride * self._config.word_stride
+
+    def _next_window_start(self) -> int:
+        return self._windows_emitted * self.window_stride
+
+    def push(self, sample: Mapping[str, str]) -> list[WindowScore]:
+        """Feed one multivariate sample; return any newly completed windows.
+
+        ``sample`` maps sensor name → categorical state.  Sensors the
+        detector does not use are ignored; missing monitored sensors
+        raise, since silent gaps would desynchronise the windows.
+        """
+        missing = [name for name in self._sensors if name not in sample]
+        if missing:
+            raise KeyError(f"sample is missing monitored sensors: {missing}")
+        for name in self._sensors:
+            self._buffers[name].append(str(sample[name]))
+        self._samples_seen += 1
+
+        emitted: list[WindowScore] = []
+        while self._next_window_start() + self.window_span <= self._samples_seen:
+            emitted.append(self._score_window())
+        return emitted
+
+    def _score_window(self) -> WindowScore:
+        start = self._next_window_start()
+        stop = start + self.window_span
+        sentences: dict[str, tuple[str, ...]] = {}
+        for name in self._sensors:
+            events = self._buffers[name][start - self._trimmed : stop - self._trimmed]
+            language = self.graph.corpus[name]
+            window_sentences = language.sentences_for(EventSequence(name, events))
+            assert window_sentences, "window span guarantees one sentence"
+            sentences[name] = window_sentences[0]
+
+        broken: list[tuple[str, str]] = []
+        for pair in self._pairs:
+            source, target = pair
+            translation = self.graph[pair].model.translate([sentences[source]])[0]
+            score = sentence_bleu(translation, sentences[target])
+            if score < self._thresholds[pair]:
+                broken.append(pair)
+
+        window = WindowScore(
+            window_index=self._windows_emitted,
+            start_sample=start,
+            anomaly_score=len(broken) / len(self._pairs),
+            broken_pairs=tuple(broken),
+        )
+        self._windows_emitted += 1
+        self._trim_buffers()
+        return window
+
+    def _trim_buffers(self) -> None:
+        """Drop samples no future window can reference (bounded memory)."""
+        keep_from = self._next_window_start()
+        drop = keep_from - self._trimmed
+        if drop <= 0:
+            return
+        for name in self._sensors:
+            del self._buffers[name][:drop]
+        self._trimmed = keep_from

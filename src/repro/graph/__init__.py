@@ -1,0 +1,52 @@
+"""Multivariate relationship graph: construction, subgraphs, communities."""
+
+from .centrality import DegreeSummary, degree_distribution, degree_summary, rank_by_in_degree
+from .community import connected_component_clusters, modularity, walktrap_communities
+from .dedup import RedundancyGroups, find_redundant_sensors, sequence_agreement
+from .export import graph_to_dict, load_graph_scores, save_graph_json, save_graphml
+from .metrics import GraphSummary, gini_coefficient, score_asymmetry, summarize_graph
+from .mvrg import MultivariateRelationshipGraph, PairwiseRelationship
+from .ranges import DEFAULT_RANGES, DETECTION_RANGE, STRONGEST_RANGE, ScoreRange
+from .subgraphs import (
+    POPULAR_IN_DEGREE,
+    SubgraphStats,
+    global_subgraph,
+    local_subgraph,
+    partition_by_ranges,
+    popular_sensors,
+    subgraph_statistics,
+)
+
+__all__ = [
+    "DEFAULT_RANGES",
+    "DETECTION_RANGE",
+    "DegreeSummary",
+    "GraphSummary",
+    "MultivariateRelationshipGraph",
+    "POPULAR_IN_DEGREE",
+    "PairwiseRelationship",
+    "RedundancyGroups",
+    "STRONGEST_RANGE",
+    "ScoreRange",
+    "SubgraphStats",
+    "connected_component_clusters",
+    "degree_distribution",
+    "degree_summary",
+    "find_redundant_sensors",
+    "gini_coefficient",
+    "global_subgraph",
+    "graph_to_dict",
+    "load_graph_scores",
+    "local_subgraph",
+    "modularity",
+    "partition_by_ranges",
+    "popular_sensors",
+    "rank_by_in_degree",
+    "save_graph_json",
+    "save_graphml",
+    "score_asymmetry",
+    "sequence_agreement",
+    "subgraph_statistics",
+    "summarize_graph",
+    "walktrap_communities",
+]

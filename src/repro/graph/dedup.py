@@ -1,0 +1,112 @@
+"""Redundant-sensor filtering (Section III-A2's scalability note).
+
+The paper observes that "many sensors actually share similar event
+sequences.  If redundant sensors are further filtered out, then models
+are trained on representative sensors only and training time reduces
+significantly."  This module implements that optimisation: sensors
+whose encoded event sequences agree on at least ``similarity`` of
+samples are grouped; one representative per group is modelled; the
+relationship graph is then expanded back so every original sensor
+carries its representative's edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lang.encryption import SensorEncoder
+from ..lang.events import MultivariateEventLog
+
+__all__ = ["RedundancyGroups", "find_redundant_sensors", "sequence_agreement"]
+
+
+def sequence_agreement(first: tuple[str, ...], second: tuple[str, ...]) -> float:
+    """Fraction of positions where two aligned state sequences agree.
+
+    Sequences are compared after per-sensor encryption, so two binary
+    sensors agree when their *normalised* states coincide — an inverted
+    copy scores near 0 and is (correctly) not considered redundant:
+    its translation model is still trivial, but its language differs.
+    """
+    if len(first) != len(second):
+        raise ValueError("sequences must be aligned")
+    if not first:
+        return 1.0
+    matches = sum(a == b for a, b in zip(first, second))
+    return matches / len(first)
+
+
+@dataclass(frozen=True)
+class RedundancyGroups:
+    """Partition of sensors into redundancy groups."""
+
+    representative_of: dict[str, str]
+
+    @property
+    def representatives(self) -> list[str]:
+        """Distinct representatives, in first-seen order."""
+        seen: list[str] = []
+        for representative in self.representative_of.values():
+            if representative not in seen:
+                seen.append(representative)
+        return seen
+
+    def group_of(self, representative: str) -> list[str]:
+        """All sensors represented by ``representative``."""
+        return [
+            sensor
+            for sensor, rep in self.representative_of.items()
+            if rep == representative
+        ]
+
+    @property
+    def num_redundant(self) -> int:
+        """Sensors that will not get their own models."""
+        return len(self.representative_of) - len(self.representatives)
+
+    def reduction_factor(self) -> float:
+        """Pairwise-model count reduction: N(N-1) vs R(R-1)."""
+        n = len(self.representative_of)
+        r = len(self.representatives)
+        if r < 2:
+            return float("inf") if n >= 2 else 1.0
+        return (n * (n - 1)) / (r * (r - 1))
+
+
+def find_redundant_sensors(
+    log: MultivariateEventLog, similarity: float = 0.98
+) -> RedundancyGroups:
+    """Greedily group sensors whose encoded sequences nearly coincide.
+
+    Parameters
+    ----------
+    log:
+        Training log (already filtered of constants, or not — constant
+        sensors simply group together).
+    similarity:
+        Minimum per-sample agreement (after encryption) for a sensor to
+        join an existing group.  The first member of each group is its
+        representative.
+    """
+    if not 0.0 < similarity <= 1.0:
+        raise ValueError("similarity must be in (0, 1]")
+    encoded: dict[str, tuple[str, ...]] = {}
+    for sequence in log:
+        encoder = SensorEncoder.fit(sequence)
+        encoded[sequence.sensor] = tuple(encoder.encode(sequence.events))
+
+    representative_of: dict[str, str] = {}
+    representatives: list[str] = []
+    for sensor, codes in encoded.items():
+        assigned = False
+        for representative in representatives:
+            if sequence_agreement(codes, encoded[representative]) >= similarity:
+                representative_of[sensor] = representative
+                assigned = True
+                break
+        if not assigned:
+            representatives.append(sensor)
+            representative_of[sensor] = sensor
+    return RedundancyGroups(representative_of=representative_of)

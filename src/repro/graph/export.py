@@ -1,0 +1,70 @@
+"""Exporting relationship graphs for downstream tooling.
+
+The trained multivariate relationship graph is valuable outside this
+library (dashboards, graph databases, Gephi-style visualisation of
+Figures 6/7).  This module serialises the graph's *structure and
+scores* — not the fitted models — to JSON and GraphML.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import networkx as nx
+
+from .mvrg import MultivariateRelationshipGraph
+
+__all__ = ["graph_to_dict", "save_graph_json", "load_graph_scores", "save_graphml"]
+
+_FORMAT = "repro-mvrg-v1"
+
+
+def graph_to_dict(graph: MultivariateRelationshipGraph) -> dict:
+    """A JSON-serialisable description of nodes and scored edges."""
+    return {
+        "format": _FORMAT,
+        "sensors": graph.sensors,
+        "edges": [
+            {
+                "source": rel.source,
+                "target": rel.target,
+                "score": rel.score,
+                "runtime_seconds": rel.runtime_seconds,
+            }
+            for rel in graph
+        ],
+    }
+
+
+def save_graph_json(graph: MultivariateRelationshipGraph, path: str | Path) -> Path:
+    """Write the graph description to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(graph_to_dict(graph), indent=2))
+    return path
+
+
+def load_graph_scores(path: str | Path) -> nx.DiGraph:
+    """Load a JSON export back as a weighted ``networkx.DiGraph``.
+
+    Only the structure and BLEU scores round-trip (by design — the
+    fitted translation models live in
+    :func:`repro.pipeline.save_framework` pickles).
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != _FORMAT:
+        raise ValueError(f"{path} is not a saved relationship graph")
+    graph = nx.DiGraph()
+    graph.add_nodes_from(payload["sensors"])
+    for edge in payload["edges"]:
+        graph.add_edge(edge["source"], edge["target"], score=edge["score"])
+    return graph
+
+
+def save_graphml(graph: MultivariateRelationshipGraph, path: str | Path) -> Path:
+    """Write the scored graph as GraphML (Gephi/yEd compatible)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    nx.write_graphml(graph.to_networkx(), path)
+    return path

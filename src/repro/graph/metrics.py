@@ -1,0 +1,95 @@
+"""Graph-level summary metrics of a relationship graph.
+
+Quantifies properties the paper discusses qualitatively: how symmetric
+the directional scores are ("the BLEU score of the edges that connect
+the same two sensors may be different"), how dense each range is, and
+how concentrated in-degree is (the popular-sensor effect of Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .mvrg import MultivariateRelationshipGraph
+
+__all__ = ["GraphSummary", "summarize_graph", "score_asymmetry", "gini_coefficient"]
+
+
+def score_asymmetry(graph: MultivariateRelationshipGraph) -> dict[tuple[str, str], float]:
+    """|s(i,j) − s(j,i)| per unordered pair."""
+    seen: set[frozenset[str]] = set()
+    asymmetry: dict[tuple[str, str], float] = {}
+    for (source, target), relationship in graph.relationships.items():
+        key = frozenset((source, target))
+        if key in seen or (target, source) not in graph:
+            continue
+        seen.add(key)
+        asymmetry[(source, target)] = abs(
+            relationship.score - graph.score(target, source)
+        )
+    return asymmetry
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini concentration index in [0, 1] for non-negative values."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    if values.size == 0 or values.sum() == 0:
+        return 0.0
+    if (values < 0).any():
+        raise ValueError("gini_coefficient requires non-negative values")
+    n = values.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * values).sum()) / (n * values.sum()) - (n + 1) / n)
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One-shot quantitative description of a relationship graph."""
+
+    num_sensors: int
+    num_edges: int
+    mean_score: float
+    median_score: float
+    mean_asymmetry: float
+    max_asymmetry: float
+    in_degree_gini: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "# sensors": self.num_sensors,
+            "# edges": self.num_edges,
+            "mean BLEU": round(self.mean_score, 1),
+            "median BLEU": round(self.median_score, 1),
+            "mean asymmetry": round(self.mean_asymmetry, 1),
+            "max asymmetry": round(self.max_asymmetry, 1),
+            "in-degree Gini": round(self.in_degree_gini, 2),
+        }
+
+
+def summarize_graph(
+    graph: MultivariateRelationshipGraph, strong_threshold: float = 60.0
+) -> GraphSummary:
+    """Compute :class:`GraphSummary` for a fitted graph.
+
+    The in-degree Gini is computed over the strong subgraph (score >=
+    ``strong_threshold``) — concentration there is what creates the
+    paper's popular sensors.
+    """
+    scores = np.asarray(list(graph.scores().values()))
+    asymmetry = np.asarray(list(score_asymmetry(graph).values()))
+    strong_in_degree = np.zeros(len(graph.sensors))
+    index_of = {name: i for i, name in enumerate(graph.sensors)}
+    for (source, target), relationship in graph.relationships.items():
+        if relationship.score >= strong_threshold:
+            strong_in_degree[index_of[target]] += 1
+    return GraphSummary(
+        num_sensors=len(graph.sensors),
+        num_edges=graph.num_edges,
+        mean_score=float(scores.mean()) if scores.size else 0.0,
+        median_score=float(np.median(scores)) if scores.size else 0.0,
+        mean_asymmetry=float(asymmetry.mean()) if asymmetry.size else 0.0,
+        max_asymmetry=float(asymmetry.max()) if asymmetry.size else 0.0,
+        in_degree_gini=gini_coefficient(strong_in_degree),
+    )

@@ -1,0 +1,213 @@
+"""Multivariate relationship graph construction (Algorithm 1).
+
+For every ordered sensor pair ``(i, j)`` a directional translation
+model ``g(i, j)`` is trained on the training corpus and scored with
+BLEU on the development corpus, giving the relationship strength
+``s(i, j)``.  Nodes are sensors; the two directed edges per pair carry
+the scores.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+import networkx as nx
+import numpy as np
+
+from ..lang.corpus import LanguageConfig, MultiLanguageCorpus, ParallelCorpus
+from ..lang.events import MultivariateEventLog
+from ..translation.base import TranslationModel
+from ..translation.factory import translator_factory
+from ..translation.seq2seq import NMTConfig
+
+__all__ = ["PairwiseRelationship", "MultivariateRelationshipGraph"]
+
+
+@dataclass
+class PairwiseRelationship:
+    """A fitted directional relationship ``i -> j``.
+
+    Attributes
+    ----------
+    model:
+        The trained translation model ``g(i, j)``.
+    score:
+        Development-set corpus BLEU ``s(i, j)`` — the edge weight.
+    dev_sentence_scores:
+        Smoothed per-sentence BLEU on the development set; the anomaly
+        detector's robust threshold strategies are derived from this
+        normal-operation score distribution.
+    runtime_seconds:
+        Wall-clock train+score time (data behind Figure 4a).
+    """
+
+    source: str
+    target: str
+    model: TranslationModel
+    score: float
+    dev_sentence_scores: np.ndarray | None = None
+    runtime_seconds: float = 0.0
+
+    def threshold(self, strategy: str = "train", quantile: float = 0.1) -> float:
+        """The break threshold ``T(i, j)`` under a strategy.
+
+        - ``"train"`` — the paper-literal Algorithm 2: ``T = s(i, j)``;
+        - ``"dev-min"`` — the worst per-sentence dev BLEU, so only
+          translations worse than anything seen in normal operation
+          count as broken;
+        - ``"dev-quantile"`` — the ``quantile`` point of the dev
+          per-sentence distribution (between the two extremes).
+        """
+        if strategy == "train" or self.dev_sentence_scores is None:
+            return self.score
+        if strategy == "dev-min":
+            return float(self.dev_sentence_scores.min())
+        if strategy == "dev-quantile":
+            return float(np.quantile(self.dev_sentence_scores, quantile))
+        raise ValueError(f"unknown threshold strategy {strategy!r}")
+
+
+class MultivariateRelationshipGraph:
+    """The directed relationship graph ``G`` returned by Algorithm 1."""
+
+    def __init__(
+        self,
+        corpus: MultiLanguageCorpus,
+        relationships: dict[tuple[str, str], PairwiseRelationship],
+    ) -> None:
+        self.corpus = corpus
+        self.relationships = relationships
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        training_log: MultivariateEventLog,
+        development_log: MultivariateEventLog,
+        config: LanguageConfig | None = None,
+        engine: str = "ngram",
+        nmt_config: NMTConfig | None = None,
+        model_factory: Callable[[], TranslationModel] | None = None,
+        pairs: Iterable[tuple[str, str]] | None = None,
+        progress: Callable[[str, str, float], None] | None = None,
+    ) -> "MultivariateRelationshipGraph":
+        """Run Algorithm 1.
+
+        Parameters
+        ----------
+        training_log, development_log:
+            Normal-operation event logs.  Languages (encoders,
+            vocabularies) are fitted on the training log; BLEU scores
+            ``s(i, j)`` are measured on the development log.
+        config:
+            Language windowing configuration; defaults to the paper's
+            plant settings.
+        engine, nmt_config, model_factory:
+            Translation engine selection; ``model_factory`` overrides
+            ``engine`` when given.
+        pairs:
+            Optional subset of ordered pairs to model (default: all
+            ``N(N-1)`` ordered pairs, as in the paper).
+        progress:
+            Optional callback ``(source, target, score)`` invoked after
+            each pair is fitted, for long-running builds.
+        """
+        config = config or LanguageConfig()
+        factory = model_factory or translator_factory(engine, nmt_config)
+
+        corpus = MultiLanguageCorpus.fit(training_log, config)
+        sensors = corpus.sensors
+        if len(sensors) < 2:
+            raise ValueError(
+                "need at least two non-constant sensors to build pairwise "
+                f"relationships; got {len(sensors)} after filtering "
+                f"(discarded: {corpus.discarded_sensors})"
+            )
+        dev_sentences = {
+            name: corpus[name].sentences_for(development_log[name])
+            for name in sensors
+            if name in development_log
+        }
+        missing = [name for name in sensors if name not in dev_sentences]
+        if missing:
+            raise KeyError(f"development log is missing sensors: {missing}")
+
+        if pairs is None:
+            pairs = itertools.permutations(sensors, 2)
+
+        from ..translation.bleu import corpus_bleu, sentence_bleu
+
+        relationships: dict[tuple[str, str], PairwiseRelationship] = {}
+        for source, target in pairs:
+            start = time.perf_counter()
+            model = factory()
+            model.fit(corpus.parallel(source, target))
+            dev_source = dev_sentences[source]
+            dev_target = dev_sentences[target]
+            if not dev_source or not dev_target:
+                raise ValueError(
+                    "development log too short to produce a sentence for "
+                    f"pair ({source!r}, {target!r})"
+                )
+            translations = model.translate(dev_source)
+            score = corpus_bleu(translations, dev_target, smooth=True)
+            sentence_scores = np.asarray(
+                [
+                    sentence_bleu(candidate, reference)
+                    for candidate, reference in zip(translations, dev_target)
+                ]
+            )
+            elapsed = time.perf_counter() - start
+            relationships[(source, target)] = PairwiseRelationship(
+                source=source,
+                target=target,
+                model=model,
+                score=score,
+                dev_sentence_scores=sentence_scores,
+                runtime_seconds=elapsed,
+            )
+            if progress is not None:
+                progress(source, target, score)
+        return cls(corpus, relationships)
+
+    # ------------------------------------------------------------------
+    @property
+    def sensors(self) -> list[str]:
+        return self.corpus.sensors
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.relationships)
+
+    def __contains__(self, pair: tuple[str, str]) -> bool:
+        return pair in self.relationships
+
+    def __getitem__(self, pair: tuple[str, str]) -> PairwiseRelationship:
+        return self.relationships[pair]
+
+    def __iter__(self) -> Iterator[PairwiseRelationship]:
+        return iter(self.relationships.values())
+
+    def score(self, source: str, target: str) -> float:
+        """The training BLEU ``s(i, j)`` for a directed pair."""
+        return self.relationships[(source, target)].score
+
+    def scores(self) -> dict[tuple[str, str], float]:
+        """All directed-edge scores (data behind Figure 4b)."""
+        return {pair: rel.score for pair, rel in self.relationships.items()}
+
+    def runtimes(self) -> list[float]:
+        """Per-pair model runtimes (data behind Figure 4a)."""
+        return [rel.runtime_seconds for rel in self.relationships.values()]
+
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.DiGraph:
+        """The full graph ("Ori-MVRG"): every modelled edge, BLEU weights."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.sensors)
+        for (source, target), rel in self.relationships.items():
+            graph.add_edge(source, target, score=rel.score)
+        return graph

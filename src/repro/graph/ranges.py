@@ -1,0 +1,58 @@
+"""BLEU score ranges used to partition the relationship graph.
+
+The paper partitions the full graph into subgraphs by edge BLEU score
+(Table I): ``[0,60) [60,70) [70,80) [80,90) [90,100]``; the ``[80,90)``
+subgraph is the one found best for anomaly detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ScoreRange", "DEFAULT_RANGES", "DETECTION_RANGE", "STRONGEST_RANGE"]
+
+
+@dataclass(frozen=True, order=True)
+class ScoreRange:
+    """A half-open BLEU interval ``[low, high)``.
+
+    ``inclusive_high`` closes the upper end, used only for the terminal
+    ``[90, 100]`` range so a perfect score of 100 is not orphaned.
+    """
+
+    low: float
+    high: float
+    inclusive_high: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low < self.high <= 100.0:
+            raise ValueError(f"invalid BLEU range [{self.low}, {self.high}]")
+
+    def contains(self, score: float) -> bool:
+        if self.inclusive_high:
+            return self.low <= score <= self.high
+        return self.low <= score < self.high
+
+    @property
+    def label(self) -> str:
+        closer = "]" if self.inclusive_high else ")"
+        return f"[{self.low:g}, {self.high:g}{closer}"
+
+    def __str__(self) -> str:
+        return self.label
+
+
+#: The paper's Table I partition.
+DEFAULT_RANGES: tuple[ScoreRange, ...] = (
+    ScoreRange(0, 60),
+    ScoreRange(60, 70),
+    ScoreRange(70, 80),
+    ScoreRange(80, 90),
+    ScoreRange(90, 100, inclusive_high=True),
+)
+
+#: The range the paper finds best for anomaly detection.
+DETECTION_RANGE = DEFAULT_RANGES[3]
+
+#: The strongest-relationship range, shown to be useless for detection.
+STRONGEST_RANGE = DEFAULT_RANGES[4]

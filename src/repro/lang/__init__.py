@@ -1,0 +1,52 @@
+"""Sensor "language" construction (Section II-A of the paper).
+
+Transforms multivariate discrete event sequences into per-sensor
+languages: constant sequences are filtered, events are encrypted into
+characters, characters are windowed into words, and words into
+sentences; aligned sentence pairs form parallel corpora for the
+translation models.
+"""
+
+from .corpus import (
+    LanguageConfig,
+    MultiLanguageCorpus,
+    ParallelCorpus,
+    SensorLanguage,
+    filter_constant_sensors,
+)
+from .encryption import ALPHABET, UNKNOWN_CHAR, SensorEncoder
+from .events import EventSequence, MultivariateEventLog
+from .statistics import (
+    LanguageStatistics,
+    language_statistics,
+    type_token_ratio,
+    word_entropy,
+)
+from .vocabulary import BOS, EOS, PAD, UNK, Vocabulary
+from .windows import generate_sentences, generate_words, num_windows, sliding_windows
+
+__all__ = [
+    "ALPHABET",
+    "BOS",
+    "EOS",
+    "EventSequence",
+    "LanguageConfig",
+    "LanguageStatistics",
+    "MultiLanguageCorpus",
+    "MultivariateEventLog",
+    "PAD",
+    "ParallelCorpus",
+    "SensorEncoder",
+    "SensorLanguage",
+    "UNK",
+    "UNKNOWN_CHAR",
+    "Vocabulary",
+    "filter_constant_sensors",
+    "generate_sentences",
+    "generate_words",
+    "language_statistics",
+    "num_windows",
+    "sliding_windows",
+    "type_token_ratio",
+    "word_entropy",
+]

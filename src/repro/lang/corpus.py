@@ -1,0 +1,224 @@
+"""Sensor languages and parallel corpora.
+
+Ties the encryption and windowing steps together: a
+:class:`SensorLanguage` is one sensor's corpus of sentences plus its
+fitted encoder and vocabulary; a :class:`MultiLanguageCorpus` holds one
+language per (non-constant) sensor; a :class:`ParallelCorpus` aligns two
+languages' sentences by time index so an NMT model can be trained on
+(source sentence, target sentence) pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from .encryption import SensorEncoder
+from .events import EventSequence, MultivariateEventLog
+from .vocabulary import Vocabulary
+from .windows import generate_sentences, generate_words
+
+__all__ = [
+    "LanguageConfig",
+    "SensorLanguage",
+    "MultiLanguageCorpus",
+    "ParallelCorpus",
+    "filter_constant_sensors",
+]
+
+
+@dataclass(frozen=True)
+class LanguageConfig:
+    """Windowing parameters for language generation (Section II-A2).
+
+    Defaults are the paper's physical-plant settings: 10-character
+    words with stride 1, 20-word sentences with no overlap.
+    """
+
+    word_size: int = 10
+    word_stride: int = 1
+    sentence_length: int = 20
+    sentence_stride: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.word_size < 1 or self.word_stride < 1:
+            raise ValueError("word_size and word_stride must be >= 1")
+        if self.sentence_length < 1:
+            raise ValueError("sentence_length must be >= 1")
+        if self.sentence_stride is not None and self.sentence_stride < 1:
+            raise ValueError("sentence_stride must be >= 1 when given")
+
+    @property
+    def effective_sentence_stride(self) -> int:
+        """Sentence stride, defaulting to non-overlapping sentences."""
+        return self.sentence_length if self.sentence_stride is None else self.sentence_stride
+
+    def samples_per_sentence(self) -> int:
+        """Raw samples consumed by the first sentence of a sequence."""
+        return self.word_size + (self.sentence_length - 1) * self.word_stride
+
+    @classmethod
+    def plant(cls) -> "LanguageConfig":
+        """The paper's physical-plant settings (word 10/1, sentence 20/20)."""
+        return cls(word_size=10, word_stride=1, sentence_length=20, sentence_stride=None)
+
+    @classmethod
+    def backblaze(cls) -> "LanguageConfig":
+        """The paper's HDD settings (word 5/1, sentence 7/1)."""
+        return cls(word_size=5, word_stride=1, sentence_length=7, sentence_stride=1)
+
+
+class SensorLanguage:
+    """One sensor's language: encoder, words, sentences and vocabulary."""
+
+    def __init__(
+        self,
+        encoder: SensorEncoder,
+        config: LanguageConfig,
+        sentences: list[tuple[str, ...]],
+        vocabulary: Vocabulary,
+    ) -> None:
+        self.encoder = encoder
+        self.config = config
+        self.sentences = sentences
+        self.vocabulary = vocabulary
+
+    @classmethod
+    def fit(cls, sequence: EventSequence, config: LanguageConfig) -> "SensorLanguage":
+        """Fit the encoder on ``sequence`` and build its sentence corpus."""
+        encoder = SensorEncoder.fit(sequence)
+        language = cls(encoder, config, [], Vocabulary())
+        language.sentences = language.sentences_for(sequence)
+        language.vocabulary = Vocabulary.from_sentences(language.sentences)
+        return language
+
+    # ------------------------------------------------------------------
+    @property
+    def sensor(self) -> str:
+        return self.encoder.sensor
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Distinct content words (Figure 3b's "vocabulary size")."""
+        return self.vocabulary.content_size
+
+    def words_for(self, sequence: EventSequence) -> list[str]:
+        """Encode a (possibly new) sequence and slice it into words."""
+        encoded = self.encoder.encode(sequence.events)
+        return generate_words(encoded, self.config.word_size, self.config.word_stride)
+
+    def sentences_for(self, sequence: EventSequence) -> list[tuple[str, ...]]:
+        """Encode a sequence and produce its sentences.
+
+        Unknown states encode to the unknown character, so test-time
+        sequences with unseen states still produce sentences; their
+        novel words map to ``<unk>`` at vocabulary-encoding time.
+        """
+        words = self.words_for(sequence)
+        return generate_sentences(
+            words, self.config.sentence_length, self.config.effective_sentence_stride
+        )
+
+
+def filter_constant_sensors(
+    log: MultivariateEventLog,
+) -> tuple[MultivariateEventLog, list[str]]:
+    """Drop constant sequences (Section II-A1 "Sequence Filtering").
+
+    Returns the filtered log and the names of discarded sensors.
+    Discarded sensors are also excluded from online testing.
+    """
+    kept = [seq.sensor for seq in log if not seq.is_constant()]
+    discarded = [seq.sensor for seq in log if seq.is_constant()]
+    return log.select(kept), discarded
+
+
+class MultiLanguageCorpus:
+    """Per-sensor languages fitted on a training log (``{Z^k_t}``)."""
+
+    def __init__(self, languages: dict[str, SensorLanguage], discarded: list[str]) -> None:
+        self.languages = languages
+        self.discarded_sensors = discarded
+
+    @classmethod
+    def fit(cls, log: MultivariateEventLog, config: LanguageConfig) -> "MultiLanguageCorpus":
+        """Filter constant sensors and fit one language per survivor."""
+        filtered, discarded = filter_constant_sensors(log)
+        languages = {
+            sequence.sensor: SensorLanguage.fit(sequence, config) for sequence in filtered
+        }
+        return cls(languages, discarded)
+
+    # ------------------------------------------------------------------
+    @property
+    def sensors(self) -> list[str]:
+        return list(self.languages)
+
+    def __len__(self) -> int:
+        return len(self.languages)
+
+    def __getitem__(self, sensor: str) -> SensorLanguage:
+        return self.languages[sensor]
+
+    def __iter__(self) -> Iterator[SensorLanguage]:
+        return iter(self.languages.values())
+
+    def vocabulary_sizes(self) -> dict[str, int]:
+        """Sensor → vocabulary size (data behind Figure 3b)."""
+        return {name: lang.vocabulary_size for name, lang in self.languages.items()}
+
+    def parallel(self, source: str, target: str) -> "ParallelCorpus":
+        """Aligned training corpus for the directed pair (source→target)."""
+        return ParallelCorpus.from_languages(self.languages[source], self.languages[target])
+
+
+@dataclass
+class ParallelCorpus:
+    """Aligned (source sentence, target sentence) pairs for one pair.
+
+    Because all languages of a corpus share the same windowing
+    configuration and their sequences are time aligned, sentence ``k``
+    of the source covers the same wall-clock interval as sentence ``k``
+    of the target; zipping them yields the translation training set.
+    """
+
+    source_sensor: str
+    target_sensor: str
+    pairs: list[tuple[tuple[str, ...], tuple[str, ...]]]
+
+    @classmethod
+    def from_languages(
+        cls, source: SensorLanguage, target: SensorLanguage
+    ) -> "ParallelCorpus":
+        if source.config != target.config:
+            raise ValueError("parallel corpus requires identical language configs")
+        count = min(len(source.sentences), len(target.sentences))
+        pairs = list(zip(source.sentences[:count], target.sentences[:count]))
+        return cls(source.sensor, target.sensor, pairs)
+
+    @classmethod
+    def from_sentences(
+        cls,
+        source_sensor: str,
+        target_sensor: str,
+        source_sentences: Sequence[tuple[str, ...]],
+        target_sentences: Sequence[tuple[str, ...]],
+    ) -> "ParallelCorpus":
+        """Align pre-generated sentence lists (used at test time)."""
+        count = min(len(source_sentences), len(target_sentences))
+        pairs = list(zip(source_sentences[:count], target_sentences[:count]))
+        return cls(source_sensor, target_sensor, pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[tuple[tuple[str, ...], tuple[str, ...]]]:
+        return iter(self.pairs)
+
+    @property
+    def source_sentences(self) -> list[tuple[str, ...]]:
+        return [src for src, _ in self.pairs]
+
+    @property
+    def target_sentences(self) -> list[tuple[str, ...]]:
+        return [tgt for _, tgt in self.pairs]

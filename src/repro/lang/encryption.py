@@ -1,0 +1,87 @@
+"""Discrete event encryption: categorical states -> characters.
+
+Section II-A1 of the paper: each sequence's unique event records are
+sorted in alphanumeric order and assigned letters; a special character
+is reserved for unknown states that may appear during online testing.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .events import EventSequence
+
+__all__ = ["SensorEncoder", "UNKNOWN_CHAR", "ALPHABET"]
+
+#: Character used for any state not seen during training (the paper's
+#: ``<unk>``).  ``?`` sorts outside the letter alphabet, so it can never
+#: collide with an assigned letter.
+UNKNOWN_CHAR = "?"
+
+#: Characters assignable to states, in assignment order.  62 symbols is
+#: far beyond the paper's observed maximum cardinality of 7.
+ALPHABET = string.ascii_lowercase + string.ascii_uppercase + string.digits
+
+
+@dataclass(frozen=True)
+class SensorEncoder:
+    """A fitted state→character codebook for one sensor.
+
+    Use :meth:`fit` to build an encoder from training events; encoding
+    then maps each event to its character, with unseen states mapping
+    to :data:`UNKNOWN_CHAR`.
+    """
+
+    sensor: str
+    state_to_char: dict[str, str]
+
+    @classmethod
+    def fit(cls, sequence: EventSequence) -> "SensorEncoder":
+        """Learn the codebook from a training sequence.
+
+        States are sorted alphanumerically and assigned ``a``, ``b``,
+        ``c``, ... in order, exactly as described in the paper.
+        """
+        states = sequence.unique_states
+        if len(states) > len(ALPHABET):
+            raise ValueError(
+                f"sensor {sequence.sensor!r} has cardinality {len(states)} "
+                f"which exceeds the {len(ALPHABET)}-symbol alphabet"
+            )
+        mapping = {state: ALPHABET[index] for index, state in enumerate(states)}
+        return cls(sensor=sequence.sensor, state_to_char=mapping)
+
+    # ------------------------------------------------------------------
+    @property
+    def char_to_state(self) -> dict[str, str]:
+        """Inverse codebook (unknown char is not invertible)."""
+        return {char: state for state, char in self.state_to_char.items()}
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.state_to_char)
+
+    def encode_event(self, event: str) -> str:
+        """Encode one event; unseen states become :data:`UNKNOWN_CHAR`."""
+        return self.state_to_char.get(str(event), UNKNOWN_CHAR)
+
+    def encode(self, events: Iterable[str]) -> str:
+        """Encode a sequence of events into a character string."""
+        return "".join(self.encode_event(event) for event in events)
+
+    def decode(self, chars: str) -> list[str]:
+        """Decode characters back to states.
+
+        Raises
+        ------
+        KeyError
+            If a character (including the unknown marker) has no state.
+        """
+        inverse = self.char_to_state
+        return [inverse[char] for char in chars]
+
+    def qualified_token(self, event: str) -> str:
+        """Render an event as the paper's ``"<sensor>.<char>"`` form."""
+        return f"{self.sensor}.{self.encode_event(event)}"

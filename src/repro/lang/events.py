@@ -1,0 +1,164 @@
+"""Containers for multivariate discrete event sequences.
+
+The paper's input is ``{X^k_t, k in [1..N], t in [1..T]}`` — evenly
+sampled categorical records from ``N`` sensors.  :class:`EventSequence`
+holds one sensor's record stream and :class:`MultivariateEventLog`
+aligns many of them on a shared clock.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["EventSequence", "MultivariateEventLog"]
+
+
+@dataclass(frozen=True)
+class EventSequence:
+    """An evenly sampled categorical event sequence from one sensor.
+
+    Parameters
+    ----------
+    sensor:
+        Sensor identifier (e.g. ``"s4"``).
+    events:
+        The recorded categorical states, one per sampling interval.
+        States are kept as strings; numeric states should be rendered
+        to strings by the caller (the paper's discretization step does
+        this for the Backblaze features).
+    """
+
+    sensor: str
+    events: tuple[str, ...]
+
+    def __init__(self, sensor: str, events: Iterable[str]) -> None:
+        object.__setattr__(self, "sensor", str(sensor))
+        object.__setattr__(self, "events", tuple(str(event) for event in events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int | slice) -> "str | EventSequence":
+        if isinstance(index, slice):
+            return EventSequence(self.sensor, self.events[index])
+        return self.events[index]
+
+    @property
+    def unique_states(self) -> tuple[str, ...]:
+        """Distinct states in alphanumeric order (the paper's sort)."""
+        return tuple(sorted(set(self.events)))
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct states recorded by this sensor."""
+        return len(set(self.events))
+
+    def is_constant(self) -> bool:
+        """True when every event is identical (filtered by the paper)."""
+        return self.cardinality <= 1
+
+    def slice(self, start: int, stop: int) -> "EventSequence":
+        """Return the subsequence for samples ``[start, stop)``."""
+        return EventSequence(self.sensor, self.events[start:stop])
+
+
+class MultivariateEventLog:
+    """A time-aligned collection of :class:`EventSequence` objects.
+
+    All member sequences must have the same length (the paper assumes
+    evenly sampled, aligned sensor outputs).
+    """
+
+    def __init__(self, sequences: Iterable[EventSequence]) -> None:
+        self._sequences: dict[str, EventSequence] = {}
+        for sequence in sequences:
+            if sequence.sensor in self._sequences:
+                raise ValueError(f"duplicate sensor name: {sequence.sensor!r}")
+            self._sequences[sequence.sensor] = sequence
+        lengths = {len(seq) for seq in self._sequences.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"sequences are not aligned; lengths={sorted(lengths)}")
+        self._length = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Sequence[str]]) -> "MultivariateEventLog":
+        """Build a log from ``{sensor_name: [state, ...]}``."""
+        return cls(EventSequence(name, events) for name, events in mapping.items())
+
+    @classmethod
+    def from_csv(cls, path: str | Path) -> "MultivariateEventLog":
+        """Load a log from a CSV with one column per sensor."""
+        path = Path(path)
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            columns: list[list[str]] = [[] for _ in header]
+            for row in reader:
+                if len(row) != len(header):
+                    raise ValueError(f"ragged CSV row in {path}: {row!r}")
+                for column, value in zip(columns, row):
+                    column.append(value)
+        return cls(EventSequence(name, column) for name, column in zip(header, columns))
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the log to a CSV with one column per sensor."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        names = self.sensors
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(names)
+            for t in range(self._length):
+                writer.writerow([self._sequences[name].events[t] for name in names])
+        return path
+
+    # ------------------------------------------------------------------
+    @property
+    def sensors(self) -> list[str]:
+        """Sensor names in insertion order."""
+        return list(self._sequences)
+
+    @property
+    def num_sensors(self) -> int:
+        return len(self._sequences)
+
+    @property
+    def num_samples(self) -> int:
+        """Shared sequence length ``T``."""
+        return self._length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, sensor: str) -> bool:
+        return sensor in self._sequences
+
+    def __getitem__(self, sensor: str) -> EventSequence:
+        return self._sequences[sensor]
+
+    def __iter__(self) -> Iterator[EventSequence]:
+        return iter(self._sequences.values())
+
+    # ------------------------------------------------------------------
+    def slice(self, start: int, stop: int) -> "MultivariateEventLog":
+        """Return the log restricted to samples ``[start, stop)``."""
+        return MultivariateEventLog(seq.slice(start, stop) for seq in self)
+
+    def select(self, sensors: Iterable[str]) -> "MultivariateEventLog":
+        """Return the log restricted to the named sensors."""
+        names = list(sensors)
+        missing = [name for name in names if name not in self._sequences]
+        if missing:
+            raise KeyError(f"unknown sensors: {missing}")
+        return MultivariateEventLog(self._sequences[name] for name in names)
+
+    def cardinalities(self) -> dict[str, int]:
+        """Map each sensor to its event cardinality (used for Fig 3a)."""
+        return {name: seq.cardinality for name, seq in self._sequences.items()}

@@ -1,0 +1,108 @@
+"""Token vocabularies for sensor languages.
+
+Each sensor's distinct word set is its vocabulary (Section II-A2).
+Special tokens for padding, sentence boundaries and unknown words are
+reserved at fixed low ids so that all models share conventions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Vocabulary", "PAD", "BOS", "EOS", "UNK"]
+
+PAD = "<pad>"
+BOS = "<s>"
+EOS = "</s>"
+UNK = "<unk>"
+
+_SPECIALS = (PAD, BOS, EOS, UNK)
+
+
+class Vocabulary:
+    """A bidirectional word ↔ id mapping with reserved specials.
+
+    Ids 0..3 are :data:`PAD`, :data:`BOS`, :data:`EOS`, :data:`UNK` in
+    that order; content words follow in first-seen order.
+    """
+
+    def __init__(self, words: Iterable[str] = ()) -> None:
+        self._word_to_id: dict[str, int] = {word: idx for idx, word in enumerate(_SPECIALS)}
+        self._id_to_word: list[str] = list(_SPECIALS)
+        for word in words:
+            self.add(word)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sentences(cls, sentences: Iterable[Sequence[str]]) -> "Vocabulary":
+        """Build a vocabulary from an iterable of word sequences."""
+        vocab = cls()
+        for sentence in sentences:
+            for word in sentence:
+                vocab.add(word)
+        return vocab
+
+    def add(self, word: str) -> int:
+        """Insert ``word`` if new; return its id."""
+        existing = self._word_to_id.get(word)
+        if existing is not None:
+            return existing
+        idx = len(self._id_to_word)
+        self._word_to_id[word] = idx
+        self._id_to_word.append(word)
+        return idx
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def bos_id(self) -> int:
+        return 1
+
+    @property
+    def eos_id(self) -> int:
+        return 2
+
+    @property
+    def unk_id(self) -> int:
+        return 3
+
+    @property
+    def content_size(self) -> int:
+        """Number of non-special words (the paper's "vocabulary size")."""
+        return len(self._id_to_word) - len(_SPECIALS)
+
+    def word_of(self, idx: int) -> str:
+        return self._id_to_word[idx]
+
+    def id_of(self, word: str) -> int:
+        """Id of ``word``; unknown words map to :data:`UNK`."""
+        return self._word_to_id.get(word, self.unk_id)
+
+    def encode(self, words: Sequence[str], add_eos: bool = False) -> np.ndarray:
+        """Encode words to an id array, optionally appending EOS."""
+        ids = [self.id_of(word) for word in words]
+        if add_eos:
+            ids.append(self.eos_id)
+        return np.asarray(ids, dtype=np.int64)
+
+    def decode(self, ids: Iterable[int], strip_specials: bool = True) -> list[str]:
+        """Decode ids to words, by default dropping special tokens."""
+        words = [self._id_to_word[int(idx)] for idx in ids]
+        if strip_specials:
+            words = [word for word in words if word not in _SPECIALS]
+        return words
+
+    def words(self) -> list[str]:
+        """All content words in id order."""
+        return self._id_to_word[len(_SPECIALS) :]

@@ -1,0 +1,72 @@
+"""Sliding-window generation of words and sentences (Section II-A2).
+
+Characters are grouped into fixed-length *words* with a character
+stride, and words into fixed-length *sentences* with a word stride.
+The paper's plant settings are word size 10 / stride 1 and sentence
+length 20 words / stride 20 (no sentence overlap); the Backblaze
+settings are word size 5 / sentence length 7 with both strides 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+__all__ = ["sliding_windows", "generate_words", "generate_sentences", "num_windows"]
+
+ItemT = TypeVar("ItemT")
+
+
+def num_windows(length: int, window: int, stride: int) -> int:
+    """Number of windows a sliding pass produces over ``length`` items."""
+    if window <= 0 or stride <= 0:
+        raise ValueError("window and stride must be positive")
+    if length < window:
+        return 0
+    return (length - window) // stride + 1
+
+
+def sliding_windows(items: Sequence[ItemT], window: int, stride: int) -> list[Sequence[ItemT]]:
+    """Return every length-``window`` slice taken every ``stride`` items.
+
+    Trailing items that do not fill a complete window are dropped,
+    matching the paper's fixed-length words/sentences.
+    """
+    count = num_windows(len(items), window, stride)
+    return [items[i * stride : i * stride + window] for i in range(count)]
+
+
+def generate_words(encoded: str, word_size: int, stride: int = 1) -> list[str]:
+    """Slice an encoded character string into words.
+
+    Parameters
+    ----------
+    encoded:
+        Character string produced by
+        :meth:`repro.lang.encryption.SensorEncoder.encode`.
+    word_size:
+        Characters per word (the paper's ``i``).
+    stride:
+        Characters advanced between consecutive words (the paper's
+        ``j``); ``stride=1`` gives maximum overlap.
+    """
+    return [str(window) for window in sliding_windows(encoded, word_size, stride)]
+
+
+def generate_sentences(
+    words: Sequence[str], sentence_length: int, stride: int | None = None
+) -> list[tuple[str, ...]]:
+    """Group words into fixed-length sentences.
+
+    Parameters
+    ----------
+    words:
+        Word list from :func:`generate_words`.
+    sentence_length:
+        Words per sentence (the paper's ``m``).
+    stride:
+        Words advanced between consecutive sentences (the paper's
+        ``n``).  Defaults to ``sentence_length`` — non-overlapping
+        sentences, the plant-dataset setting.
+    """
+    stride = sentence_length if stride is None else stride
+    return [tuple(window) for window in sliding_windows(words, sentence_length, stride)]

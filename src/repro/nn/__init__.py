@@ -1,0 +1,45 @@
+"""A from-scratch numpy neural-network substrate.
+
+The paper trains seq2seq-with-attention NMT models (citation [23]) on a
+GPU with TensorFlow; this environment has neither, so :mod:`repro.nn`
+provides the equivalent building blocks — reverse-mode autodiff,
+multi-layer LSTMs, Luong attention, embeddings, dropout and Adam — on
+plain numpy.  See DESIGN.md ("Substitutions") for the rationale.
+"""
+
+from . import functional
+from .attention import LuongAttention
+from .gru import GRU, GRUCell
+from .layers import Dropout, Embedding, Linear
+from .lstm import LSTM, LSTMCell, LSTMState
+from .module import Module, Parameter
+from .optim import SGD, Adam, clip_grad_norm
+from .schedulers import ExponentialDecay, ReduceOnPlateau, StepDecay
+from .serialization import load_module, save_module
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Adam",
+    "Dropout",
+    "Embedding",
+    "ExponentialDecay",
+    "GRU",
+    "GRUCell",
+    "LSTM",
+    "LSTMCell",
+    "LSTMState",
+    "Linear",
+    "LuongAttention",
+    "Module",
+    "Parameter",
+    "ReduceOnPlateau",
+    "SGD",
+    "StepDecay",
+    "Tensor",
+    "clip_grad_norm",
+    "functional",
+    "is_grad_enabled",
+    "load_module",
+    "no_grad",
+    "save_module",
+]

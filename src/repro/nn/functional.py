@@ -1,0 +1,100 @@
+"""Stateless neural-network functions built on the autograd tensor."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "masked_cross_entropy",
+    "dropout",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted_data = x.data - x.data.max(axis=axis, keepdims=True)
+    exp_data = np.exp(shifted_data)
+    out_data = exp_data / exp_data.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    softmax_data = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad - softmax_data * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(batch, classes)``.
+    targets:
+        Integer array of shape ``(batch,)``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+    batch = targets.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    return -picked.mean()
+
+
+def masked_cross_entropy(logits: Tensor, targets: np.ndarray, mask: np.ndarray) -> Tensor:
+    """Cross entropy averaged over positions where ``mask`` is nonzero.
+
+    Used for padded sequence batches: padding positions contribute
+    neither loss nor gradient.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(batch, steps, classes)``.
+    targets:
+        Integer array of shape ``(batch, steps)``.
+    mask:
+        Array of shape ``(batch, steps)``; nonzero marks real tokens.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    mask = np.asarray(mask, dtype=np.float64)
+    total = mask.sum()
+    if total <= 0:
+        raise ValueError("masked_cross_entropy requires at least one unmasked position")
+    log_probs = log_softmax(logits, axis=-1)
+    batch, steps = targets.shape
+    rows = np.repeat(np.arange(batch), steps)
+    cols = np.tile(np.arange(steps), batch)
+    picked = log_probs[rows, cols, targets.reshape(-1)]
+    weighted = picked * Tensor(mask.reshape(-1))
+    return -(weighted.sum() / total)
+
+
+def dropout(x: Tensor, rate: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1 / (1 - rate)``."""
+    if not training or rate <= 0.0:
+        return x
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * Tensor(mask)

@@ -1,0 +1,146 @@
+"""Multi-layer GRU — the alternative recurrent unit for the NMT model.
+
+The paper's NMT configuration uses LSTMs (citation [23]); GRUs are the
+standard lighter-weight alternative evaluated in the NMT literature and
+are provided here for the recurrent-unit ablation
+(``benchmarks/test_ablation_recurrent_unit.py``).  Interface matches
+:class:`repro.nn.LSTM` exactly (state is still a pair of per-layer
+lists; the "cell" list mirrors the hidden list so encoder/decoder code
+can stay unit-agnostic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .lstm import LSTMState
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """A single GRU layer advanced one timestep at a time.
+
+    Gate order within the fused matrices is ``(reset, update)``; the
+    candidate activation has its own weights because it sees the reset
+    hidden state.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        scale = 1.0 / np.sqrt(hidden_size)
+        self.gate_weight_x = Parameter(
+            rng.uniform(-scale, scale, size=(input_size, 2 * hidden_size)),
+            name="gate_weight_x",
+        )
+        self.gate_weight_h = Parameter(
+            rng.uniform(-scale, scale, size=(hidden_size, 2 * hidden_size)),
+            name="gate_weight_h",
+        )
+        self.gate_bias = Parameter(np.zeros(2 * hidden_size), name="gate_bias")
+        self.candidate_weight_x = Parameter(
+            rng.uniform(-scale, scale, size=(input_size, hidden_size)),
+            name="candidate_weight_x",
+        )
+        self.candidate_weight_h = Parameter(
+            rng.uniform(-scale, scale, size=(hidden_size, hidden_size)),
+            name="candidate_weight_h",
+        )
+        self.candidate_bias = Parameter(np.zeros(hidden_size), name="candidate_bias")
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """Advance one step; returns the next hidden state."""
+        hidden = self.hidden_size
+        gates = x @ self.gate_weight_x + h @ self.gate_weight_h + self.gate_bias
+        reset = gates[:, :hidden].sigmoid()
+        update = gates[:, hidden:].sigmoid()
+        candidate = (
+            x @ self.candidate_weight_x
+            + (reset * h) @ self.candidate_weight_h
+            + self.candidate_bias
+        ).tanh()
+        return update * h + (1.0 - update) * candidate
+
+    def zero_state(self, batch_size: int) -> Tensor:
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+
+class GRU(Module):
+    """Stack of :class:`GRUCell` layers, interface-compatible with LSTM.
+
+    The returned state mirrors :data:`repro.nn.LSTMState` — the second
+    list simply aliases the hidden list — so callers written against
+    the LSTM (the seq2seq encoder/decoder) work unchanged.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.dropout_rate = dropout
+        self._rng = rng
+        self.cells = [
+            GRUCell(input_size if layer == 0 else hidden_size, hidden_size, rng=rng)
+            for layer in range(num_layers)
+        ]
+
+    def zero_state(self, batch_size: int) -> LSTMState:
+        hidden = [cell.zero_state(batch_size) for cell in self.cells]
+        return hidden, list(hidden)
+
+    def forward(self, inputs: Tensor, state: LSTMState | None = None) -> tuple[Tensor, LSTMState]:
+        """Run the stack over ``(batch, steps, input_size)`` inputs."""
+        batch, steps = inputs.shape[0], inputs.shape[1]
+        if state is None:
+            state = self.zero_state(batch)
+        h_states = list(state[0])
+
+        top_outputs: list[Tensor] = []
+        for t in range(steps):
+            layer_input = inputs[:, t, :]
+            for layer, cell in enumerate(self.cells):
+                h_states[layer] = cell(layer_input, h_states[layer])
+                layer_input = h_states[layer]
+                if layer < self.num_layers - 1:
+                    layer_input = F.dropout(
+                        layer_input, self.dropout_rate, self.training, self._rng
+                    )
+            top_outputs.append(layer_input)
+
+        outputs = Tensor.stack(top_outputs, axis=1)
+        return outputs, (h_states, list(h_states))
+
+    def step(self, x: Tensor, state: LSTMState) -> tuple[Tensor, LSTMState]:
+        """Advance one timestep (decoder usage)."""
+        h_states = list(state[0])
+        layer_input = x
+        for layer, cell in enumerate(self.cells):
+            h_states[layer] = cell(layer_input, h_states[layer])
+            layer_input = h_states[layer]
+            if layer < self.num_layers - 1:
+                layer_input = F.dropout(
+                    layer_input, self.dropout_rate, self.training, self._rng
+                )
+        return layer_input, (h_states, list(h_states))

@@ -1,0 +1,161 @@
+"""Multi-layer LSTM built on the autograd tensor engine.
+
+The gate computation is fused into a single matmul per step per layer
+(the four gates share one weight matrix), which is the standard
+formulation and keeps the Python-level op count low.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["LSTMCell", "LSTM", "LSTMState"]
+
+LSTMState = tuple[list[Tensor], list[Tensor]]
+"""Per-layer hidden and cell states: ``(h_per_layer, c_per_layer)``."""
+
+
+class LSTMCell(Module):
+    """A single LSTM layer advanced one timestep at a time.
+
+    Gate order within the fused weight matrices is ``(input, forget,
+    cell, output)``.  The forget-gate bias is initialised to 1.0, the
+    usual trick to ease gradient flow early in training.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        scale = 1.0 / np.sqrt(hidden_size)
+        self.weight_x = Parameter(
+            rng.uniform(-scale, scale, size=(input_size, 4 * hidden_size)), name="weight_x"
+        )
+        self.weight_h = Parameter(
+            rng.uniform(-scale, scale, size=(hidden_size, 4 * hidden_size)), name="weight_h"
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0
+        self.bias = Parameter(bias, name="bias")
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        """Advance one step.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(batch, input_size)``.
+        h, c:
+            Previous hidden/cell state, each ``(batch, hidden_size)``.
+
+        Returns
+        -------
+        ``(h_next, c_next)``.
+        """
+        hidden = self.hidden_size
+        gates = x @ self.weight_x + h @ self.weight_h + self.bias
+        i_gate = gates[:, :hidden].sigmoid()
+        f_gate = gates[:, hidden : 2 * hidden].sigmoid()
+        g_gate = gates[:, 2 * hidden : 3 * hidden].tanh()
+        o_gate = gates[:, 3 * hidden :].sigmoid()
+        c_next = f_gate * c + i_gate * g_gate
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+    def zero_state(self, batch_size: int) -> tuple[Tensor, Tensor]:
+        """Return all-zero ``(h, c)`` for a batch."""
+        zeros = np.zeros((batch_size, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Stack of :class:`LSTMCell` layers unrolled over time.
+
+    Matches the paper's NMT configuration when constructed with
+    ``num_layers=2`` and ``hidden_size=64``.  Dropout (inverted) is
+    applied to the output of every layer except the last, following the
+    convention of stacked recurrent networks.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.dropout_rate = dropout
+        self._rng = rng
+        self.cells = [
+            LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng=rng)
+            for layer in range(num_layers)
+        ]
+
+    def zero_state(self, batch_size: int) -> LSTMState:
+        """All-zero initial state for every layer."""
+        states = [cell.zero_state(batch_size) for cell in self.cells]
+        return [h for h, _ in states], [c for _, c in states]
+
+    def forward(self, inputs: Tensor, state: LSTMState | None = None) -> tuple[Tensor, LSTMState]:
+        """Run the stack over a full sequence.
+
+        Parameters
+        ----------
+        inputs:
+            Tensor of shape ``(batch, steps, input_size)``.
+        state:
+            Optional initial state; defaults to zeros.
+
+        Returns
+        -------
+        ``(outputs, final_state)`` where ``outputs`` has shape
+        ``(batch, steps, hidden_size)`` (top layer only).
+        """
+        batch, steps = inputs.shape[0], inputs.shape[1]
+        if state is None:
+            state = self.zero_state(batch)
+        h_states = list(state[0])
+        c_states = list(state[1])
+
+        top_outputs: list[Tensor] = []
+        for t in range(steps):
+            layer_input = inputs[:, t, :]
+            for layer, cell in enumerate(self.cells):
+                h_states[layer], c_states[layer] = cell(layer_input, h_states[layer], c_states[layer])
+                layer_input = h_states[layer]
+                if layer < self.num_layers - 1:
+                    layer_input = F.dropout(layer_input, self.dropout_rate, self.training, self._rng)
+            top_outputs.append(layer_input)
+
+        outputs = Tensor.stack(top_outputs, axis=1)
+        return outputs, (h_states, c_states)
+
+    def step(self, x: Tensor, state: LSTMState) -> tuple[Tensor, LSTMState]:
+        """Advance the whole stack a single timestep (used by decoders)."""
+        h_states = list(state[0])
+        c_states = list(state[1])
+        layer_input = x
+        for layer, cell in enumerate(self.cells):
+            h_states[layer], c_states[layer] = cell(layer_input, h_states[layer], c_states[layer])
+            layer_input = h_states[layer]
+            if layer < self.num_layers - 1:
+                layer_input = F.dropout(layer_input, self.dropout_rate, self.training, self._rng)
+        return layer_input, (h_states, c_states)

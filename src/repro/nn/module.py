@@ -1,0 +1,109 @@
+"""Module/parameter containers mirroring the familiar torch-style API."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable parameter of a module."""
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for neural-network components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` and :meth:`named_parameters` walk the
+    resulting tree.  The :attr:`training` flag toggles behaviours such as
+    dropout.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` for this module's subtree."""
+        for attr, value in vars(self).items():
+            name = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{name}.{index}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{name}.{index}.")
+
+    def parameters(self) -> list[Parameter]:
+        """Return all trainable parameters in the subtree."""
+        return [param for _, param in self.named_parameters()]
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(param.size for param in self.parameters())
+
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        """Switch the subtree into training mode."""
+        self._set_training(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch the subtree into evaluation mode."""
+        self._set_training(False)
+        return self
+
+    def _set_training(self, flag: bool) -> None:
+        self.training = flag
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_training(flag)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_training(flag)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot parameter values keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values produced by :meth:`state_dict`."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, values in state.items():
+            param = params[name]
+            if param.data.shape != values.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {param.data.shape} vs {values.shape}"
+                )
+            param.data = np.array(values, dtype=np.float64)
+
+    def __call__(self, *args: object, **kwargs: object) -> object:
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args: object, **kwargs: object) -> object:
+        raise NotImplementedError

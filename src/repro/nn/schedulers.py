@@ -1,0 +1,86 @@
+"""Learning-rate schedules.
+
+The GNMT-style NMT training recipe decays the learning rate once the
+model plateaus; these small schedulers mutate an optimiser's ``lr`` in
+place, one ``step()`` per training step.
+"""
+
+from __future__ import annotations
+
+from .optim import Optimizer
+
+__all__ = ["ExponentialDecay", "StepDecay", "ReduceOnPlateau"]
+
+
+class ExponentialDecay:
+    """Multiply the learning rate by ``gamma`` every step."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float) -> None:
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.gamma = gamma
+
+    def step(self) -> float:
+        self.optimizer.lr *= self.gamma
+        return self.optimizer.lr
+
+
+class StepDecay:
+    """Multiply the learning rate by ``gamma`` every ``period`` steps."""
+
+    def __init__(self, optimizer: Optimizer, period: int, gamma: float = 0.5) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.period = period
+        self.gamma = gamma
+        self._steps = 0
+
+    def step(self) -> float:
+        self._steps += 1
+        if self._steps % self.period == 0:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr
+
+
+class ReduceOnPlateau:
+    """Halve the learning rate when a monitored loss stops improving.
+
+    Call :meth:`step` with the latest loss; after ``patience`` steps
+    without an improvement of at least ``min_delta`` the learning rate
+    is multiplied by ``factor`` and the counter resets.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        patience: int = 20,
+        factor: float = 0.5,
+        min_delta: float = 1e-4,
+        min_lr: float = 1e-6,
+    ) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if not 0.0 < factor < 1.0:
+            raise ValueError("factor must be in (0, 1)")
+        self.optimizer = optimizer
+        self.patience = patience
+        self.factor = factor
+        self.min_delta = min_delta
+        self.min_lr = min_lr
+        self._best = float("inf")
+        self._stale = 0
+
+    def step(self, loss: float) -> float:
+        if loss < self._best - self.min_delta:
+            self._best = loss
+            self._stale = 0
+        else:
+            self._stale += 1
+            if self._stale >= self.patience:
+                self.optimizer.lr = max(self.min_lr, self.optimizer.lr * self.factor)
+                self._stale = 0
+        return self.optimizer.lr

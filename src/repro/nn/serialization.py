@@ -1,0 +1,29 @@
+"""Saving and loading module weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | Path) -> Path:
+    """Write a module's parameters to ``path`` (``.npz`` appended if absent)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **module.state_dict())
+    return path
+
+
+def load_module(module: Module, path: str | Path) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module``."""
+    with np.load(Path(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module

@@ -1,0 +1,22 @@
+"""End-to-end framework: configuration, pipeline and persistence."""
+
+from .config import FrameworkConfig
+from .framework import AnalyticsFramework
+from .hdd import HDDCaseStudy, HDDSplit
+from .persistence import load_framework, save_framework
+from .plant import DayScore, PlantCaseStudy, window_start_sample
+from .reporting import generate_report, write_report
+
+__all__ = [
+    "AnalyticsFramework",
+    "DayScore",
+    "FrameworkConfig",
+    "HDDCaseStudy",
+    "HDDSplit",
+    "PlantCaseStudy",
+    "generate_report",
+    "load_framework",
+    "save_framework",
+    "window_start_sample",
+    "write_report",
+]

@@ -1,0 +1,154 @@
+"""The end-to-end analytics framework (Figure 1).
+
+``fit`` runs sensor encryption, language generation and Algorithm 1 to
+build the multivariate relationship graph; ``detect`` runs Algorithm 2
+over a testing log; ``diagnose`` traces broken relationships through
+the local subgraph (Figure 9); the knowledge-discovery accessors expose
+global/local subgraphs, popular sensors, clusters and Table I rows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import networkx as nx
+
+from ..detection.anomaly import AnomalyDetector, DetectionResult
+from ..detection.diagnosis import FaultDiagnosis, diagnose
+from ..graph.community import connected_component_clusters, walktrap_communities
+from ..graph.mvrg import MultivariateRelationshipGraph
+from ..graph.ranges import ScoreRange
+from ..graph.subgraphs import (
+    SubgraphStats,
+    global_subgraph,
+    local_subgraph,
+    popular_sensors,
+    subgraph_statistics,
+)
+from ..lang.events import MultivariateEventLog
+from .config import FrameworkConfig
+
+__all__ = ["AnalyticsFramework"]
+
+
+class AnalyticsFramework:
+    """Knowledge discovery and anomaly detection for discrete sequences."""
+
+    def __init__(self, config: FrameworkConfig | None = None) -> None:
+        self.config = config or FrameworkConfig()
+        self.graph: MultivariateRelationshipGraph | None = None
+        self._detector: AnomalyDetector | None = None
+
+    # ------------------------------------------------------------------
+    # Training (Algorithm 1)
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        training_log: MultivariateEventLog,
+        development_log: MultivariateEventLog,
+        progress: Callable[[str, str, float], None] | None = None,
+    ) -> "AnalyticsFramework":
+        """Build the relationship graph from normal-operation logs."""
+        self.graph = MultivariateRelationshipGraph.build(
+            training_log,
+            development_log,
+            config=self.config.language,
+            engine=self.config.engine,
+            nmt_config=self.config.nmt,
+            progress=progress,
+        )
+        self._detector = self._make_detector(self.config.detection_range)
+        return self
+
+    def _make_detector(self, score_range: ScoreRange) -> AnomalyDetector:
+        return AnomalyDetector(
+            self._require_graph(),
+            score_range,
+            margin=self.config.margin,
+            threshold=self.config.threshold_strategy,
+            quantile=self.config.threshold_quantile,
+        )
+
+    def _require_graph(self) -> MultivariateRelationshipGraph:
+        if self.graph is None:
+            raise RuntimeError("framework has not been fitted")
+        return self.graph
+
+    # ------------------------------------------------------------------
+    # Knowledge discovery (Section II-B)
+    # ------------------------------------------------------------------
+    def global_subgraph(self, score_range: ScoreRange | None = None) -> nx.DiGraph:
+        """Edges in a BLEU range (default: the detection range)."""
+        return global_subgraph(
+            self._require_graph(), score_range or self.config.detection_range
+        )
+
+    def local_subgraph(self, score_range: ScoreRange | None = None) -> nx.DiGraph:
+        """Global subgraph with popular sensors removed."""
+        return local_subgraph(
+            self.global_subgraph(score_range), self.config.popular_threshold
+        )
+
+    def popular_sensors(self, score_range: ScoreRange | None = None) -> list[str]:
+        """Critical health-indicator sensors (high in-degree)."""
+        return popular_sensors(
+            self.global_subgraph(score_range), self.config.popular_threshold
+        )
+
+    def clusters(
+        self, score_range: ScoreRange | None = None, method: str = "components"
+    ) -> list[set[str]]:
+        """Sensor clusters in the local subgraph.
+
+        ``method="components"`` reads connected components (Figure 7);
+        ``method="walktrap"`` runs random-walk community detection.
+        """
+        local = self.local_subgraph(score_range)
+        if method == "components":
+            return connected_component_clusters(local)
+        if method == "walktrap":
+            return walktrap_communities(local)
+        raise ValueError(f"unknown clustering method {method!r}")
+
+    def subgraph_statistics(self) -> list[SubgraphStats]:
+        """Table I: per-range subgraph statistics."""
+        return subgraph_statistics(
+            self._require_graph(),
+            self.config.score_ranges,
+            self.config.popular_threshold,
+        )
+
+    # ------------------------------------------------------------------
+    # Anomaly detection (Algorithm 2) and diagnosis
+    # ------------------------------------------------------------------
+    @property
+    def detector(self) -> AnomalyDetector:
+        if self._detector is None:
+            raise RuntimeError("framework has not been fitted")
+        return self._detector
+
+    def detect(
+        self, test_log: MultivariateEventLog, score_range: ScoreRange | None = None
+    ) -> DetectionResult:
+        """Anomaly scores ``a_t`` and alert matrix ``W_t`` for a test log."""
+        if score_range is None:
+            return self.detector.detect(test_log)
+        return self._make_detector(score_range).detect(test_log)
+
+    def diagnose(
+        self,
+        result: DetectionResult,
+        window: int,
+        score_range: ScoreRange | None = None,
+    ) -> FaultDiagnosis:
+        """Fault diagnosis of one detection window on the local subgraph."""
+        return diagnose(result, self.local_subgraph(score_range), window)
+
+    # ------------------------------------------------------------------
+    def windows_per_sample_count(self, num_samples: int) -> int:
+        """How many detection windows a test log of ``num_samples`` yields."""
+        lang = self.config.language
+        from ..lang.windows import num_windows
+
+        words = num_windows(num_samples, lang.word_size, lang.word_stride)
+        return num_windows(words, lang.sentence_length, lang.effective_sentence_stride)

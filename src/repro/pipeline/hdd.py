@@ -1,0 +1,205 @@
+"""HDD case-study orchestration (Section IV).
+
+Adapts the framework to SMART traces: each of the 16 framework
+attributes becomes a "sensor"; values are discretized with the
+Figure 10 schemes; drives' last four months are split 2/1/1 into
+train/development/test; training windows are pooled across drives (the
+paper aggregates data over all disks to acquire more anomalies) to
+build one relationship graph; detection then runs per drive, and the
+sharp-increase rule of Figure 12 turns trajectories into failure
+predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.backblaze import BackblazeDataset, DriveTrace
+from ..datasets.discretize import Discretizer, discretize_records, fit_discretizers
+from ..datasets.smart import framework_attribute_names
+from ..detection.disk import DiskEvaluation, evaluate_drives
+from ..graph.ranges import ScoreRange
+from ..lang.events import EventSequence, MultivariateEventLog
+from .config import FrameworkConfig
+from .framework import AnalyticsFramework
+
+__all__ = ["HDDCaseStudy", "HDDSplit"]
+
+
+@dataclass(frozen=True)
+class HDDSplit:
+    """Day counts for each drive's final window (paper: 2/1/1 months)."""
+
+    train_days: int = 60
+    dev_days: int = 30
+    test_days: int = 30
+
+    @property
+    def total_days(self) -> int:
+        return self.train_days + self.dev_days + self.test_days
+
+
+def _concat_logs(logs: list[MultivariateEventLog]) -> MultivariateEventLog:
+    """Concatenate time-aligned logs (same sensors) end to end."""
+    if not logs:
+        raise ValueError("no logs to concatenate")
+    sensors = logs[0].sensors
+    merged: dict[str, list[str]] = {name: [] for name in sensors}
+    for log in logs:
+        if log.sensors != sensors:
+            raise ValueError("logs disagree on sensors")
+        for name in sensors:
+            merged[name].extend(log[name].events)
+    return MultivariateEventLog(
+        EventSequence(name, events) for name, events in merged.items()
+    )
+
+
+@dataclass
+class HDDCaseStudy:
+    """Disk-failure detection on a Backblaze-style dataset.
+
+    ``pooled=True`` (default, the paper's choice: "we aggregate the
+    data for all disks") trains one relationship graph on concatenated
+    healthy months; ``pooled=False`` trains an independent graph per
+    drive — the ablation in
+    ``benchmarks/test_ablation_hdd_pooling.py`` compares the two.
+    """
+
+    dataset: BackblazeDataset
+    config: FrameworkConfig = field(default_factory=FrameworkConfig.backblaze)
+    split: HDDSplit = field(default_factory=HDDSplit)
+    min_history_days: int = 120
+    pooled: bool = True
+    framework: AnalyticsFramework | None = None
+    discretizers: dict[str, Discretizer] | None = None
+    _drives: list[DriveTrace] = field(default_factory=list)
+    _per_drive: dict[str, AnalyticsFramework] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def eligible_drives(self) -> list[DriveTrace]:
+        """Drives with enough history for the full split window."""
+        needed = max(self.min_history_days, self.split.total_days)
+        return [d for d in self.dataset.drives if d.days_observed >= needed]
+
+    def _drive_window(self, drive: DriveTrace) -> dict[str, np.ndarray]:
+        """The drive's final ``split.total_days`` of framework features."""
+        window = drive.last_days(self.split.total_days)
+        return {name: window[name] for name in framework_attribute_names()}
+
+    def fit(self) -> "HDDCaseStudy":
+        """Fit discretizers and the pooled relationship graph."""
+        self._drives = self.eligible_drives()
+        if len(self._drives) < 2:
+            raise ValueError("need at least two drives with sufficient history")
+
+        # Pool training values across drives for stable discretization.
+        train_days = self.split.train_days
+        pooled: dict[str, list[float]] = {n: [] for n in framework_attribute_names()}
+        for drive in self._drives:
+            window = self._drive_window(drive)
+            for name in pooled:
+                pooled[name].extend(window[name][:train_days].tolist())
+        self.discretizers = fit_discretizers(pooled)
+
+        train_logs: list[MultivariateEventLog] = []
+        dev_logs: list[MultivariateEventLog] = []
+        dev_end = train_days + self.split.dev_days
+        for drive in self._drives:
+            window = self._drive_window(drive)
+            train_logs.append(
+                discretize_records(
+                    {n: v[:train_days] for n, v in window.items()}, self.discretizers
+                )
+            )
+            dev_logs.append(
+                discretize_records(
+                    {n: v[train_days:dev_end] for n, v in window.items()},
+                    self.discretizers,
+                )
+            )
+        if self.pooled:
+            self.framework = AnalyticsFramework(self.config).fit(
+                _concat_logs(train_logs), _concat_logs(dev_logs)
+            )
+        else:
+            self._per_drive = {}
+            for drive, train_log, dev_log in zip(self._drives, train_logs, dev_logs):
+                self._per_drive[drive.serial] = AnalyticsFramework(self.config).fit(
+                    train_log, dev_log
+                )
+        return self
+
+    def _require(self) -> AnalyticsFramework:
+        if self.discretizers is None or (self.pooled and self.framework is None):
+            raise RuntimeError("case study has not been fitted")
+        if not self.pooled and not self._per_drive:
+            raise RuntimeError("case study has not been fitted")
+        return self.framework if self.pooled else next(iter(self._per_drive.values()))
+
+    def _framework_for(self, serial: str) -> AnalyticsFramework:
+        if self.pooled:
+            return self._require()
+        framework = self._per_drive.get(serial)
+        if framework is None:
+            raise KeyError(f"no per-drive framework for {serial!r}")
+        return framework
+
+    # ------------------------------------------------------------------
+    def drive_test_log(self, drive: DriveTrace) -> MultivariateEventLog:
+        """The drive's test month as a discretized event log."""
+        assert self.discretizers is not None
+        window = self._drive_window(drive)
+        start = self.split.train_days + self.split.dev_days
+        return discretize_records(
+            {n: v[start:] for n, v in window.items()}, self.discretizers
+        )
+
+    def trajectories(
+        self, score_range: ScoreRange | None = None
+    ) -> dict[str, np.ndarray]:
+        """Per-drive anomaly-score trajectories over the test month."""
+        self._require()
+        output: dict[str, np.ndarray] = {}
+        for drive in self._drives:
+            framework = self._framework_for(drive.serial)
+            try:
+                result = framework.detect(self.drive_test_log(drive), score_range)
+            except ValueError:
+                # Per-drive graphs can lack valid pairs in the chosen
+                # range (too little data per drive — one argument for
+                # the paper's pooling).  Such drives are unmonitorable:
+                # a flat-zero trajectory, never detected.
+                windows = framework.windows_per_sample_count(self.split.test_days)
+                output[drive.serial] = np.zeros(max(windows, 1))
+                continue
+            output[drive.serial] = result.anomaly_scores
+        return output
+
+    def evaluate(
+        self,
+        score_range: ScoreRange | None = None,
+        jump: float = 0.5,
+        tail_windows: int | None = None,
+        horizon: int = 3,
+    ) -> DiskEvaluation:
+        """Sharp-increase detection and recall over the drive population.
+
+        ``horizon=3`` because the HDD language uses overlapping
+        sentence windows (stride 1), which smear a one-day jump across
+        adjacent windows (see :func:`repro.detection.sharp_increases`).
+        """
+        trajectories = self.trajectories(score_range)
+        failed = {d.serial for d in self._drives if d.failed}
+        return evaluate_drives(
+            trajectories, failed, jump=jump, tail_windows=tail_windows, horizon=horizon
+        )
+
+    def feature_ranking(self, top: int | None = None) -> list[tuple[str, int, int]]:
+        """Features ranked by in-degree in the detection-range subgraph
+        (the Figure 11a / Table III analysis)."""
+        from ..graph.centrality import rank_by_in_degree
+
+        return rank_by_in_degree(self._require().global_subgraph(), top=top)

@@ -1,0 +1,136 @@
+"""Markdown report generation for a fitted framework.
+
+``generate_report`` renders everything an operator or reviewer wants
+from a trained relationship graph — the graph summary, the Table-I
+partition, popular sensors, clusters, and (optionally) a detection
+timeline — as a self-contained markdown document.  Exposed on the CLI
+via ``inspect --report FILE``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..detection.anomaly import DetectionResult
+from ..graph.metrics import summarize_graph
+from .framework import AnalyticsFramework
+
+__all__ = ["generate_report", "write_report"]
+
+
+def _markdown_table(rows: list[dict[str, object]]) -> str:
+    if not rows:
+        return "*(no rows)*"
+    headers = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(h, "")) for h in headers) + " |")
+    return "\n".join(lines)
+
+
+def generate_report(
+    framework: AnalyticsFramework,
+    detection: DetectionResult | None = None,
+    title: str = "Relationship-graph report",
+) -> str:
+    """Render a fitted framework (and optional detection run) to markdown."""
+    graph = framework.graph
+    if graph is None:
+        raise ValueError("framework has not been fitted")
+
+    sections: list[str] = [f"# {title}", ""]
+
+    summary = summarize_graph(graph)
+    sections += ["## Graph summary", "", _markdown_table([summary.as_row()]), ""]
+
+    sections += [
+        "## Global subgraph statistics (Table I)",
+        "",
+        _markdown_table([s.as_row() for s in framework.subgraph_statistics()]),
+        "",
+    ]
+
+    popular = framework.popular_sensors()
+    sections += [
+        "## Popular sensors",
+        "",
+        (", ".join(f"`{s}`" for s in popular) if popular else "*(none at this threshold)*"),
+        "",
+    ]
+
+    clusters = framework.clusters()
+    sections += ["## Local-subgraph clusters", ""]
+    if clusters:
+        for index, cluster in enumerate(clusters, start=1):
+            sections.append(
+                f"- cluster {index} ({len(cluster)} sensors): "
+                + ", ".join(f"`{s}`" for s in sorted(cluster))
+            )
+    else:
+        sections.append("*(no clusters at this range)*")
+    sections.append("")
+
+    strongest = sorted(graph.scores().items(), key=lambda kv: -kv[1])[:10]
+    sections += [
+        "## Strongest relationships",
+        "",
+        _markdown_table(
+            [
+                {"source": s, "target": t, "BLEU": f"{score:.1f}"}
+                for (s, t), score in strongest
+            ]
+        ),
+        "",
+    ]
+
+    if detection is not None:
+        scores = detection.anomaly_scores
+        sections += [
+            "## Detection run",
+            "",
+            _markdown_table(
+                [
+                    {
+                        "windows": detection.num_windows,
+                        "valid pairs": detection.num_valid_pairs,
+                        "max score": f"{scores.max():.2f}",
+                        "mean score": f"{scores.mean():.2f}",
+                        "windows ≥ 0.5": len(detection.anomalous_windows(0.5)),
+                    }
+                ]
+            ),
+            "",
+        ]
+        peak = int(np.argmax(scores))
+        broken = detection.broken_pairs(peak)
+        sections += [
+            f"Peak window {peak} (score {scores[peak]:.2f}) broke "
+            f"{len(broken)} relationships"
+            + (
+                ": " + ", ".join(f"`{s}`→`{t}`" for s, t in broken[:8])
+                + (" …" if len(broken) > 8 else "")
+                if broken
+                else "."
+            ),
+            "",
+        ]
+
+    return "\n".join(sections)
+
+
+def write_report(
+    framework: AnalyticsFramework,
+    path: str | Path,
+    detection: DetectionResult | None = None,
+    title: str = "Relationship-graph report",
+) -> Path:
+    """Render and write the report; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(generate_report(framework, detection, title))
+    return path

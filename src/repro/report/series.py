@@ -1,0 +1,40 @@
+"""Numeric series builders for the paper's figures (CDFs, histograms)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["cdf_series", "histogram_series", "cdf_at"]
+
+
+def cdf_series(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as ``(sorted values, cumulative fractions)``.
+
+    The returned series reproduces the paper's CDF plots (Figures 3,
+    4a, 5) as data rather than images.
+    """
+    array = np.asarray(sorted(values), dtype=np.float64)
+    if array.size == 0:
+        return array, array
+    fractions = np.arange(1, array.size + 1, dtype=np.float64) / array.size
+    return array, fractions
+
+
+def cdf_at(values: Sequence[float], point: float) -> float:
+    """Fraction of values <= ``point``."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    return float((array <= point).mean())
+
+
+def histogram_series(
+    values: Sequence[float],
+    bins: "int | Sequence[float]" = 10,
+    value_range: tuple[float, float] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram as ``(bin edges, counts)`` (Figure 4b's BLEU histogram)."""
+    counts, edges = np.histogram(np.asarray(values, dtype=np.float64), bins=bins, range=value_range)
+    return edges, counts

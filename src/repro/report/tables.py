@@ -1,0 +1,36 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_table", "format_row"]
+
+
+def format_row(cells: Sequence[object], widths: Sequence[int]) -> str:
+    """Join cells with ``|`` separators, left-padded to column widths."""
+    return " | ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+
+def ascii_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render dict rows as an aligned text table.
+
+    Column order follows the first row's key order; missing cells
+    render empty.  Benchmarks print these tables so the paper's tables
+    can be compared side by side with the reproduction.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    headers = list(rows[0].keys())
+    matrix = [[str(row.get(column, "")) for column in headers] for row in rows]
+    widths = [
+        max(len(header), *(len(line[index]) for line in matrix))
+        for index, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers, widths))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(format_row(line, widths) for line in matrix)
+    return "\n".join(lines)

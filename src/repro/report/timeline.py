@@ -1,0 +1,44 @@
+"""ASCII rendering of anomaly-score timelines (Figure 8 style)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_timeline", "render_bar"]
+
+
+def render_bar(value: float, width: int = 30, fill: str = "#") -> str:
+    """A fixed-width bar for a value in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"value must be in [0, 1], got {value}")
+    return (fill * int(round(width * value))).ljust(width)
+
+
+def render_timeline(
+    scores: Mapping[int, float],
+    labels: Mapping[int, str] | None = None,
+    width: int = 30,
+    key_name: str = "day",
+) -> str:
+    """Render keyed scores as an aligned bar chart.
+
+    Parameters
+    ----------
+    scores:
+        Key (day/window index) → score in [0, 1].
+    labels:
+        Optional key → annotation (e.g. ``"ANOMALY"``).
+    width:
+        Bar width in characters.
+    key_name:
+        Row prefix (``day`` or ``window``).
+    """
+    labels = labels or {}
+    lines = []
+    for key in sorted(scores):
+        score = scores[key]
+        annotation = labels.get(key, "")
+        lines.append(
+            f"{key_name} {key:>3}: {score:4.2f} {render_bar(score, width)} {annotation}".rstrip()
+        )
+    return "\n".join(lines)

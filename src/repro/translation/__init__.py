@@ -1,0 +1,40 @@
+"""Directional sensor-to-sensor translation and BLEU scoring."""
+
+from .base import TranslationModel
+from .bleu import (
+    BleuBreakdown,
+    bleu_breakdown,
+    brevity_penalty,
+    corpus_bleu,
+    modified_precision,
+    sentence_bleu,
+)
+from .decoding import BeamHypothesis, beam_search_translate
+from .diagnostics import PairDiagnostics, diagnose_pair
+from .factory import ENGINES, make_translator, translator_factory
+from .ngram import NGramTranslator
+from .seq2seq import NMTConfig, Seq2SeqTranslator
+from .trainer import PairTrainer, TrainingRecord, train_with_early_stopping
+
+__all__ = [
+    "BeamHypothesis",
+    "BleuBreakdown",
+    "ENGINES",
+    "NGramTranslator",
+    "NMTConfig",
+    "PairDiagnostics",
+    "PairTrainer",
+    "Seq2SeqTranslator",
+    "TrainingRecord",
+    "TranslationModel",
+    "beam_search_translate",
+    "bleu_breakdown",
+    "brevity_penalty",
+    "corpus_bleu",
+    "diagnose_pair",
+    "make_translator",
+    "modified_precision",
+    "sentence_bleu",
+    "train_with_early_stopping",
+    "translator_factory",
+]

@@ -1,0 +1,61 @@
+"""Common interface for directional sensor-to-sensor translation models."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from ..lang.corpus import ParallelCorpus
+from .bleu import corpus_bleu
+
+__all__ = ["TranslationModel"]
+
+Sentence = tuple[str, ...]
+
+
+class TranslationModel(abc.ABC):
+    """A directional model translating one sensor's language into another's.
+
+    Implementations are fitted on a :class:`~repro.lang.ParallelCorpus`
+    and then translate arbitrary source sentences.  The derived
+    :meth:`score` — corpus BLEU of the translations against the aligned
+    target sentences — is the pairwise relationship metric ``s(i, j)``
+    of Algorithm 1 and the test statistic ``f(i, j)`` of Algorithm 2.
+    """
+
+    def __init__(self) -> None:
+        self.source_sensor: str | None = None
+        self.target_sensor: str | None = None
+        self.fitted = False
+
+    @abc.abstractmethod
+    def fit(self, corpus: ParallelCorpus) -> "TranslationModel":
+        """Train the model on aligned sentence pairs."""
+
+    @abc.abstractmethod
+    def translate(self, source_sentences: Sequence[Sentence]) -> list[Sentence]:
+        """Translate source sentences into target-language sentences."""
+
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError(f"{type(self).__name__} has not been fitted")
+
+    def _check_corpus(self, corpus: ParallelCorpus) -> None:
+        if self.source_sensor is not None and corpus.source_sensor != self.source_sensor:
+            raise ValueError(
+                f"corpus source {corpus.source_sensor!r} != model source {self.source_sensor!r}"
+            )
+        if self.target_sensor is not None and corpus.target_sensor != self.target_sensor:
+            raise ValueError(
+                f"corpus target {corpus.target_sensor!r} != model target {self.target_sensor!r}"
+            )
+
+    def score(self, corpus: ParallelCorpus, smooth: bool = True) -> float:
+        """Corpus BLEU (0–100) of this model's translations of ``corpus``."""
+        self._check_fitted()
+        self._check_corpus(corpus)
+        if len(corpus) == 0:
+            raise ValueError("cannot score an empty corpus")
+        translations = self.translate(corpus.source_sentences)
+        return corpus_bleu(translations, corpus.target_sentences, smooth=smooth)

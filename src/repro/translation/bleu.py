@@ -1,0 +1,173 @@
+"""BLEU — BiLingual Evaluation Understudy (Papineni et al., 2002).
+
+The paper uses BLEU on a 0–100 scale as the translation score
+``s(i, j)`` that quantifies the relationship between two sensors.  This
+module implements corpus-level BLEU with modified n-gram precision and
+the brevity penalty, plus a smoothed sentence-level variant (Lin & Och
+smoothing: add-one on higher-order precisions) for short sentences.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Sequence
+
+__all__ = [
+    "corpus_bleu",
+    "sentence_bleu",
+    "modified_precision",
+    "brevity_penalty",
+    "BleuBreakdown",
+    "bleu_breakdown",
+]
+
+Sentence = Sequence[str]
+
+
+def _ngrams(sentence: Sentence, order: int) -> Counter:
+    return Counter(
+        tuple(sentence[i : i + order]) for i in range(len(sentence) - order + 1)
+    )
+
+
+def modified_precision(
+    candidates: Sequence[Sentence], references: Sequence[Sentence], order: int
+) -> tuple[int, int]:
+    """Clipped n-gram matches and totals across a corpus.
+
+    Returns ``(matched, total)`` for n-grams of size ``order``; the
+    modified precision is ``matched / total``.
+    """
+    matched = 0
+    total = 0
+    for candidate, reference in zip(candidates, references):
+        candidate_counts = _ngrams(candidate, order)
+        reference_counts = _ngrams(reference, order)
+        total += sum(candidate_counts.values())
+        matched += sum(
+            min(count, reference_counts[gram]) for gram, count in candidate_counts.items()
+        )
+    return matched, total
+
+
+def brevity_penalty(candidate_length: int, reference_length: int) -> float:
+    """Exponential penalty for candidates shorter than their references."""
+    if candidate_length == 0:
+        return 0.0
+    if candidate_length >= reference_length:
+        return 1.0
+    return math.exp(1.0 - reference_length / candidate_length)
+
+
+def corpus_bleu(
+    candidates: Sequence[Sentence],
+    references: Sequence[Sentence],
+    max_order: int = 4,
+    smooth: bool = False,
+) -> float:
+    """Corpus-level BLEU on the paper's 0–100 scale.
+
+    Parameters
+    ----------
+    candidates, references:
+        Parallel lists of token sequences (one reference per candidate,
+        as in the paper's sensor-to-sensor setting).
+    max_order:
+        Largest n-gram order (standard BLEU-4).
+    smooth:
+        When true, zero counts at higher orders are add-one smoothed
+        instead of zeroing the whole score; useful for very short
+        sentences.
+    """
+    if len(candidates) != len(references):
+        raise ValueError(
+            f"candidate/reference count mismatch: {len(candidates)} vs {len(references)}"
+        )
+    if not candidates:
+        raise ValueError("corpus_bleu requires at least one sentence pair")
+
+    # Only orders for which at least one candidate n-gram exists are
+    # feasible; short sentences are scored over their feasible orders
+    # with uniform weights (the effective-order convention).
+    stats: list[tuple[int, int, int]] = []
+    for order in range(1, max_order + 1):
+        matched, total = modified_precision(candidates, references, order)
+        if total > 0:
+            stats.append((order, matched, total))
+    if not stats:
+        return 0.0
+
+    weight = 1.0 / len(stats)
+    log_precision_sum = 0.0
+    for order, matched, total in stats:
+        if matched == 0:
+            # Unigram misses mean the candidate shares no tokens with
+            # the reference: the score is 0 regardless of smoothing.
+            # Higher-order zeros are add-one smoothed (Lin & Och) when
+            # requested.
+            if order == 1 or not smooth:
+                return 0.0
+            matched, total = 1, total + 1
+        log_precision_sum += weight * math.log(matched / total)
+
+    candidate_length = sum(len(c) for c in candidates)
+    reference_length = sum(len(r) for r in references)
+    bp = brevity_penalty(candidate_length, reference_length)
+    return 100.0 * bp * math.exp(log_precision_sum)
+
+
+def sentence_bleu(
+    candidate: Sentence, reference: Sentence, max_order: int = 4
+) -> float:
+    """Smoothed single-sentence BLEU on the 0–100 scale."""
+    return corpus_bleu([candidate], [reference], max_order=max_order, smooth=True)
+
+
+class BleuBreakdown:
+    """Per-order diagnostics behind a corpus BLEU score.
+
+    Useful when interpreting an edge: a pair with high unigram but low
+    4-gram precision shares vocabulary but not dynamics; a pair with a
+    low brevity penalty under-translates.
+    """
+
+    def __init__(
+        self,
+        precisions: dict[int, float],
+        brevity_penalty_value: float,
+        candidate_length: int,
+        reference_length: int,
+        score: float,
+    ) -> None:
+        self.precisions = precisions
+        self.brevity_penalty = brevity_penalty_value
+        self.candidate_length = candidate_length
+        self.reference_length = reference_length
+        self.score = score
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"p{o}={p:.2f}" for o, p in self.precisions.items())
+        return f"BleuBreakdown({parts}, bp={self.brevity_penalty:.2f}, score={self.score:.1f})"
+
+
+def bleu_breakdown(
+    candidates: Sequence[Sentence],
+    references: Sequence[Sentence],
+    max_order: int = 4,
+) -> BleuBreakdown:
+    """Per-order modified precisions, brevity penalty and the score."""
+    precisions: dict[int, float] = {}
+    for order in range(1, max_order + 1):
+        matched, total = modified_precision(candidates, references, order)
+        if total > 0:
+            precisions[order] = matched / total
+    candidate_length = sum(len(c) for c in candidates)
+    reference_length = sum(len(r) for r in references)
+    return BleuBreakdown(
+        precisions=precisions,
+        brevity_penalty_value=brevity_penalty(candidate_length, reference_length),
+        candidate_length=candidate_length,
+        reference_length=reference_length,
+        score=corpus_bleu(candidates, references, max_order=max_order, smooth=True),
+    )

@@ -1,0 +1,124 @@
+"""Decoding strategies for the seq2seq translator.
+
+Greedy decoding (the default inside
+:meth:`repro.translation.Seq2SeqTranslator.translate`) picks the argmax
+token at every step.  Beam search — the standard NMT inference strategy
+of the paper's citation [23] — keeps the ``beam_width`` best partial
+hypotheses and returns the highest-scoring completed one, with an
+optional length penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+__all__ = ["BeamHypothesis", "beam_search_translate"]
+
+
+@dataclass(order=True)
+class BeamHypothesis:
+    """A partial or completed decode, ordered by normalised score."""
+
+    sort_key: float = field(init=False, repr=False)
+    log_probability: float
+    tokens: tuple[int, ...] = field(compare=False)
+    state: object = field(compare=False)
+    finished: bool = field(compare=False, default=False)
+
+    def __post_init__(self) -> None:
+        self.sort_key = self.normalised_score()
+
+    def normalised_score(self, length_penalty: float = 0.6) -> float:
+        """Google-NMT style length-normalised log probability."""
+        length = max(1, len(self.tokens))
+        norm = ((5.0 + length) / 6.0) ** length_penalty
+        return self.log_probability / norm
+
+
+def beam_search_translate(
+    translator: "Seq2SeqTranslator",
+    source_sentence: tuple[str, ...],
+    beam_width: int = 4,
+    max_length: int | None = None,
+    length_penalty: float = 0.6,
+) -> tuple[str, ...]:
+    """Beam-search decode one sentence with a fitted seq2seq translator.
+
+    Parameters
+    ----------
+    translator:
+        A fitted :class:`~repro.translation.Seq2SeqTranslator`.
+    source_sentence:
+        Words in the source sensor's language.
+    beam_width:
+        Number of hypotheses kept per step.
+    max_length:
+        Decode limit; defaults to source length + 1 (sentences are
+        near-isochronous in this domain).
+    length_penalty:
+        Exponent of the GNMT length normaliser (0 disables it).
+
+    Returns
+    -------
+    The best hypothesis's words (specials stripped).
+    """
+    translator._check_fitted()
+    if beam_width < 1:
+        raise ValueError("beam_width must be >= 1")
+    vocab = translator.target_vocab
+    assert vocab is not None
+    if max_length is None:
+        max_length = len(source_sentence) + 1
+
+    with nn.no_grad():
+        source_ids, source_mask = translator._encode_batch([source_sentence])
+        encoder_outputs, initial_state = translator._run_encoder(source_ids)
+
+        beams = [
+            BeamHypothesis(
+                log_probability=0.0, tokens=(vocab.bos_id,), state=initial_state
+            )
+        ]
+        completed: list[BeamHypothesis] = []
+
+        for _ in range(max_length):
+            candidates: list[BeamHypothesis] = []
+            for beam in beams:
+                if beam.finished:
+                    completed.append(beam)
+                    continue
+                token = np.array([beam.tokens[-1]], dtype=np.int64)
+                logits, state = translator._decode_step(
+                    token, beam.state, encoder_outputs, source_mask
+                )
+                log_probs = F.log_softmax(logits, axis=-1).data[0]
+                top = np.argsort(log_probs)[::-1][:beam_width]
+                for token_id in top:
+                    candidates.append(
+                        BeamHypothesis(
+                            log_probability=beam.log_probability + float(log_probs[token_id]),
+                            tokens=beam.tokens + (int(token_id),),
+                            state=state,
+                            finished=int(token_id) == vocab.eos_id,
+                        )
+                    )
+            if not candidates:
+                beams = []
+                break
+            candidates.sort(
+                key=lambda hyp: hyp.normalised_score(length_penalty), reverse=True
+            )
+            beams = candidates[:beam_width]
+            if all(beam.finished for beam in beams):
+                break
+        # Hypotheses still in the beam (finished on the last step, or
+        # truncated by max_length) compete alongside earlier completions.
+        completed.extend(beams)
+
+        best = max(completed, key=lambda hyp: hyp.normalised_score(length_penalty))
+    return tuple(vocab.decode(best.tokens))

@@ -1,0 +1,118 @@
+"""Pairwise relationship diagnostics.
+
+Answers the operator question "why does this edge have this score?" by
+combining the BLEU breakdown (which n-gram orders fail), the two
+languages' statistics (is the target trivially constant?) and the edge
+asymmetry.  This is the quantitative version of the paper's Section
+III-C investigation into why [90, 100] edges are useless — "a
+significant portion of words in the vocabulary of these target sensors
+are 'aaaaaaaa'".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..lang.statistics import LanguageStatistics, language_statistics
+from .bleu import BleuBreakdown, bleu_breakdown
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (graph imports translation)
+    from ..graph.mvrg import MultivariateRelationshipGraph
+
+__all__ = ["PairDiagnostics", "diagnose_pair"]
+
+
+@dataclass(frozen=True)
+class PairDiagnostics:
+    """Everything known about one directed relationship."""
+
+    source: str
+    target: str
+    score: float
+    reverse_score: float | None
+    breakdown: BleuBreakdown
+    source_language: LanguageStatistics
+    target_language: LanguageStatistics
+
+    @property
+    def asymmetry(self) -> float | None:
+        """|s(i,j) − s(j,i)| when the reverse edge exists."""
+        if self.reverse_score is None:
+            return None
+        return abs(self.score - self.reverse_score)
+
+    @property
+    def trivially_translatable(self) -> bool:
+        """High score explained by a near-constant target language —
+        the [90, 100] failure mode of Figure 8b."""
+        return self.score >= 90.0 and self.target_language.is_trivial()
+
+    @property
+    def shares_vocabulary_not_dynamics(self) -> bool:
+        """Unigrams match but higher orders collapse: the sensors use
+        similar states without moving together."""
+        precisions = self.breakdown.precisions
+        if 1 not in precisions or 4 not in precisions:
+            return False
+        return precisions[1] >= 0.7 and precisions[4] <= 0.3
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable reading of the edge."""
+        lines = [
+            f"{self.source} -> {self.target}: BLEU {self.score:.1f}"
+            + (
+                f" (reverse {self.reverse_score:.1f})"
+                if self.reverse_score is not None
+                else ""
+            )
+        ]
+        precisions = ", ".join(
+            f"p{order}={value:.2f}" for order, value in self.breakdown.precisions.items()
+        )
+        lines.append(f"  n-gram precisions: {precisions}; BP {self.breakdown.brevity_penalty:.2f}")
+        lines.append(
+            f"  target language: vocab {self.target_language.vocabulary_size}, "
+            f"entropy {self.target_language.word_entropy_bits:.2f} bits, "
+            f"top word {self.target_language.most_common_fraction:.0%}"
+        )
+        if self.trivially_translatable:
+            lines.append("  verdict: trivially translatable target (weak evidence of a real relationship)")
+        elif self.shares_vocabulary_not_dynamics:
+            lines.append("  verdict: shared vocabulary without shared dynamics")
+        elif self.score >= 80.0:
+            lines.append("  verdict: strong behavioural relationship")
+        else:
+            lines.append("  verdict: weak relationship")
+        return "\n".join(lines)
+
+
+def diagnose_pair(
+    graph: "MultivariateRelationshipGraph", source: str, target: str
+) -> PairDiagnostics:
+    """Diagnose the directed edge ``source -> target`` of a fitted graph.
+
+    Translations are recomputed on the training languages' sentence
+    corpora, so the breakdown reflects the same data that produced the
+    edge score.
+    """
+    relationship = graph[(source, target)]
+    source_language = graph.corpus[source]
+    target_language = graph.corpus[target]
+    translations = relationship.model.translate(source_language.sentences)
+    count = min(len(translations), len(target_language.sentences))
+    breakdown = bleu_breakdown(
+        translations[:count], target_language.sentences[:count]
+    )
+    reverse_score = (
+        graph.score(target, source) if (target, source) in graph else None
+    )
+    return PairDiagnostics(
+        source=source,
+        target=target,
+        score=relationship.score,
+        reverse_score=reverse_score,
+        breakdown=breakdown,
+        source_language=language_statistics(source_language),
+        target_language=language_statistics(target_language),
+    )

@@ -1,0 +1,42 @@
+"""Factory for translation engines.
+
+The relationship-graph layer is engine-agnostic: any
+:class:`~repro.translation.base.TranslationModel` can quantify a pair.
+``"seq2seq"`` is the paper's NMT model; ``"ngram"`` is the fast
+count-based surrogate used by the full-scale benchmarks (DESIGN.md,
+"Substitutions").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import TranslationModel
+from .ngram import NGramTranslator
+from .seq2seq import NMTConfig, Seq2SeqTranslator
+
+__all__ = ["make_translator", "translator_factory", "ENGINES"]
+
+ENGINES = ("seq2seq", "ngram")
+
+
+def make_translator(engine: str = "ngram", config: NMTConfig | None = None) -> TranslationModel:
+    """Instantiate a fresh translator for one directed sensor pair."""
+    if engine == "seq2seq":
+        return Seq2SeqTranslator(config)
+    if engine == "ngram":
+        return NGramTranslator()
+    raise ValueError(f"unknown translation engine {engine!r}; choose from {ENGINES}")
+
+
+def translator_factory(
+    engine: str = "ngram", config: NMTConfig | None = None
+) -> Callable[[], TranslationModel]:
+    """Return a zero-argument callable producing fresh translators.
+
+    Algorithm 1 trains one model per directed pair; passing a factory
+    instead of an instance keeps pair models independent.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown translation engine {engine!r}; choose from {ENGINES}")
+    return lambda: make_translator(engine, config)

@@ -1,0 +1,88 @@
+"""Count-based surrogate translation model.
+
+The paper trains one seq2seq NMT model per directed sensor pair — over
+32,000 models for the 128-sensor plant.  On a single CPU that is not
+tractable with the neural model, so the full-scale benchmarks use this
+surrogate (see DESIGN.md "Substitutions").  It predicts each target
+word from the time-aligned source word with a backoff chain
+
+    P(t_k | s_k, t_{k-1})  →  P(t_k | s_k)  →  P(t_k),
+
+decoded greedily.  Like the neural model, it produces high BLEU when
+the target sensor's word stream is predictable from the source's
+(strong pairwise relationship) and low BLEU otherwise, which is the
+only property Algorithm 1/2 consume.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Sequence
+
+from ..lang.corpus import ParallelCorpus
+from ..lang.vocabulary import BOS
+from .base import Sentence, TranslationModel
+
+__all__ = ["NGramTranslator"]
+
+
+class NGramTranslator(TranslationModel):
+    """Positionally aligned conditional-frequency translator.
+
+    Parameters
+    ----------
+    use_target_history:
+        When true (default), condition on the previously emitted target
+        word in addition to the aligned source word, capturing target
+        language continuity (analogous to the decoder's recurrence).
+    """
+
+    def __init__(self, use_target_history: bool = True) -> None:
+        super().__init__()
+        self.use_target_history = use_target_history
+        self._joint: dict[tuple[str, str], Counter] = defaultdict(Counter)
+        self._conditional: dict[str, Counter] = defaultdict(Counter)
+        self._marginal: Counter = Counter()
+
+    def fit(self, corpus: ParallelCorpus) -> "NGramTranslator":
+        if len(corpus) == 0:
+            raise ValueError("cannot fit on an empty corpus")
+        self.source_sensor = corpus.source_sensor
+        self.target_sensor = corpus.target_sensor
+        self._joint.clear()
+        self._conditional.clear()
+        self._marginal.clear()
+        for source, target in corpus:
+            previous = BOS
+            for source_word, target_word in zip(source, target):
+                self._joint[(source_word, previous)][target_word] += 1
+                self._conditional[source_word][target_word] += 1
+                self._marginal[target_word] += 1
+                previous = target_word
+        self.fitted = True
+        return self
+
+    def _predict_word(self, source_word: str, previous: str) -> str:
+        if self.use_target_history:
+            joint = self._joint.get((source_word, previous))
+            if joint:
+                return joint.most_common(1)[0][0]
+        conditional = self._conditional.get(source_word)
+        if conditional:
+            return conditional.most_common(1)[0][0]
+        if not self._marginal:
+            raise RuntimeError("model has no statistics; was fit() called?")
+        return self._marginal.most_common(1)[0][0]
+
+    def translate(self, source_sentences: Sequence[Sentence]) -> list[Sentence]:
+        self._check_fitted()
+        translations: list[Sentence] = []
+        for sentence in source_sentences:
+            previous = BOS
+            output: list[str] = []
+            for source_word in sentence:
+                predicted = self._predict_word(source_word, previous)
+                output.append(predicted)
+                previous = predicted
+            translations.append(tuple(output))
+        return translations

@@ -1,0 +1,262 @@
+"""Seq2seq-with-attention NMT translator (the paper's model).
+
+Architecture per Section III-A2: a 2-layer LSTM encoder maps the source
+sentence to fixed-size states; a 2-layer LSTM decoder with Luong
+attention (citation [23]) emits the target sentence.  Paper settings:
+embedding 64, hidden units 64, dropout 0.2, 1000 training steps.
+
+Runs on the from-scratch :mod:`repro.nn` substrate (no GPU/TensorFlow
+in this environment; see DESIGN.md "Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .. import nn
+from ..lang.corpus import ParallelCorpus
+from ..lang.vocabulary import Vocabulary
+from ..nn import functional as F
+from .base import Sentence, TranslationModel
+
+__all__ = ["NMTConfig", "Seq2SeqTranslator"]
+
+
+@dataclass(frozen=True)
+class NMTConfig:
+    """Hyper-parameters of the NMT model.
+
+    Defaults are the paper's published settings; tests and CPU-bound
+    benchmarks shrink them.
+    """
+
+    embedding_size: int = 64
+    hidden_size: int = 64
+    num_layers: int = 2
+    dropout: float = 0.2
+    training_steps: int = 1000
+    batch_size: int = 16
+    learning_rate: float = 1e-3
+    clip_norm: float = 5.0
+    seed: int = 0
+    recurrent_unit: str = "lstm"
+    attention_score: str = "general"
+
+    def __post_init__(self) -> None:
+        if self.embedding_size < 1 or self.hidden_size < 1 or self.num_layers < 1:
+            raise ValueError("model dimensions must be positive")
+        if self.training_steps < 1 or self.batch_size < 1:
+            raise ValueError("training_steps and batch_size must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        if self.recurrent_unit not in ("lstm", "gru"):
+            raise ValueError(f"recurrent_unit must be 'lstm' or 'gru', got {self.recurrent_unit!r}")
+        if self.attention_score not in ("dot", "general", "concat"):
+            raise ValueError(f"unknown attention score {self.attention_score!r}")
+
+    @classmethod
+    def small(cls, seed: int = 0) -> "NMTConfig":
+        """A CPU-friendly configuration for tests and examples."""
+        return cls(
+            embedding_size=16,
+            hidden_size=16,
+            num_layers=2,
+            dropout=0.1,
+            training_steps=120,
+            batch_size=8,
+            seed=seed,
+        )
+
+
+class Seq2SeqTranslator(TranslationModel):
+    """Directional LSTM encoder–decoder with Luong attention."""
+
+    def __init__(self, config: NMTConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or NMTConfig()
+        self.source_vocab: Vocabulary | None = None
+        self.target_vocab: Vocabulary | None = None
+        self._rng = np.random.default_rng(self.config.seed)
+        self.loss_history: list[float] = []
+        # Modules created in fit(), once vocab sizes are known.
+        self._encoder_embedding: nn.Embedding | None = None
+        self._encoder: nn.LSTM | None = None
+        self._decoder_embedding: nn.Embedding | None = None
+        self._decoder: nn.LSTM | None = None
+        self._attention: nn.LuongAttention | None = None
+        self._projection: nn.Linear | None = None
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        cfg = self.config
+        assert self.source_vocab is not None and self.target_vocab is not None
+        rng = self._rng
+        recurrent = nn.LSTM if cfg.recurrent_unit == "lstm" else nn.GRU
+        self._encoder_embedding = nn.Embedding(len(self.source_vocab), cfg.embedding_size, rng=rng)
+        self._encoder = recurrent(
+            cfg.embedding_size, cfg.hidden_size, cfg.num_layers, dropout=cfg.dropout, rng=rng
+        )
+        self._decoder_embedding = nn.Embedding(len(self.target_vocab), cfg.embedding_size, rng=rng)
+        self._decoder = recurrent(
+            cfg.embedding_size, cfg.hidden_size, cfg.num_layers, dropout=cfg.dropout, rng=rng
+        )
+        self._attention = nn.LuongAttention(cfg.hidden_size, rng=rng, score=cfg.attention_score)
+        self._projection = nn.Linear(cfg.hidden_size, len(self.target_vocab), rng=rng)
+
+    def _modules(self) -> list[nn.Module]:
+        modules = [
+            self._encoder_embedding,
+            self._encoder,
+            self._decoder_embedding,
+            self._decoder,
+            self._attention,
+            self._projection,
+        ]
+        assert all(module is not None for module in modules)
+        return modules  # type: ignore[return-value]
+
+    def parameters(self) -> list[nn.Parameter]:
+        params: list[nn.Parameter] = []
+        for module in self._modules():
+            params.extend(module.parameters())
+        return params
+
+    def _set_training(self, flag: bool) -> None:
+        for module in self._modules():
+            module.train() if flag else module.eval()
+
+    # ------------------------------------------------------------------
+    def _encode_batch(self, sentences: Sequence[Sentence]) -> tuple[np.ndarray, np.ndarray]:
+        """Return padded source id matrix and its mask."""
+        assert self.source_vocab is not None
+        length = max(len(sentence) for sentence in sentences)
+        ids = np.full((len(sentences), length), self.source_vocab.pad_id, dtype=np.int64)
+        mask = np.zeros((len(sentences), length), dtype=np.float64)
+        for row, sentence in enumerate(sentences):
+            encoded = self.source_vocab.encode(sentence)
+            ids[row, : len(encoded)] = encoded
+            mask[row, : len(encoded)] = 1.0
+        return ids, mask
+
+    def _target_batch(self, sentences: Sequence[Sentence]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (decoder inputs, decoder targets, mask) with BOS/EOS."""
+        assert self.target_vocab is not None
+        vocab = self.target_vocab
+        length = max(len(sentence) for sentence in sentences) + 1  # room for EOS
+        inputs = np.full((len(sentences), length), vocab.pad_id, dtype=np.int64)
+        targets = np.full((len(sentences), length), vocab.pad_id, dtype=np.int64)
+        mask = np.zeros((len(sentences), length), dtype=np.float64)
+        for row, sentence in enumerate(sentences):
+            encoded = vocab.encode(sentence, add_eos=True)
+            inputs[row, 0] = vocab.bos_id
+            inputs[row, 1 : len(encoded)] = encoded[:-1]
+            targets[row, : len(encoded)] = encoded
+            mask[row, : len(encoded)] = 1.0
+        return inputs, targets, mask
+
+    def _run_encoder(self, source_ids: np.ndarray) -> tuple[nn.Tensor, nn.LSTMState]:
+        assert self._encoder_embedding is not None and self._encoder is not None
+        embedded = self._encoder_embedding(source_ids)
+        return self._encoder(embedded)
+
+    def _decode_step(
+        self,
+        token_ids: np.ndarray,
+        state: nn.LSTMState,
+        encoder_outputs: nn.Tensor,
+        source_mask: np.ndarray,
+    ) -> tuple[nn.Tensor, nn.LSTMState]:
+        """One decoder step: embed, recur, attend, project to logits."""
+        assert (
+            self._decoder_embedding is not None
+            and self._decoder is not None
+            and self._attention is not None
+            and self._projection is not None
+        )
+        embedded = self._decoder_embedding(token_ids)
+        hidden, state = self._decoder.step(embedded, state)
+        attentional, _ = self._attention(hidden, encoder_outputs, source_mask)
+        logits = self._projection(attentional)
+        return logits, state
+
+    # ------------------------------------------------------------------
+    def fit(self, corpus: ParallelCorpus) -> "Seq2SeqTranslator":
+        if len(corpus) == 0:
+            raise ValueError("cannot fit on an empty corpus")
+        self.source_sensor = corpus.source_sensor
+        self.target_sensor = corpus.target_sensor
+        self.source_vocab = Vocabulary.from_sentences(corpus.source_sentences)
+        self.target_vocab = Vocabulary.from_sentences(corpus.target_sentences)
+        self._build()
+        self._set_training(True)
+
+        optimizer = nn.Adam(self.parameters(), lr=self.config.learning_rate)
+        pairs = corpus.pairs
+        batch_size = min(self.config.batch_size, len(pairs))
+        self.loss_history = []
+
+        for _ in range(self.config.training_steps):
+            chosen = self._rng.choice(len(pairs), size=batch_size, replace=False)
+            sources = [pairs[i][0] for i in chosen]
+            targets = [pairs[i][1] for i in chosen]
+
+            source_ids, source_mask = self._encode_batch(sources)
+            decoder_inputs, decoder_targets, target_mask = self._target_batch(targets)
+
+            encoder_outputs, encoder_state = self._run_encoder(source_ids)
+            state = encoder_state
+            step_logits: list[nn.Tensor] = []
+            for t in range(decoder_inputs.shape[1]):
+                logits, state = self._decode_step(
+                    decoder_inputs[:, t], state, encoder_outputs, source_mask
+                )
+                step_logits.append(logits)
+            all_logits = nn.Tensor.stack(step_logits, axis=1)
+            loss = F.masked_cross_entropy(all_logits, decoder_targets, target_mask)
+
+            optimizer.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(self.parameters(), self.config.clip_norm)
+            optimizer.step()
+            self.loss_history.append(loss.item())
+
+        self._set_training(False)
+        self.fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def translate(
+        self, source_sentences: Sequence[Sentence], max_length: int | None = None
+    ) -> list[Sentence]:
+        """Greedy decoding of each source sentence."""
+        self._check_fitted()
+        assert self.target_vocab is not None
+        if not source_sentences:
+            return []
+        if max_length is None:
+            max_length = max(len(sentence) for sentence in source_sentences) + 1
+        vocab = self.target_vocab
+
+        with nn.no_grad():
+            source_ids, source_mask = self._encode_batch(source_sentences)
+            encoder_outputs, state = self._run_encoder(source_ids)
+            batch = source_ids.shape[0]
+            tokens = np.full(batch, vocab.bos_id, dtype=np.int64)
+            finished = np.zeros(batch, dtype=bool)
+            outputs: list[list[str]] = [[] for _ in range(batch)]
+            for _ in range(max_length):
+                logits, state = self._decode_step(tokens, state, encoder_outputs, source_mask)
+                tokens = logits.data.argmax(axis=1)
+                for row in range(batch):
+                    if finished[row]:
+                        continue
+                    if tokens[row] == vocab.eos_id:
+                        finished[row] = True
+                    else:
+                        outputs[row].append(vocab.word_of(int(tokens[row])))
+                if finished.all():
+                    break
+        return [tuple(words) for words in outputs]

@@ -1,0 +1,86 @@
+"""Tests for the random forest and class balancing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomForest, balance_classes
+
+
+def labelled_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, 5))
+    labels = ((features[:, 0] + features[:, 3]) > 0).astype(int)
+    return features, labels
+
+
+class TestRandomForest:
+    def test_learns_linear_boundary(self):
+        features, labels = labelled_data()
+        forest = RandomForest(num_trees=20, max_depth=6, seed=0).fit(features, labels)
+        assert (forest.predict(features) == labels).mean() > 0.95
+
+    def test_predict_proba_distribution(self):
+        features, labels = labelled_data(100)
+        forest = RandomForest(num_trees=10, max_depth=4, seed=1).fit(features, labels)
+        proba = forest.predict_proba(features)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(100), rtol=1e-10)
+
+    def test_feature_importance_ranks_informative_features(self):
+        features, labels = labelled_data(400, seed=2)
+        forest = RandomForest(num_trees=25, max_depth=6, seed=2).fit(features, labels)
+        ranking = forest.feature_ranking([f"f{i}" for i in range(5)])
+        top_two = {name for name, _ in ranking[:2]}
+        assert top_two == {"f0", "f3"}
+
+    def test_feature_ranking_top_k(self):
+        features, labels = labelled_data(100)
+        forest = RandomForest(num_trees=5, max_depth=3, seed=0).fit(features, labels)
+        assert len(forest.feature_ranking(["a", "b", "c", "d", "e"], top=3)) == 3
+
+    def test_ranking_name_mismatch_rejected(self):
+        features, labels = labelled_data(50)
+        forest = RandomForest(num_trees=2, max_depth=2, seed=0).fit(features, labels)
+        with pytest.raises(ValueError):
+            forest.feature_ranking(["only", "four", "names", "here"])
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForest().predict(np.zeros((1, 3)))
+
+    def test_seeded_determinism(self):
+        features, labels = labelled_data(120)
+        a = RandomForest(num_trees=8, max_depth=4, seed=5).fit(features, labels)
+        b = RandomForest(num_trees=8, max_depth=4, seed=5).fit(features, labels)
+        np.testing.assert_array_equal(a.predict(features), b.predict(features))
+
+
+class TestBalanceClasses:
+    def test_one_to_one_ratio(self):
+        rng = np.random.default_rng(0)
+        features = np.arange(100)[:, None].astype(float)
+        labels = np.array([1] * 10 + [0] * 90)
+        balanced_x, balanced_y = balance_classes(features, labels, rng)
+        assert (balanced_y == 1).sum() == 10
+        assert (balanced_y == 0).sum() == 10
+
+    def test_minority_rows_all_kept(self):
+        rng = np.random.default_rng(1)
+        features = np.arange(50)[:, None].astype(float)
+        labels = np.array([1] * 5 + [0] * 45)
+        balanced_x, balanced_y = balance_classes(features, labels, rng)
+        minority_values = set(balanced_x[balanced_y == 1, 0])
+        assert minority_values == set(range(5))
+
+    def test_custom_ratio(self):
+        rng = np.random.default_rng(2)
+        features = np.zeros((100, 1))
+        labels = np.array([1] * 10 + [0] * 90)
+        _, balanced_y = balance_classes(features, labels, rng, ratio=2.0)
+        assert (balanced_y == 0).sum() == 20
+
+    def test_multiclass_rejected(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            balance_classes(np.zeros((3, 1)), np.array([0, 1, 2]), rng)

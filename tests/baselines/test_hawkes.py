@@ -1,0 +1,129 @@
+"""Tests for the multivariate Hawkes baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    HawkesAnomalyDetector,
+    MultivariateHawkes,
+    state_change_times,
+)
+from repro.lang import EventSequence, MultivariateEventLog
+
+
+class TestStateChangeTimes:
+    def test_changes_extracted(self):
+        seq = EventSequence("s", ["a", "a", "b", "b", "a"])
+        np.testing.assert_array_equal(state_change_times(seq), [2.0, 4.0])
+
+    def test_constant_sequence_has_no_events(self):
+        assert state_change_times(EventSequence("s", ["x"] * 10)).size == 0
+
+
+def cascading_events(total: float, rng, rate=0.05, lag=2.0):
+    """Dimension 'a' fires Poisson; 'b' echoes each 'a' event after ~lag."""
+    a = np.sort(rng.uniform(0, total, size=rng.poisson(rate * total)))
+    b = np.sort(a + rng.exponential(lag, size=len(a)))
+    b = b[b < total]
+    return {"a": a, "b": b}
+
+
+class TestMultivariateHawkes:
+    def test_fit_produces_valid_parameters(self):
+        rng = np.random.default_rng(0)
+        events = cascading_events(2000, rng)
+        model = MultivariateHawkes(decay=0.5, iterations=40).fit(events, 2000.0)
+        assert model.mu_.shape == (2,)
+        assert model.alpha_.shape == (2, 2)
+        assert (model.mu_ > 0).all()
+        assert (model.alpha_ >= 0).all()
+
+    def test_learns_directional_excitation(self):
+        """a triggers b, so α[b, a] should dominate α[a, b]."""
+        rng = np.random.default_rng(1)
+        events = cascading_events(4000, rng)
+        model = MultivariateHawkes(decay=0.5, iterations=60).fit(events, 4000.0)
+        a, b = model.dimensions.index("a"), model.dimensions.index("b")
+        assert model.alpha_[b, a] > model.alpha_[a, b] + 0.1
+
+    def test_influence_graph_edges(self):
+        rng = np.random.default_rng(2)
+        events = cascading_events(4000, rng)
+        model = MultivariateHawkes(decay=0.5, iterations=60).fit(events, 4000.0)
+        edges = model.influence_graph(threshold=0.2)
+        assert ("a", "b") in edges  # a excites b
+
+    def test_likelihood_prefers_training_like_data(self):
+        rng = np.random.default_rng(3)
+        events = cascading_events(3000, rng)
+        model = MultivariateHawkes(decay=0.5, iterations=40).fit(events, 3000.0)
+        similar = cascading_events(500, np.random.default_rng(4))
+        # Decoupled data: b independent of a.
+        decoupled = {
+            "a": np.sort(rng.uniform(0, 500, size=len(similar["a"]))),
+            "b": np.sort(rng.uniform(0, 500, size=len(similar["b"]))),
+        }
+        assert model.log_likelihood(similar, 500.0) > model.log_likelihood(decoupled, 500.0)
+
+    def test_empty_stream(self):
+        model = MultivariateHawkes().fit({"a": np.zeros(0), "b": np.zeros(0)}, 100.0)
+        assert (model.alpha_ == 0).all()
+        ll = model.log_likelihood({"a": np.zeros(0), "b": np.zeros(0)}, 100.0)
+        assert np.isfinite(ll)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MultivariateHawkes(decay=0.0)
+        with pytest.raises(ValueError):
+            MultivariateHawkes(iterations=0)
+        with pytest.raises(ValueError):
+            MultivariateHawkes().fit({"a": np.zeros(0)}, horizon=0.0)
+
+    def test_unfitted_likelihood_rejected(self):
+        with pytest.raises(RuntimeError):
+            MultivariateHawkes().log_likelihood({"a": np.zeros(0)}, 10.0)
+
+
+class TestHawkesAnomalyDetector:
+    @pytest.fixture()
+    def logs(self):
+        def make(total, seed):
+            rng = np.random.default_rng(seed)
+            a = [("ON" if (t // 6) % 2 == 0 else "OFF") for t in range(total)]
+            b = ["OFF"] + a[:-1]
+            return MultivariateEventLog.from_mapping({"a": a, "b": b})
+
+        return make(600, 0), make(300, 1)
+
+    def test_quiet_on_normal_windows(self, logs):
+        train, dev = logs
+        detector = HawkesAnomalyDetector(window_size=30).fit(train, dev)
+        result = detector.detect(dev)
+        assert result.anomaly_scores.mean() < 0.3
+
+    def test_flags_event_storms(self, logs):
+        """A burst of rapid state changes is a likelihood collapse."""
+        train, dev = logs
+        detector = HawkesAnomalyDetector(window_size=30).fit(train, dev)
+        rng = np.random.default_rng(5)
+        storm = MultivariateEventLog.from_mapping(
+            {
+                "a": [str(rng.integers(0, 2)) for _ in range(300)],
+                "b": [str(rng.integers(0, 2)) for _ in range(300)],
+            }
+        )
+        result = detector.detect(storm)
+        assert result.anomaly_scores.max() > 0.5
+
+    def test_detect_before_fit(self, logs):
+        _, dev = logs
+        with pytest.raises(RuntimeError):
+            HawkesAnomalyDetector(window_size=30).detect(dev)
+
+    def test_short_test_log_rejected(self, logs):
+        train, dev = logs
+        detector = HawkesAnomalyDetector(window_size=30).fit(train, dev)
+        with pytest.raises(ValueError):
+            detector.detect(dev.slice(0, 5))

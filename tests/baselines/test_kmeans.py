@@ -1,0 +1,54 @@
+"""Tests for K-Means."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import KMeans
+
+
+def blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+    points = np.vstack(
+        [center + rng.normal(0, 0.5, size=(40, 2)) for center in centers]
+    )
+    labels = np.repeat(np.arange(3), 40)
+    return points, labels
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        points, labels = blobs()
+        model = KMeans(num_clusters=3, seed=0).fit(points)
+        predicted = model.predict(points)
+        # Cluster ids are arbitrary, but each true blob must be pure.
+        for blob in range(3):
+            assignments = predicted[labels == blob]
+            assert len(set(assignments)) == 1
+
+    def test_inertia_decreases_with_more_clusters(self):
+        points, _ = blobs(1)
+        one = KMeans(num_clusters=1, seed=0).fit(points).inertia_
+        three = KMeans(num_clusters=3, seed=0).fit(points).inertia_
+        assert three < one / 10
+
+    def test_transform_shape_and_nonnegative(self):
+        points, _ = blobs(2)
+        model = KMeans(num_clusters=3, seed=0).fit(points)
+        distances = model.transform(points[:7])
+        assert distances.shape == (7, 3)
+        assert (distances >= 0).all()
+
+    def test_more_clusters_than_samples_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(num_clusters=10).fit(np.zeros((3, 2)))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KMeans(num_clusters=2).predict(np.zeros((1, 2)))
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ValueError):
+            KMeans(num_clusters=0)

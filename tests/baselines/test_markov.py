@@ -1,0 +1,113 @@
+"""Tests for the Markov-chain extension baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MarkovAnomalyDetector, MarkovChainModel
+from repro.lang import EventSequence, MultivariateEventLog
+
+
+def periodic(total, period=6, states=("ON", "OFF")):
+    return [states[(t // period) % 2] for t in range(total)]
+
+
+class TestMarkovChainModel:
+    def test_fits_and_scores_training_pattern_low(self):
+        sequence = EventSequence("s", periodic(300))
+        model = MarkovChainModel(order=2).fit(sequence)
+        familiar = tuple(periodic(40))
+        shuffled = tuple(np.random.default_rng(0).permutation(list(familiar)))
+        assert model.negative_log_likelihood(familiar) < model.negative_log_likelihood(shuffled)
+
+    def test_unseen_state_has_finite_likelihood(self):
+        model = MarkovChainModel(order=1).fit(EventSequence("s", periodic(100)))
+        nll = model.negative_log_likelihood(("NOVEL", "NOVEL", "NOVEL"))
+        assert np.isfinite(nll)
+        assert nll > 0
+
+    def test_too_short_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovChainModel(order=3).fit(EventSequence("s", ["a", "b"]))
+
+    def test_window_shorter_than_order_rejected(self):
+        model = MarkovChainModel(order=2).fit(EventSequence("s", periodic(50)))
+        with pytest.raises(ValueError):
+            model.negative_log_likelihood(("ON",))
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            MarkovChainModel().negative_log_likelihood(("a", "b", "c"))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MarkovChainModel(order=0)
+        with pytest.raises(ValueError):
+            MarkovChainModel(smoothing=0.0)
+
+
+class TestMarkovAnomalyDetector:
+    @pytest.fixture()
+    def logs(self):
+        train = MultivariateEventLog.from_mapping(
+            {"a": periodic(400), "b": periodic(400, period=8)}
+        )
+        dev = MultivariateEventLog.from_mapping(
+            {"a": periodic(200), "b": periodic(200, period=8)}
+        )
+        return train, dev
+
+    def test_detects_marginal_anomaly(self, logs):
+        """A sensor emitting shuffled (non-periodic) states is caught —
+        this is the anomaly class a univariate model CAN see."""
+        train, dev = logs
+        detector = MarkovAnomalyDetector(order=2, window_size=20).fit(train, dev)
+        rng = np.random.default_rng(1)
+        broken = [str(s) for s in rng.choice(["ON", "OFF"], size=200)]
+        test = MultivariateEventLog.from_mapping(
+            {"a": broken, "b": periodic(200, period=8)}
+        )
+        result = detector.detect(test)
+        assert result.anomaly_scores.max() >= 0.5
+
+    def test_quiet_on_normal_data(self, logs):
+        train, dev = logs
+        detector = MarkovAnomalyDetector(order=2, window_size=20).fit(train, dev)
+        result = detector.detect(dev)
+        assert result.anomaly_scores.mean() < 0.2
+
+    def test_blind_to_joint_desynchronization(self, logs):
+        """The paper's core anomaly class — a phase shift that preserves
+        each sensor's marginal dynamics — is invisible to the chains."""
+        train, dev = logs
+        detector = MarkovAnomalyDetector(order=2, window_size=20).fit(train, dev)
+        shifted = periodic(203)[3:]  # same dynamics, shifted phase
+        test = MultivariateEventLog.from_mapping(
+            {"a": shifted, "b": periodic(200, period=8)}
+        )
+        result = detector.detect(test)
+        assert result.anomaly_scores.max() <= 0.5
+
+    def test_constant_sensors_skipped(self):
+        train = MultivariateEventLog.from_mapping(
+            {"a": periodic(300), "flat": ["x"] * 300}
+        )
+        dev = train.slice(0, 150)
+        detector = MarkovAnomalyDetector(window_size=20).fit(train, dev)
+        assert "flat" not in detector._models
+
+    def test_all_constant_rejected(self):
+        log = MultivariateEventLog.from_mapping({"flat": ["x"] * 100})
+        with pytest.raises(ValueError):
+            MarkovAnomalyDetector(window_size=20).fit(log, log)
+
+    def test_detect_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MarkovAnomalyDetector(window_size=20).detect(
+                MultivariateEventLog.from_mapping({"a": ["1"] * 30})
+            )
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MarkovAnomalyDetector(order=5, window_size=5)

@@ -1,0 +1,56 @@
+"""Tests for binary classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ConfusionMatrix, confusion_matrix, f1_score, precision, recall
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        labels = np.array([1, 1, 0, 0, 1])
+        predictions = np.array([1, 0, 0, 1, 1])
+        cm = confusion_matrix(labels, predictions)
+        assert (cm.true_positive, cm.false_negative) == (2, 1)
+        assert (cm.true_negative, cm.false_positive) == (1, 1)
+
+    def test_metric_values(self):
+        cm = ConfusionMatrix(true_positive=8, false_positive=2, true_negative=85, false_negative=5)
+        assert cm.recall == pytest.approx(8 / 13)
+        assert cm.precision == pytest.approx(0.8)
+        assert cm.accuracy == pytest.approx(0.93)
+        expected_f1 = 2 * 0.8 * (8 / 13) / (0.8 + 8 / 13)
+        assert cm.f1 == pytest.approx(expected_f1)
+
+    def test_degenerate_cases_return_zero(self):
+        cm = ConfusionMatrix(0, 0, 10, 0)
+        assert cm.recall == 0.0
+        assert cm.precision == 0.0
+        assert cm.f1 == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([1, 0]), np.array([1]))
+
+    def test_functional_wrappers(self):
+        labels = np.array([1, 0, 1, 1])
+        predictions = np.array([1, 0, 0, 1])
+        assert recall(labels, predictions) == pytest.approx(2 / 3)
+        assert precision(labels, predictions) == pytest.approx(1.0)
+        assert 0 < f1_score(labels, predictions) < 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=50))
+def test_property_counts_partition_population(pairs):
+    labels = np.array([a for a, _ in pairs])
+    predictions = np.array([b for _, b in pairs])
+    cm = confusion_matrix(labels, predictions)
+    total = cm.true_positive + cm.false_positive + cm.true_negative + cm.false_negative
+    assert total == len(pairs)
+    assert 0.0 <= cm.recall <= 1.0
+    assert 0.0 <= cm.precision <= 1.0

@@ -1,0 +1,103 @@
+"""Tests for the one-class SVM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import OneClassSVM, project_capped_simplex, rbf_kernel
+
+
+class TestRbfKernel:
+    def test_diagonal_is_one(self):
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        kernel = rbf_kernel(x, x, gamma=0.5)
+        np.testing.assert_allclose(np.diag(kernel), np.ones(5), rtol=1e-12)
+
+    def test_symmetry_and_bounds(self):
+        x = np.random.default_rng(1).normal(size=(6, 2))
+        kernel = rbf_kernel(x, x, gamma=1.0)
+        np.testing.assert_allclose(kernel, kernel.T, rtol=1e-12)
+        assert (kernel > 0).all() and (kernel <= 1).all()
+
+    def test_distance_monotonicity(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.1, 0.0], [2.0, 0.0]])
+        kernel = rbf_kernel(a, b, gamma=1.0)
+        assert kernel[0, 0] > kernel[0, 1]
+
+
+class TestProjection:
+    def test_result_satisfies_constraints(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=20)
+        cap = 0.2
+        projected = project_capped_simplex(values, cap)
+        assert projected.sum() == pytest.approx(1.0, abs=1e-6)
+        assert (projected >= -1e-12).all()
+        assert (projected <= cap + 1e-12).all()
+
+    def test_feasible_point_unchanged(self):
+        values = np.full(4, 0.25)
+        np.testing.assert_allclose(project_capped_simplex(values, 0.5), values, atol=1e-6)
+
+    def test_infeasible_cap_rejected(self):
+        with pytest.raises(ValueError):
+            project_capped_simplex(np.ones(3), cap=0.1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(-5, 5, allow_nan=False), min_size=2, max_size=30),
+    st.floats(0.5, 1.0),
+)
+def test_property_projection_always_feasible(values, cap):
+    projected = project_capped_simplex(np.asarray(values), cap)
+    assert projected.sum() == pytest.approx(1.0, abs=1e-5)
+    assert (projected >= -1e-9).all()
+    assert (projected <= cap + 1e-9).all()
+
+
+class TestOneClassSVM:
+    def test_detects_far_outliers(self):
+        rng = np.random.default_rng(3)
+        inliers = rng.normal(0, 1, size=(120, 2))
+        model = OneClassSVM(nu=0.1, seed=0).fit(inliers)
+        outliers = np.array([[8.0, 8.0], [-9.0, 7.0], [10.0, 0.0]])
+        assert (model.predict(outliers) == -1).all()
+
+    def test_accepts_most_inliers(self):
+        rng = np.random.default_rng(4)
+        inliers = rng.normal(0, 1, size=(150, 2))
+        model = OneClassSVM(nu=0.1, seed=0).fit(inliers)
+        acceptance = (model.predict(inliers) == 1).mean()
+        assert acceptance > 0.7
+
+    def test_decision_function_orders_by_distance(self):
+        rng = np.random.default_rng(5)
+        inliers = rng.normal(0, 1, size=(100, 2))
+        model = OneClassSVM(nu=0.2).fit(inliers)
+        near = model.decision_function(np.array([[0.0, 0.0]]))
+        far = model.decision_function(np.array([[6.0, 6.0]]))
+        assert near[0] > far[0]
+
+    def test_explicit_gamma(self):
+        rng = np.random.default_rng(6)
+        model = OneClassSVM(nu=0.2, gamma=0.7).fit(rng.normal(size=(30, 2)))
+        assert model._gamma_value == 0.7
+
+    def test_invalid_nu(self):
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=0.0)
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=1.5)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            OneClassSVM().predict(np.zeros((1, 2)))
+
+    def test_too_small_training_set(self):
+        with pytest.raises(ValueError):
+            OneClassSVM().fit(np.zeros((1, 2)))

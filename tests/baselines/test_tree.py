@@ -1,0 +1,81 @@
+"""Tests for the CART decision tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DecisionTree
+
+
+def xor_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(-1, 1, size=(n, 2))
+    labels = ((features[:, 0] > 0) ^ (features[:, 1] > 0)).astype(int)
+    return features, labels
+
+
+class TestDecisionTree:
+    def test_learns_axis_aligned_split(self):
+        rng = np.random.default_rng(1)
+        features = rng.uniform(-1, 1, size=(100, 3))
+        labels = (features[:, 1] > 0.2).astype(int)
+        tree = DecisionTree().fit(features, labels)
+        assert (tree.predict(features) == labels).mean() == 1.0
+
+    def test_learns_xor_with_depth_two(self):
+        features, labels = xor_data()
+        tree = DecisionTree(max_depth=3).fit(features, labels)
+        assert (tree.predict(features) == labels).mean() > 0.95
+
+    def test_max_depth_limits_tree(self):
+        features, labels = xor_data()
+        stump = DecisionTree(max_depth=1).fit(features, labels)
+        # A depth-1 tree cannot express XOR.
+        assert (stump.predict(features) == labels).mean() < 0.8
+
+    def test_predict_proba_rows_sum_to_one(self):
+        features, labels = xor_data(80)
+        tree = DecisionTree(max_depth=4).fit(features, labels)
+        proba = tree.predict_proba(features)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(80))
+
+    def test_feature_importances_identify_informative_feature(self):
+        rng = np.random.default_rng(2)
+        features = rng.uniform(-1, 1, size=(200, 4))
+        labels = (features[:, 2] > 0).astype(int)
+        tree = DecisionTree().fit(features, labels)
+        assert tree.feature_importances_.argmax() == 2
+        np.testing.assert_allclose(tree.feature_importances_.sum(), 1.0)
+
+    def test_pure_node_is_leaf(self):
+        features = np.array([[0.0], [1.0], [2.0]])
+        labels = np.array([1, 1, 1])
+        tree = DecisionTree().fit(features, labels)
+        assert (tree.predict(features) == 1).all()
+
+    def test_constant_features_produce_majority_leaf(self):
+        features = np.zeros((10, 2))
+        labels = np.array([0] * 7 + [1] * 3)
+        tree = DecisionTree().fit(features, labels)
+        assert (tree.predict(features) == 0).all()
+
+    def test_string_labels_supported(self):
+        features = np.array([[0.0], [1.0], [0.1], [0.9]])
+        labels = np.array(["healthy", "failed", "healthy", "failed"])
+        tree = DecisionTree().fit(features, labels)
+        assert list(tree.predict(np.array([[0.05], [0.95]]))) == ["healthy", "failed"]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(np.zeros((1, 2)))
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTree().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_max_features_subsampling_still_learns(self):
+        features, labels = xor_data(300, seed=3)
+        tree = DecisionTree(max_depth=6, max_features=1, rng=np.random.default_rng(3))
+        tree.fit(features, labels)
+        assert (tree.predict(features) == labels).mean() > 0.9

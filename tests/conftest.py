@@ -1,0 +1,52 @@
+"""Shared fixtures: small datasets and fitted frameworks, built once."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import PlantConfig, generate_plant_dataset
+from repro.lang import LanguageConfig, MultivariateEventLog
+from repro.pipeline import AnalyticsFramework, FrameworkConfig
+
+
+@pytest.fixture(scope="session")
+def plant_dataset():
+    """A small but fully featured plant dataset."""
+    return generate_plant_dataset(PlantConfig.small())
+
+
+@pytest.fixture(scope="session")
+def tiny_language_config():
+    """Windowing small enough for short synthetic sequences."""
+    return LanguageConfig(word_size=4, word_stride=1, sentence_length=5, sentence_stride=5)
+
+
+@pytest.fixture(scope="session")
+def related_log():
+    """Three sensors: B follows A with a delay; C is independent noise."""
+    rng = np.random.default_rng(42)
+    total = 600
+    a = [("ON" if (t // 6) % 2 == 0 else "OFF") for t in range(total)]
+    b = ["OFF", "OFF"] + a[:-2]
+    c = [str(rng.integers(0, 2)) for _ in range(total)]
+    return MultivariateEventLog.from_mapping({"sA": a, "sB": b, "sC": c})
+
+
+@pytest.fixture(scope="session")
+def fitted_plant_framework(plant_dataset):
+    """Framework fitted on the small plant dataset (n-gram engine)."""
+    train, dev, _ = plant_dataset.split(10, 3)
+    config = FrameworkConfig(
+        language=LanguageConfig(word_size=6, word_stride=1, sentence_length=8, sentence_stride=8),
+        engine="ngram",
+        popular_threshold=10,
+    )
+    return AnalyticsFramework(config).fit(train, dev)
+
+
+@pytest.fixture(scope="session")
+def plant_detection(fitted_plant_framework, plant_dataset):
+    """Detection result over the plant test period."""
+    _, _, test = plant_dataset.split(10, 3)
+    return fitted_plant_framework.detect(test)

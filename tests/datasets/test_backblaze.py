@@ -1,0 +1,110 @@
+"""Tests for the synthetic SMART trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BackblazeConfig,
+    KEY_FAILURE_ATTRIBUTES,
+    generate_backblaze_dataset,
+    raw_attribute_names,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_backblaze_dataset(BackblazeConfig.small())
+
+
+class TestConfig:
+    def test_paper_scale_defaults(self):
+        config = BackblazeConfig()
+        assert config.num_drives == 24
+        assert config.days >= 300  # "over 10-month data in the year"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackblazeConfig(num_drives=1)
+        with pytest.raises(ValueError):
+            BackblazeConfig(failure_fraction=1.5)
+
+
+class TestDrivePopulation:
+    def test_drive_count_and_failure_fraction(self, dataset):
+        assert len(dataset) == dataset.config.num_drives
+        expected_failures = round(
+            dataset.config.failure_fraction * dataset.config.num_drives
+        )
+        assert len(dataset.failed_serials) == expected_failures
+
+    def test_all_attributes_present(self, dataset):
+        for drive in dataset:
+            assert set(drive.values) == set(raw_attribute_names())
+
+    def test_failed_drives_truncated_at_failure_day(self, dataset):
+        for drive in dataset:
+            if drive.failed:
+                assert drive.days_observed == drive.failure_day
+                assert drive.days_observed < dataset.config.days
+            else:
+                assert drive.days_observed == dataset.config.days
+
+    def test_cumulative_attributes_monotonic(self, dataset):
+        for drive in dataset:
+            power_on = drive.values["smart_9"]
+            assert (np.diff(power_on) >= 0).all()
+
+    def test_error_counters_mostly_zero_on_healthy_drives(self, dataset):
+        """Benign incidents are rare: the zero-dominated distributions
+        that trigger the binary discretization scheme (Figure 10a)."""
+        healthy = [d for d in dataset if not d.failed]
+        for column in ("smart_187", "smart_197", "smart_5"):
+            pooled = np.concatenate([d.values[column] for d in healthy])
+            assert (pooled == 0).mean() > 0.5
+
+    def test_failure_ramp_raises_key_counters(self, dataset):
+        """Table III's key signals increment before (non-silent) failures."""
+        failing = [d for d in dataset if d.failed]
+        assert failing
+        ramped_drives = 0
+        for drive in failing:
+            ramped = sum(
+                drive.values[f"smart_{smart_id}"][-3:].sum() > 0
+                for smart_id in KEY_FAILURE_ATTRIBUTES
+            )
+            ramped_drives += ramped >= 3
+        # All but the silent failures show a multi-counter ramp.
+        silent = dataset.config.silent_failure_fraction
+        assert ramped_drives >= int((1 - silent) * len(failing)) - 1
+
+    def test_temperature_in_plausible_range(self, dataset):
+        for drive in dataset:
+            temps = drive.values["smart_194"]
+            assert (temps > 10).all() and (temps < 60).all()
+
+    def test_deterministic_generation(self):
+        a = generate_backblaze_dataset(BackblazeConfig.small(seed=5))
+        b = generate_backblaze_dataset(BackblazeConfig.small(seed=5))
+        np.testing.assert_array_equal(
+            a.drives[0].values["smart_194"], b.drives[0].values["smart_194"]
+        )
+
+
+class TestWindows:
+    def test_window_slicing(self, dataset):
+        drive = dataset.drives[-1]  # healthy drive, full history
+        window = drive.window(10, 20)
+        assert all(len(series) == 10 for series in window.values())
+
+    def test_last_days(self, dataset):
+        drive = dataset.drives[-1]
+        tail = drive.last_days(30)
+        np.testing.assert_array_equal(
+            tail["smart_9"], drive.values["smart_9"][-30:]
+        )
+
+    def test_long_history_filter(self, dataset):
+        long_drives = dataset.long_history_drives(min_days=dataset.config.days)
+        assert all(not d.failed for d in long_drives)

@@ -1,0 +1,95 @@
+"""Tests for feature discretization (Figure 10 schemes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    BinaryDiscretizer,
+    QuantileDiscretizer,
+    discretize_records,
+    fit_discretizers,
+)
+from repro.datasets.discretize import fit_discretizer
+
+
+class TestSchemeSelection:
+    def test_zero_dominated_feature_gets_binary(self):
+        values = [0.0] * 90 + [3.0] * 10
+        discretizer = fit_discretizer("smart_187", values)
+        assert isinstance(discretizer, BinaryDiscretizer)
+
+    def test_spread_feature_gets_quantile(self):
+        values = np.linspace(1, 100, 200)
+        discretizer = fit_discretizer("smart_9", values)
+        assert isinstance(discretizer, QuantileDiscretizer)
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            fit_discretizer("f", [])
+
+
+class TestBinaryDiscretizer:
+    def test_zero_nonzero_labels(self):
+        out = BinaryDiscretizer("f").transform([0.0, 1.0, 0.0, -2.0])
+        assert out == ["zero", "nonzero", "zero", "nonzero"]
+
+
+class TestQuantileDiscretizer:
+    def test_five_levels_roughly_balanced(self):
+        values = np.linspace(0, 100, 500)
+        discretizer = QuantileDiscretizer.fit("f", values)
+        labels = discretizer.transform(values)
+        counts = {label: labels.count(label) for label in set(labels)}
+        assert set(counts) == {"q1", "q2", "q3", "q4", "q5"}
+        assert max(counts.values()) - min(counts.values()) <= len(values) // 20
+
+    def test_boundaries_from_training_not_test(self):
+        train = np.linspace(0, 10, 100)
+        discretizer = QuantileDiscretizer.fit("f", train)
+        # Test values beyond the training range land in the edge bins.
+        assert discretizer.transform([-5.0]) == ["q1"]
+        assert discretizer.transform([999.0]) == ["q5"]
+
+    def test_percentile_boundaries(self):
+        values = np.arange(100, dtype=float)
+        discretizer = QuantileDiscretizer.fit("f", values)
+        np.testing.assert_allclose(
+            discretizer.boundaries,
+            np.quantile(values, (0.2, 0.4, 0.6, 0.8)),
+        )
+
+
+class TestDiscretizeRecords:
+    def test_builds_event_log_with_selected_features(self):
+        training = {"a": [0.0] * 80 + [1.0] * 20, "b": list(np.linspace(0, 9, 100))}
+        discretizers = fit_discretizers(training)
+        log = discretize_records(
+            {"a": [0.0, 2.0], "b": [0.5, 8.0], "ignored": [1.0, 2.0]},
+            discretizers,
+        )
+        assert set(log.sensors) == {"a", "b"}
+        assert log["a"].events == ("zero", "nonzero")
+
+    def test_missing_feature_rejected(self):
+        discretizers = fit_discretizers({"a": [0.0, 1.0, 0.0]})
+        with pytest.raises(KeyError):
+            discretize_records({"b": [1.0]}, discretizers)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=5, max_size=100),
+)
+def test_property_discretization_total_and_closed(values):
+    """Every value maps to exactly one category from a fixed set."""
+    discretizer = fit_discretizer("f", values)
+    labels = discretizer.transform(values)
+    assert len(labels) == len(values)
+    if isinstance(discretizer, BinaryDiscretizer):
+        assert set(labels) <= {"zero", "nonzero"}
+    else:
+        assert set(labels) <= {"q1", "q2", "q3", "q4", "q5"}

@@ -1,0 +1,69 @@
+"""Tests for the baseline feature matrix construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BackblazeConfig,
+    baseline_feature_names,
+    build_baseline_matrix,
+    first_difference,
+    generate_backblaze_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return build_baseline_matrix(generate_backblaze_dataset(BackblazeConfig.small()))
+
+
+class TestFirstDifference:
+    def test_leading_zero_preserves_alignment(self):
+        series = np.array([5.0, 7.0, 7.0, 10.0])
+        np.testing.assert_array_equal(first_difference(series), [0.0, 2.0, 0.0, 3.0])
+
+    def test_empty_series(self):
+        assert first_difference(np.array([])).size == 0
+
+    def test_constant_series_all_zero(self):
+        np.testing.assert_array_equal(
+            first_difference(np.full(5, 3.0)), np.zeros(5)
+        )
+
+
+class TestBaselineMatrix:
+    def test_34_columns(self, matrix):
+        assert matrix.features.shape[1] == 34
+        assert len(matrix.feature_names) == 34
+        assert baseline_feature_names() == matrix.feature_names
+
+    def test_one_row_per_drive_day(self, matrix):
+        assert matrix.features.shape[0] == matrix.labels.shape[0]
+        assert matrix.features.shape[0] == matrix.drive_of_row.shape[0]
+
+    def test_one_failure_label_per_failed_drive(self, matrix):
+        dataset = generate_backblaze_dataset(BackblazeConfig.small())
+        assert matrix.labels.sum() == len(dataset.failed_serials)
+
+    def test_failure_label_on_last_day(self, matrix):
+        failed_rows = np.nonzero(matrix.labels == 1)[0]
+        for row in failed_rows:
+            drive = matrix.drive_of_row[row]
+            last_row_of_drive = np.nonzero(matrix.drive_of_row == drive)[0][-1]
+            assert row == last_row_of_drive
+
+    def test_rows_for_drives_subsets(self, matrix):
+        subset = matrix.rows_for_drives({0, 1})
+        assert set(np.unique(subset.drive_of_row)) == {0, 1}
+        assert subset.features.shape[1] == 34
+
+    def test_diff_columns_match_manual_difference(self, matrix):
+        dataset = generate_backblaze_dataset(BackblazeConfig.small())
+        drive = dataset.drives[0]
+        rows = matrix.rows_for_drives({0})
+        column = matrix.feature_names.index("smart_9_diff")
+        np.testing.assert_array_equal(
+            rows.features[:, column], first_difference(drive.values["smart_9"])
+        )

@@ -1,0 +1,65 @@
+"""Tests for dataset persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BackblazeConfig,
+    PlantConfig,
+    generate_backblaze_dataset,
+    generate_plant_dataset,
+    load_backblaze_dataset,
+    load_plant_dataset,
+    save_backblaze_dataset,
+    save_plant_dataset,
+)
+
+
+class TestPlantIO:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        dataset = generate_plant_dataset(PlantConfig.small(seed=5))
+        directory = save_plant_dataset(dataset, tmp_path / "plant")
+        loaded = load_plant_dataset(directory)
+
+        assert loaded.config == dataset.config
+        assert loaded.component_of == dataset.component_of
+        assert loaded.disturbed_sensors == dataset.disturbed_sensors
+        for sensor in dataset.log.sensors:
+            assert loaded.log[sensor].events == dataset.log[sensor].events
+
+    def test_files_created(self, tmp_path):
+        dataset = generate_plant_dataset(PlantConfig.small(seed=5))
+        directory = save_plant_dataset(dataset, tmp_path / "plant")
+        assert (directory / "events.csv").exists()
+        assert (directory / "ground_truth.json").exists()
+
+    def test_loaded_dataset_supports_splits(self, tmp_path):
+        dataset = generate_plant_dataset(PlantConfig.small(seed=5))
+        loaded = load_plant_dataset(save_plant_dataset(dataset, tmp_path / "p"))
+        train, dev, test = loaded.split(10, 3)
+        assert train.num_samples == 10 * loaded.config.samples_per_day
+
+
+class TestBackblazeIO:
+    def test_roundtrip_preserves_values_exactly(self, tmp_path):
+        dataset = generate_backblaze_dataset(BackblazeConfig.small(seed=2))
+        directory = save_backblaze_dataset(dataset, tmp_path / "drives")
+        loaded = load_backblaze_dataset(directory)
+
+        assert loaded.config == dataset.config
+        assert len(loaded) == len(dataset)
+        for original, restored in zip(dataset.drives, loaded.drives):
+            assert original.serial == restored.serial
+            assert original.failed == restored.failed
+            assert original.failure_day == restored.failure_day
+            for column, series in original.values.items():
+                np.testing.assert_array_equal(series, restored.values[column])
+
+    def test_one_csv_per_drive(self, tmp_path):
+        dataset = generate_backblaze_dataset(BackblazeConfig.small(seed=2))
+        directory = save_backblaze_dataset(dataset, tmp_path / "drives")
+        csvs = list(directory.glob("Z*.csv"))
+        assert len(csvs) == len(dataset)
+        assert (directory / "manifest.json").exists()

@@ -1,0 +1,102 @@
+"""Tests for the plant simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import PlantConfig, generate_plant_dataset
+from repro.lang import filter_constant_sensors
+
+
+class TestPlantConfig:
+    def test_paper_defaults(self):
+        config = PlantConfig()
+        assert config.num_sensors == 128
+        assert config.days == 30
+        assert config.samples_per_day == 1440
+        assert config.anomaly_days == (21, 28)
+        assert config.total_samples == 43_200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlantConfig(num_sensors=2)
+        with pytest.raises(ValueError):
+            PlantConfig(days=5, anomaly_days=(21,))
+
+
+class TestGeneratedDataset:
+    def test_shape(self, plant_dataset):
+        config = plant_dataset.config
+        assert plant_dataset.log.num_sensors == config.num_sensors
+        assert plant_dataset.log.num_samples == config.total_samples
+
+    def test_mostly_binary_cardinalities(self, plant_dataset):
+        """~97% of the paper's sensors are binary; a few go up to 7."""
+        cards = list(plant_dataset.log.cardinalities().values())
+        binary_fraction = sum(1 for c in cards if c <= 2) / len(cards)
+        assert binary_fraction > 0.7
+        assert max(cards) <= 7
+
+    def test_contains_constant_sensors_to_filter(self, plant_dataset):
+        _, discarded = filter_constant_sensors(plant_dataset.log)
+        assert len(discarded) >= 1
+
+    def test_component_assignment_total(self, plant_dataset):
+        assert set(plant_dataset.component_of) == set(plant_dataset.log.sensors)
+        components = set(plant_dataset.component_of.values())
+        assert len(components) == plant_dataset.config.num_components
+
+    def test_deterministic_generation(self):
+        a = generate_plant_dataset(PlantConfig.small(seed=3))
+        b = generate_plant_dataset(PlantConfig.small(seed=3))
+        for sensor in a.log.sensors:
+            assert a.log[sensor].events == b.log[sensor].events
+
+    def test_different_seeds_differ(self):
+        a = generate_plant_dataset(PlantConfig.small(seed=3))
+        b = generate_plant_dataset(PlantConfig.small(seed=4))
+        assert any(a.log[s].events != b.log[s].events for s in a.log.sensors)
+
+    def test_disturbed_sensors_recorded_for_every_special_day(self, plant_dataset):
+        for day in plant_dataset.anomaly_days + plant_dataset.precursor_days:
+            assert day in plant_dataset.disturbed_sensors
+            assert len(plant_dataset.disturbed_sensors[day]) >= 2
+
+    def test_anomaly_disturbs_more_sensors_than_precursor(self, plant_dataset):
+        anomaly_count = len(plant_dataset.disturbed_sensors[plant_dataset.anomaly_days[0]])
+        precursor_count = len(plant_dataset.disturbed_sensors[plant_dataset.precursor_days[0]])
+        assert anomaly_count > precursor_count
+
+    def test_anomaly_preserves_marginals(self, plant_dataset):
+        """Disturbance shuffles timing, not vocabulary: an anomalous
+        day's state set matches a normal day's for disturbed sensors
+        (the Figure 2 'visually indistinguishable' property)."""
+        day_anomalous = plant_dataset.day_slice(plant_dataset.anomaly_days[0])
+        day_normal = plant_dataset.day_slice(15)
+        sensor = plant_dataset.disturbed_sensors[plant_dataset.anomaly_days[0]][0]
+        assert set(day_anomalous[sensor].events) <= set(plant_dataset.log[sensor].events)
+        assert day_anomalous[sensor].cardinality <= plant_dataset.log[sensor].cardinality
+
+
+class TestSplitsAndSlices:
+    def test_day_slice_bounds(self, plant_dataset):
+        day = plant_dataset.day_slice(1)
+        assert day.num_samples == plant_dataset.config.samples_per_day
+
+    def test_split_proportions(self, plant_dataset):
+        train, dev, test = plant_dataset.split(10, 3)
+        per_day = plant_dataset.config.samples_per_day
+        assert train.num_samples == 10 * per_day
+        assert dev.num_samples == 3 * per_day
+        assert test.num_samples == 17 * per_day
+
+    def test_split_leaving_no_test_rejected(self, plant_dataset):
+        with pytest.raises(ValueError):
+            plant_dataset.split(20, 10)
+
+    def test_test_day_labels(self, plant_dataset):
+        labels = plant_dataset.test_day_labels(10, 3)
+        assert set(labels) == set(range(14, 31))
+        assert labels[21] and labels[28]
+        assert not labels[15]

@@ -1,0 +1,51 @@
+"""Tests for the plant simulator's sensor-kind mix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import PlantConfig, generate_plant_dataset
+from repro.lang import LanguageConfig, MultiLanguageCorpus
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_plant_dataset(
+        PlantConfig(num_sensors=40, days=20, samples_per_day=96,
+                    anomaly_days=(14,), precursor_days=(13,), num_components=4, seed=3)
+    )
+
+
+class TestSensorKinds:
+    def test_constant_sensors_present(self, dataset):
+        constants = [s.sensor for s in dataset.log if s.is_constant()]
+        assert constants
+
+    def test_rare_event_sensors_have_tiny_vocabularies(self, dataset):
+        """The Figure 3b low-vocabulary tail exists: some non-constant
+        sensors produce only a handful of distinct words."""
+        config = LanguageConfig(word_size=6, word_stride=1, sentence_length=8, sentence_stride=8)
+        corpus = MultiLanguageCorpus.fit(dataset.log, config)
+        sizes = corpus.vocabulary_sizes()
+        assert min(sizes.values()) <= 13
+        assert max(sizes.values()) > 13
+
+    def test_multistate_sensors_present(self, dataset):
+        cards = dataset.log.cardinalities().values()
+        assert max(cards) >= 3
+
+    def test_event_counts_span_orders_of_magnitude(self, dataset):
+        """Periodic sensors change state hundreds of times; rare-event
+        sensors only a few times — the Figure 2 contrast."""
+        changes = []
+        for sequence in dataset.log:
+            events = sequence.events
+            changes.append(sum(a != b for a, b in zip(events, events[1:])))
+        changes = [c for c in changes if c > 0]
+        assert min(changes) < 20
+        assert max(changes) > 200
+
+    def test_custom_anomaly_days_respected(self, dataset):
+        assert dataset.anomaly_days == (14,)
+        assert 14 in dataset.disturbed_sensors

@@ -1,0 +1,42 @@
+"""Tests for the SMART attribute catalogue."""
+
+from __future__ import annotations
+
+from repro.datasets import (
+    BARELY_CHANGING_ATTRIBUTES,
+    KEY_FAILURE_ATTRIBUTES,
+    SMART_ATTRIBUTES,
+    cumulative_attribute_names,
+    framework_attribute_names,
+    raw_attribute_names,
+)
+
+
+class TestCatalogue:
+    def test_twenty_raw_attributes(self):
+        assert len(SMART_ATTRIBUTES) == 20
+        assert len(raw_attribute_names()) == 20
+
+    def test_fourteen_cumulative_attributes(self):
+        assert len(cumulative_attribute_names()) == 14
+
+    def test_sixteen_framework_attributes(self):
+        names = framework_attribute_names()
+        assert len(names) == 16
+        for smart_id in BARELY_CHANGING_ATTRIBUTES:
+            assert f"smart_{smart_id}" not in names
+
+    def test_key_attributes_match_table3(self):
+        assert set(KEY_FAILURE_ATTRIBUTES) == {192, 187, 198, 197, 5}
+        # All key attributes survive the quiet-feature filter.
+        framework = set(framework_attribute_names())
+        for smart_id in KEY_FAILURE_ATTRIBUTES:
+            assert f"smart_{smart_id}" in framework
+
+    def test_ids_unique(self):
+        ids = [a.smart_id for a in SMART_ATTRIBUTES]
+        assert len(ids) == len(set(ids))
+
+    def test_column_naming(self):
+        attribute = SMART_ATTRIBUTES[0]
+        assert attribute.column == f"smart_{attribute.smart_id}"

@@ -1,0 +1,69 @@
+"""Tests for per-sensor anomaly attribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection import DetectionResult, attribute_anomaly
+
+
+def make_result(pairs, alerts_row):
+    alerts = np.asarray([alerts_row], dtype=bool)
+    return DetectionResult(
+        valid_pairs=list(pairs),
+        anomaly_scores=alerts.mean(axis=1),
+        alerts=alerts,
+        test_scores=np.zeros_like(alerts, dtype=float),
+        training_scores=np.full(len(pairs), 85.0),
+    )
+
+
+class TestAttributeAnomaly:
+    def test_guilty_sensor_ranked_first(self):
+        # Sensor "x" participates in 3 pairs, all broken; others' pairs intact.
+        pairs = [("x", "a"), ("b", "x"), ("x", "c"), ("a", "b"), ("b", "c")]
+        result = make_result(pairs, [True, True, True, False, False])
+        blames = attribute_anomaly(result, 0)
+        assert blames[0].sensor == "x"
+        assert blames[0].blame == 1.0
+        others = {b.sensor: b.blame for b in blames[1:]}
+        assert all(blame < 1.0 for blame in others.values())
+
+    def test_blame_normalised_by_degree(self):
+        # Hub has 4 pairs with 1 broken (0.25); leaf has 1 pair broken (1.0).
+        pairs = [("hub", "a"), ("hub", "b"), ("hub", "c"), ("hub", "leaf")]
+        result = make_result(pairs, [False, False, False, True])
+        blames = {b.sensor: b for b in attribute_anomaly(result, 0)}
+        assert blames["leaf"].blame == 1.0
+        assert blames["hub"].blame == pytest.approx(0.25)
+
+    def test_min_edges_filters_noisy_sensors(self):
+        pairs = [("a", "b"), ("a", "c"), ("a", "d")]
+        result = make_result(pairs, [True, True, True])
+        blames = attribute_anomaly(result, 0, min_edges=3)
+        assert [b.sensor for b in blames] == ["a"]
+
+    def test_no_broken_edges_gives_zero_blame(self):
+        pairs = [("a", "b"), ("b", "c")]
+        result = make_result(pairs, [False, False])
+        blames = attribute_anomaly(result, 0)
+        assert all(b.blame == 0.0 for b in blames)
+
+    def test_window_out_of_range(self):
+        result = make_result([("a", "b")], [False])
+        with pytest.raises(IndexError):
+            attribute_anomaly(result, 3)
+
+    def test_on_plant_peak_window(self, plant_detection, plant_dataset):
+        """At the anomaly peak, top-blamed sensors are mostly disturbed."""
+        peak = int(np.argmax(plant_detection.anomaly_scores))
+        blames = attribute_anomaly(plant_detection, peak)
+        assert blames[0].blame > 0.3
+        disturbed = {
+            sensor
+            for sensors in plant_dataset.disturbed_sensors.values()
+            for sensor in sensors
+        }
+        top = {b.sensor for b in blames[:5]}
+        assert top & disturbed, "top blame should include disturbed sensors"

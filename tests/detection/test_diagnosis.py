@@ -1,0 +1,98 @@
+"""Tests for fault diagnosis (Figure 9 machinery)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.detection import DetectionResult, diagnose
+from repro.detection.diagnosis import ClusterDiagnosis
+
+
+def make_result(pairs, alerts):
+    alerts = np.asarray(alerts, dtype=bool)
+    windows = alerts.shape[0]
+    return DetectionResult(
+        valid_pairs=list(pairs),
+        anomaly_scores=alerts.mean(axis=1),
+        alerts=alerts,
+        test_scores=np.zeros_like(alerts, dtype=float),
+        training_scores=np.full(len(pairs), 85.0),
+    )
+
+
+@pytest.fixture()
+def subgraph():
+    graph = nx.DiGraph()
+    # Cluster 1: a <-> b ; Cluster 2: c <-> d.
+    graph.add_edge("a", "b", score=85.0)
+    graph.add_edge("b", "a", score=85.0)
+    graph.add_edge("c", "d", score=85.0)
+    graph.add_edge("d", "c", score=85.0)
+    return graph
+
+
+class TestDiagnose:
+    def test_broken_and_normal_edges_partition(self, subgraph):
+        result = make_result(
+            [("a", "b"), ("b", "a"), ("c", "d"), ("d", "c")],
+            [[True, True, False, False]],
+        )
+        diagnosis = diagnose(result, subgraph, window=0)
+        assert set(diagnosis.broken_edges) == {("a", "b"), ("b", "a")}
+        assert set(diagnosis.normal_edges) == {("c", "d"), ("d", "c")}
+        assert diagnosis.severity == pytest.approx(0.5)
+
+    def test_faulty_clusters_identified(self, subgraph):
+        result = make_result(
+            [("a", "b"), ("b", "a"), ("c", "d"), ("d", "c")],
+            [[True, True, False, False]],
+        )
+        diagnosis = diagnose(result, subgraph, window=0)
+        faulty = diagnosis.faulty_clusters()
+        assert len(faulty) == 1
+        assert faulty[0].sensors == frozenset({"a", "b"})
+        assert diagnosis.faulty_sensors() == {"a", "b"}
+
+    def test_severe_anomaly_marks_all_clusters(self, subgraph):
+        result = make_result(
+            [("a", "b"), ("b", "a"), ("c", "d"), ("d", "c")],
+            [[True, True, True, True]],
+        )
+        diagnosis = diagnose(result, subgraph, window=0)
+        assert diagnosis.severity == 1.0
+        assert diagnosis.faulty_sensors() == {"a", "b", "c", "d"}
+
+    def test_alerts_outside_subgraph_ignored(self, subgraph):
+        result = make_result([("x", "y")], [[True]])
+        diagnosis = diagnose(result, subgraph, window=0)
+        assert diagnosis.broken_edges == []
+        assert diagnosis.severity == 0.0
+
+    def test_window_out_of_range(self, subgraph):
+        result = make_result([("a", "b")], [[False]])
+        with pytest.raises(IndexError):
+            diagnose(result, subgraph, window=5)
+
+
+class TestClusterDiagnosis:
+    def test_broken_fraction(self):
+        cluster = ClusterDiagnosis(frozenset({"a"}), broken_edges=1, total_edges=4)
+        assert cluster.broken_fraction == 0.25
+        assert not cluster.is_faulty(0.5)
+        assert cluster.is_faulty(0.25)
+
+    def test_edgeless_cluster_never_faulty(self):
+        cluster = ClusterDiagnosis(frozenset({"a"}), broken_edges=0, total_edges=0)
+        assert cluster.broken_fraction == 0.0
+        assert not cluster.is_faulty(0.0)
+
+
+class TestOnPlantPipeline:
+    def test_diagnosis_on_peak_window(self, fitted_plant_framework, plant_detection):
+        peak = int(np.argmax(plant_detection.anomaly_scores))
+        diagnosis = fitted_plant_framework.diagnose(plant_detection, peak)
+        assert diagnosis.window == peak
+        # At the anomaly peak, some local-subgraph relationships break.
+        assert diagnosis.severity > 0.0

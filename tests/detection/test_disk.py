@@ -1,0 +1,99 @@
+"""Tests for the sharp-increase disk-failure rule (Figure 12 / Table II)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection import (
+    DiskEvaluation,
+    DriveOutcome,
+    detects_failure,
+    evaluate_drives,
+    sharp_increases,
+)
+
+
+class TestSharpIncreases:
+    def test_detects_single_jump(self):
+        assert sharp_increases([0.1, 0.1, 0.8]) == [2]
+
+    def test_no_jump_on_flat_trajectory(self):
+        assert sharp_increases([0.7, 0.7, 0.7]) == []
+
+    def test_gradual_rise_not_flagged(self):
+        scores = np.linspace(0.0, 1.0, 21)  # +0.05 per step
+        assert sharp_increases(scores) == []
+
+    def test_threshold_is_strict(self):
+        assert sharp_increases([0.0, 0.5]) == []
+        assert sharp_increases([0.0, 0.51]) == [1]
+
+    def test_custom_jump(self):
+        assert sharp_increases([0.0, 0.3], jump=0.2) == [1]
+
+    def test_short_inputs(self):
+        assert sharp_increases([]) == []
+        assert sharp_increases([0.9]) == []
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ValueError):
+            sharp_increases(np.zeros((2, 2)))
+
+
+class TestDetectsFailure:
+    def test_jump_right_before_failure(self):
+        scores = [0.1] * 10 + [0.9]
+        assert detects_failure(scores)
+        assert detects_failure(scores, tail_windows=2)
+
+    def test_early_jump_outside_tail_window(self):
+        scores = [0.1, 0.9] + [0.9] * 10
+        assert detects_failure(scores)  # no tail restriction
+        assert not detects_failure(scores, tail_windows=3)
+
+    def test_stable_high_scores_not_detected(self):
+        """Figure 12b: flat trajectories (even high ones) are misses."""
+        assert not detects_failure([0.65] * 12)
+        assert not detects_failure([0.05] * 12)
+
+
+class TestEvaluateDrives:
+    def test_recall_counts_only_failed_drives(self):
+        trajectories = {
+            "f1": [0.1, 0.8],  # failed, detected
+            "f2": [0.1, 0.2],  # failed, missed
+            "h1": [0.1, 0.9],  # healthy false positive
+        }
+        evaluation = evaluate_drives(trajectories, failed_drives={"f1", "f2"})
+        assert evaluation.recall == pytest.approx(0.5)
+        assert evaluation.false_positive_rate == pytest.approx(1.0)
+
+    def test_no_failures_recall_zero(self):
+        evaluation = evaluate_drives({"h1": [0.1, 0.1]}, failed_drives=set())
+        assert evaluation.recall == 0.0
+        assert evaluation.false_positive_rate == 0.0
+
+    def test_outcomes_sorted_by_drive(self):
+        evaluation = evaluate_drives(
+            {"b": [0.0, 1.0], "a": [0.0, 0.0]}, failed_drives={"a", "b"}
+        )
+        assert [o.drive for o in evaluation.outcomes] == ["a", "b"]
+        assert evaluation.outcomes[1] == DriveOutcome("b", True, True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=2, max_size=40),
+    st.floats(0.05, 1.0),
+)
+def test_property_jump_indices_valid_and_consistent(scores, jump):
+    indices = sharp_increases(scores, jump)
+    for t in indices:
+        assert 1 <= t < len(scores)
+        assert scores[t] - scores[t - 1] > jump
+    # Completeness: every qualifying step is reported.
+    expected = [t for t in range(1, len(scores)) if scores[t] - scores[t - 1] > jump]
+    assert indices == expected

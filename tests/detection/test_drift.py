@@ -1,0 +1,67 @@
+"""Tests for drift monitoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection import AnomalyDetector, assess_drift
+from repro.graph import ScoreRange
+from repro.lang import LanguageConfig, MultivariateEventLog
+from repro.pipeline import AnalyticsFramework, FrameworkConfig
+
+
+def make_log(total: int, delay: int = 1, seed: int = 0) -> MultivariateEventLog:
+    rng = np.random.default_rng(seed)
+    a = [("ON" if (t // 6) % 2 == 0 else "OFF") for t in range(total)]
+    b = ["OFF"] * delay + a[: total - delay]
+    c = [str(rng.integers(0, 2)) for _ in range(total)]
+    return MultivariateEventLog.from_mapping({"sA": a, "sB": b, "sC": c})
+
+
+@pytest.fixture(scope="module")
+def framework():
+    config = FrameworkConfig(
+        language=LanguageConfig(word_size=4, word_stride=1, sentence_length=5, sentence_stride=5),
+        engine="ngram",
+        detection_range=ScoreRange(60, 100, inclusive_high=True),
+        popular_threshold=10,
+    )
+    return AnalyticsFramework(config).fit(make_log(500), make_log(250))
+
+
+class TestAssessDrift:
+    def test_no_drift_on_same_regime(self, framework):
+        result = framework.detect(make_log(250, seed=3))
+        report = assess_drift(framework.graph, result)
+        assert report.pairs
+        assert report.drift_fraction < 0.5
+        assert not report.needs_retraining()
+
+    def test_regime_change_flags_most_pairs(self, framework):
+        """A persistent change in the A→B actuation delay shifts the
+        pair's BLEU distribution for the whole window — drift, not a
+        bounded anomaly."""
+        shifted_regime = make_log(250, delay=4, seed=4)
+        result = framework.detect(shifted_regime)
+        report = assess_drift(framework.graph, result)
+        assert report.drift_fraction > 0.5
+        assert report.needs_retraining()
+        for pair in report.drifted_pairs:
+            assert pair.p_value < report.alpha
+
+    def test_pair_fields_populated(self, framework):
+        result = framework.detect(make_log(250, seed=5))
+        report = assess_drift(framework.graph, result)
+        for pair in report.pairs:
+            assert 0.0 <= pair.ks_statistic <= 1.0
+            assert 0.0 <= pair.p_value <= 1.0
+            assert 0.0 <= pair.dev_median <= 100.0
+            assert 0.0 <= pair.live_median <= 100.0
+
+    def test_empty_report_semantics(self):
+        from repro.detection.drift import DriftReport
+
+        report = DriftReport(pairs=(), alpha=0.01)
+        assert report.drift_fraction == 0.0
+        assert not report.needs_retraining()

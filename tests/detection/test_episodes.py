@@ -1,0 +1,71 @@
+"""Tests for alarm-episode extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection import DetectionResult, extract_episodes
+
+
+def result_from_scores(scores, pairs=2):
+    scores = np.asarray(scores, dtype=float)
+    windows = len(scores)
+    alerts = np.zeros((windows, pairs), dtype=bool)
+    for t, score in enumerate(scores):
+        broken = int(round(score * pairs))
+        alerts[t, :broken] = True
+    return DetectionResult(
+        valid_pairs=[(f"s{i}", f"t{i}") for i in range(pairs)],
+        anomaly_scores=alerts.mean(axis=1),
+        alerts=alerts,
+        test_scores=np.zeros_like(alerts, dtype=float),
+        training_scores=np.full(pairs, 85.0),
+    )
+
+
+class TestExtractEpisodes:
+    def test_no_episodes_when_quiet(self):
+        result = result_from_scores([0.0, 0.0, 0.0])
+        assert extract_episodes(result) == []
+
+    def test_contiguous_windows_form_one_episode(self):
+        result = result_from_scores([0.0, 1.0, 1.0, 1.0, 0.0])
+        episodes = extract_episodes(result)
+        assert len(episodes) == 1
+        episode = episodes[0]
+        assert (episode.start_window, episode.end_window) == (1, 3)
+        assert episode.duration_windows == 3
+        assert episode.peak_score == 1.0
+
+    def test_gap_merging(self):
+        scores = [1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]
+        merged = extract_episodes(result_from_scores(scores), merge_gap=1)
+        assert len(merged) == 2  # first two merge across the 1-gap
+        strict = extract_episodes(result_from_scores(scores), merge_gap=0)
+        assert len(strict) == 3
+
+    def test_peak_window_within_episode(self):
+        result = result_from_scores([0.0, 0.5, 1.0, 0.5, 0.0])
+        episode = extract_episodes(result)[0]
+        assert episode.peak_window == 2
+        assert episode.overlaps(2)
+        assert not episode.overlaps(0)
+
+    def test_top_sensors_attached(self):
+        result = result_from_scores([1.0])
+        episode = extract_episodes(result, top_sensors=2)[0]
+        assert len(episode.top_sensors) == 2
+
+    def test_invalid_merge_gap(self):
+        with pytest.raises(ValueError):
+            extract_episodes(result_from_scores([1.0]), merge_gap=-1)
+
+    def test_plant_anomalies_form_distinct_episodes(
+        self, fitted_plant_framework, plant_detection, plant_dataset
+    ):
+        episodes = extract_episodes(plant_detection, threshold=0.5, merge_gap=2)
+        assert len(episodes) >= 2  # the two anomaly days, at least
+        for episode in episodes:
+            assert episode.peak_score >= 0.5
+            assert episode.top_sensors

@@ -1,0 +1,66 @@
+"""Tests for day-level detection evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection import evaluate_days, threshold_sweep
+
+
+SCORES = {
+    14: 0.1, 15: 0.1, 16: 0.1, 17: 0.1, 18: 0.2,
+    19: 0.6, 20: 0.7,      # early warnings before day 21
+    21: 0.8,               # anomaly, detected
+    22: 0.1, 23: 0.1, 24: 0.6,   # isolated false alarm
+    25: 0.1, 26: 0.1, 27: 0.55,  # early warning before 28
+    28: 0.3,               # anomaly, missed at threshold 0.5
+    29: 0.1, 30: 0.1,
+}
+
+
+class TestEvaluateDays:
+    def test_classification_of_each_day(self):
+        result = evaluate_days(SCORES, anomaly_days=[21, 28], threshold=0.5)
+        assert result.detected_days == (21,)
+        assert result.missed_days == (28,)
+        assert result.early_warning_days == (19, 20, 27)
+        assert result.false_alarm_days == (24,)
+
+    def test_metrics(self):
+        result = evaluate_days(SCORES, anomaly_days=[21, 28], threshold=0.5)
+        assert result.recall == pytest.approx(0.5)
+        # 4 useful alarms (1 detection + 3 early warnings) of 5 total.
+        assert result.precision == pytest.approx(4 / 5)
+        assert 0 < result.f1 < 1
+
+    def test_early_window_zero_disables_credit(self):
+        result = evaluate_days(
+            SCORES, anomaly_days=[21, 28], threshold=0.5, early_warning_window=0
+        )
+        assert result.early_warning_days == ()
+        assert set(result.false_alarm_days) == {19, 20, 24, 27}
+
+    def test_no_anomalies(self):
+        result = evaluate_days({1: 0.9}, anomaly_days=[], threshold=0.5)
+        assert result.recall == 0.0
+        assert result.false_alarm_days == (1,)
+
+    def test_missing_day_score_counts_as_missed(self):
+        result = evaluate_days({1: 0.1}, anomaly_days=[5], threshold=0.5)
+        assert result.missed_days == (5,)
+
+
+class TestThresholdSweep:
+    def test_recall_monotone_nonincreasing_in_threshold(self):
+        sweep = threshold_sweep(SCORES, anomaly_days=[21, 28])
+        recalls = [point.recall for point in sweep]
+        assert all(a >= b for a, b in zip(recalls, recalls[1:]))
+
+    def test_zero_threshold_detects_everything(self):
+        sweep = threshold_sweep(SCORES, anomaly_days=[21, 28], thresholds=[0.0])
+        assert sweep[0].recall == 1.0
+
+    def test_custom_grid(self):
+        sweep = threshold_sweep(SCORES, anomaly_days=[21], thresholds=[0.2, 0.9])
+        assert len(sweep) == 2
+        assert sweep[0].threshold == 0.2

@@ -1,0 +1,79 @@
+"""Tests for streaming anomaly detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection import AnomalyDetector, OnlineAnomalyDetector
+from repro.graph import ScoreRange
+
+
+@pytest.fixture(scope="module")
+def online_setup(fitted_plant_framework, plant_dataset):
+    graph = fitted_plant_framework.graph
+    score_range = fitted_plant_framework.config.detection_range
+    _, _, test = plant_dataset.split(10, 3)
+    return graph, score_range, test
+
+
+class TestOnlineAnomalyDetector:
+    def test_empty_range_rejected(self, online_setup):
+        graph, _, _ = online_setup
+        with pytest.raises(ValueError):
+            OnlineAnomalyDetector(graph, ScoreRange(0, 1e-9))
+
+    def test_window_geometry(self, online_setup):
+        graph, score_range, _ = online_setup
+        detector = OnlineAnomalyDetector(graph, score_range)
+        config = graph.corpus[graph.sensors[0]].config
+        assert detector.window_span == config.samples_per_sentence()
+        assert detector.window_stride == config.effective_sentence_stride
+
+    def test_no_emission_before_first_window_completes(self, online_setup):
+        graph, score_range, test = online_setup
+        detector = OnlineAnomalyDetector(graph, score_range)
+        emitted = []
+        for t in range(detector.window_span - 1):
+            sample = {name: test[name].events[t] for name in test.sensors}
+            emitted.extend(detector.push(sample))
+        assert emitted == []
+
+    def test_streaming_matches_batch_detection(self, online_setup):
+        """Pushing the test log sample-by-sample reproduces the batch
+        Algorithm 2 scores exactly."""
+        graph, score_range, test = online_setup
+        batch = AnomalyDetector(graph, score_range).detect(test)
+
+        detector = OnlineAnomalyDetector(graph, score_range)
+        emitted = []
+        limit = detector.window_span + 20 * detector.window_stride
+        for t in range(limit):
+            sample = {name: test[name].events[t] for name in test.sensors}
+            emitted.extend(detector.push(sample))
+
+        assert len(emitted) >= 10
+        for window in emitted:
+            np.testing.assert_allclose(
+                window.anomaly_score,
+                batch.anomaly_scores[window.window_index],
+                atol=1e-12,
+            )
+            assert set(window.broken_pairs) == set(
+                batch.broken_pairs(window.window_index)
+            )
+
+    def test_missing_sensor_rejected(self, online_setup):
+        graph, score_range, test = online_setup
+        detector = OnlineAnomalyDetector(graph, score_range)
+        with pytest.raises(KeyError, match="missing monitored sensors"):
+            detector.push({"not-a-sensor": "ON"})
+
+    def test_buffers_stay_bounded(self, online_setup):
+        graph, score_range, test = online_setup
+        detector = OnlineAnomalyDetector(graph, score_range)
+        for t in range(detector.window_span + 12 * detector.window_stride):
+            sample = {name: test[name].events[t] for name in test.sensors}
+            detector.push(sample)
+        longest = max(len(buffer) for buffer in detector._buffers.values())
+        assert longest <= detector.window_span + detector.window_stride

@@ -1,0 +1,87 @@
+"""Property-based tests over the detection layer's invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection import DetectionResult, evaluate_days
+from repro.detection.attribution import attribute_anomaly
+
+
+def result_from_alert_matrix(alerts: np.ndarray) -> DetectionResult:
+    pairs = [(f"s{i}", f"t{i}") for i in range(alerts.shape[1])]
+    return DetectionResult(
+        valid_pairs=pairs,
+        anomaly_scores=alerts.mean(axis=1),
+        alerts=alerts,
+        test_scores=np.where(alerts, 10.0, 90.0),
+        training_scores=np.full(len(pairs), 85.0),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.booleans(), min_size=3, max_size=6),
+        min_size=1,
+        max_size=10,
+    ).filter(lambda rows: len({len(r) for r in rows}) == 1)
+)
+def test_property_anomaly_score_equals_broken_fraction(rows):
+    alerts = np.asarray(rows, dtype=bool)
+    result = result_from_alert_matrix(alerts)
+    for window in range(result.num_windows):
+        expected = len(result.broken_pairs(window)) / result.num_valid_pairs
+        assert result.anomaly_scores[window] == pytest.approx(expected)
+        assert 0.0 <= result.anomaly_scores[window] <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.booleans(), min_size=3, max_size=6),
+        min_size=1,
+        max_size=8,
+    ).filter(lambda rows: len({len(r) for r in rows}) == 1)
+)
+def test_property_blame_bounded_and_consistent(rows):
+    alerts = np.asarray(rows, dtype=bool)
+    result = result_from_alert_matrix(alerts)
+    for window in range(result.num_windows):
+        blames = attribute_anomaly(result, window)
+        for blame in blames:
+            assert 0.0 <= blame.blame <= 1.0
+            assert blame.broken_edges <= blame.total_edges
+        # Sum of per-sensor broken counts is twice the broken pairs
+        # (each pair blames both endpoints).
+        total_broken = sum(b.broken_edges for b in blames)
+        assert total_broken == 2 * len(result.broken_pairs(window))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(1, 30),
+        st.floats(0.0, 1.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ),
+    st.sets(st.integers(1, 30), max_size=4),
+)
+def test_property_day_evaluation_partitions_alarm_days(day_scores, anomaly_days):
+    evaluation = evaluate_days(day_scores, sorted(anomaly_days), threshold=0.5)
+    # Every anomaly day is either detected or missed, never both.
+    assert set(evaluation.detected_days) | set(evaluation.missed_days) == anomaly_days
+    assert not set(evaluation.detected_days) & set(evaluation.missed_days)
+    # Non-anomaly alarms split into early warnings and false alarms.
+    alarm_days = {
+        day
+        for day, score in day_scores.items()
+        if score >= 0.5 and day not in anomaly_days
+    }
+    assert set(evaluation.early_warning_days) | set(evaluation.false_alarm_days) == alarm_days
+    assert 0.0 <= evaluation.recall <= 1.0
+    assert 0.0 <= evaluation.precision <= 1.0

@@ -1,0 +1,68 @@
+"""Tests for degree statistics (Figure 5, Table III machinery)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.graph import DegreeSummary, degree_distribution, degree_summary, rank_by_in_degree
+
+
+def star_graph():
+    graph = nx.DiGraph()
+    for i in range(4):
+        graph.add_edge(f"leaf{i}", "hub", score=85.0)
+    graph.add_edge("hub", "leaf0", score=85.0)
+    return graph
+
+
+class TestDegreeDistribution:
+    def test_in_degrees_sorted(self):
+        degrees = degree_distribution(star_graph(), "in")
+        assert list(degrees) == [0, 0, 0, 1, 4]
+
+    def test_out_degrees(self):
+        degrees = degree_distribution(star_graph(), "out")
+        assert list(degrees) == [1, 1, 1, 1, 1]
+
+    def test_invalid_kind(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            degree_distribution(star_graph(), "sideways")
+
+
+class TestDegreeSummary:
+    def test_summary_values(self):
+        summary = DegreeSummary.of(star_graph(), "in")
+        assert summary.maximum == 4
+        assert summary.minimum == 0
+        assert summary.mean == 1.0
+
+    def test_empty_graph(self):
+        summary = DegreeSummary.of(nx.DiGraph(), "in")
+        assert summary.maximum == 0
+
+    def test_degree_summary_both_kinds(self):
+        summaries = degree_summary(star_graph())
+        assert set(summaries) == {"in", "out"}
+
+
+class TestRankByInDegree:
+    def test_hub_first(self):
+        ranking = rank_by_in_degree(star_graph())
+        assert ranking[0][0] == "hub"
+        assert ranking[0][1] == 4
+
+    def test_top_k(self):
+        assert len(rank_by_in_degree(star_graph(), top=2)) == 2
+
+    def test_ties_broken_by_out_degree_then_name(self):
+        graph = nx.DiGraph()
+        graph.add_edge("a", "x")
+        graph.add_edge("b", "y")
+        graph.add_edge("y", "a")
+        # x and y both have in-degree 1; y has out-degree 1 > x's 0.
+        ranking = rank_by_in_degree(graph)
+        names = [row[0] for row in ranking]
+        assert names.index("y") < names.index("x")

@@ -1,0 +1,110 @@
+"""Tests for Walktrap community detection and component clustering."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import connected_component_clusters, modularity, walktrap_communities
+
+
+def two_cliques(bridge: bool = True) -> nx.Graph:
+    """Two 5-cliques, optionally joined by a single bridge edge."""
+    graph = nx.Graph()
+    for prefix in ("a", "b"):
+        nodes = [f"{prefix}{i}" for i in range(5)]
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                graph.add_edge(u, v)
+    if bridge:
+        graph.add_edge("a0", "b0")
+    return graph
+
+
+class TestConnectedComponents:
+    def test_separate_cliques(self):
+        clusters = connected_component_clusters(two_cliques(bridge=False))
+        assert len(clusters) == 2
+        assert {frozenset(c) for c in clusters} == {
+            frozenset(f"a{i}" for i in range(5)),
+            frozenset(f"b{i}" for i in range(5)),
+        }
+
+    def test_bridge_merges_components(self):
+        clusters = connected_component_clusters(two_cliques(bridge=True))
+        assert len(clusters) == 1
+
+    def test_directed_graph_uses_weak_components(self):
+        graph = nx.DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("c", "b")
+        clusters = connected_component_clusters(graph)
+        assert clusters == [{"a", "b", "c"}]
+
+    def test_largest_first_ordering(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        graph.add_edges_from([("x", "y"), ("y", "z")])
+        clusters = connected_component_clusters(graph)
+        assert len(clusters[0]) == 3
+
+
+class TestModularity:
+    def test_good_partition_beats_bad(self):
+        graph = two_cliques(bridge=True)
+        good = [{f"a{i}" for i in range(5)}, {f"b{i}" for i in range(5)}]
+        bad = [{"a0", "b0"}, set(graph.nodes) - {"a0", "b0"}]
+        assert modularity(graph, good) > modularity(graph, bad)
+
+    def test_single_community_modularity_zero(self):
+        graph = two_cliques()
+        assert modularity(graph, [set(graph.nodes)]) == pytest.approx(0.0)
+
+    def test_empty_graph(self):
+        assert modularity(nx.Graph(), []) == 0.0
+
+
+class TestWalktrap:
+    def test_recovers_two_cliques_through_bridge(self):
+        communities = walktrap_communities(two_cliques(bridge=True))
+        assert {frozenset(c) for c in communities} == {
+            frozenset(f"a{i}" for i in range(5)),
+            frozenset(f"b{i}" for i in range(5)),
+        }
+
+    def test_handles_disconnected_graph(self):
+        communities = walktrap_communities(two_cliques(bridge=False))
+        assert len(communities) == 2
+
+    def test_directed_input_symmetrised(self):
+        graph = nx.DiGraph()
+        for u, v in two_cliques(bridge=True).edges:
+            graph.add_edge(u, v, score=85.0)
+        communities = walktrap_communities(graph)
+        assert len(communities) == 2
+
+    def test_tiny_graphs(self):
+        assert walktrap_communities(nx.Graph()) == []
+        single = nx.Graph()
+        single.add_node("a")
+        assert walktrap_communities(single) == [{"a"}]
+        pair = nx.Graph()
+        pair.add_edge("a", "b")
+        assert walktrap_communities(pair) == [{"a", "b"}]
+
+    def test_three_cliques_ring(self):
+        """Three cliques in a ring are separated despite full connectivity."""
+        graph = nx.Graph()
+        for prefix in ("a", "b", "c"):
+            nodes = [f"{prefix}{i}" for i in range(4)]
+            for i, u in enumerate(nodes):
+                for v in nodes[i + 1 :]:
+                    graph.add_edge(u, v)
+        graph.add_edge("a0", "b0")
+        graph.add_edge("b1", "c0")
+        graph.add_edge("c1", "a1")
+        communities = walktrap_communities(graph)
+        assert len(communities) == 3
+        sizes = sorted(len(c) for c in communities)
+        assert sizes == [4, 4, 4]

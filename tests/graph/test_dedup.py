@@ -1,0 +1,115 @@
+"""Tests for redundant-sensor filtering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import RedundancyGroups, find_redundant_sensors, sequence_agreement
+from repro.lang import MultivariateEventLog
+
+
+class TestSequenceAgreement:
+    def test_identical(self):
+        assert sequence_agreement(("a", "b"), ("a", "b")) == 1.0
+
+    def test_disjoint(self):
+        assert sequence_agreement(("a", "a"), ("b", "b")) == 0.0
+
+    def test_partial(self):
+        assert sequence_agreement(("a", "b", "a", "b"), ("a", "b", "b", "b")) == 0.75
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            sequence_agreement(("a",), ("a", "b"))
+
+    def test_empty_sequences_agree(self):
+        assert sequence_agreement((), ()) == 1.0
+
+
+class TestFindRedundantSensors:
+    def test_duplicate_sensors_grouped(self):
+        a = ["on", "off"] * 50
+        log = MultivariateEventLog.from_mapping(
+            {"s1": a, "s2": list(a), "s3": [str(i % 3) for i in range(100)]}
+        )
+        groups = find_redundant_sensors(log)
+        assert groups.representative_of["s2"] == "s1"
+        assert groups.representative_of["s3"] == "s3"
+        assert groups.num_redundant == 1
+
+    def test_renamed_states_are_redundant(self):
+        """Two sensors with the same dynamics but different state names
+        (ON/OFF vs 1/0) share an encrypted language and are grouped."""
+        pattern = [(t // 5) % 2 for t in range(100)]
+        log = MultivariateEventLog.from_mapping(
+            {
+                "switch": ["OFF" if v == 0 else "ON" for v in pattern],
+                "relay": [str(v) for v in pattern],
+            }
+        )
+        groups = find_redundant_sensors(log)
+        assert groups.num_redundant == 1
+
+    def test_inverted_sensor_not_grouped(self):
+        pattern = [(t // 5) % 2 for t in range(100)]
+        log = MultivariateEventLog.from_mapping(
+            {
+                "direct": ["a" if v == 0 else "b" for v in pattern],
+                "inverted": ["b" if v == 0 else "a" for v in pattern],
+            }
+        )
+        groups = find_redundant_sensors(log)
+        # Encryption normalises by alphanumeric order, so the inverted
+        # sensor's encoded sequence is the complement — near-0 agreement.
+        assert groups.num_redundant == 0
+
+    def test_similarity_threshold(self):
+        base = ["on", "off"] * 50
+        noisy = list(base)
+        for i in range(0, 100, 10):  # 10% disagreement
+            noisy[i] = "on" if noisy[i] == "off" else "off"
+        log = MultivariateEventLog.from_mapping({"s1": base, "s2": noisy})
+        strict = find_redundant_sensors(log, similarity=0.95)
+        loose = find_redundant_sensors(log, similarity=0.85)
+        assert strict.num_redundant == 0
+        assert loose.num_redundant == 1
+
+    def test_reduction_factor(self):
+        a = ["x", "y"] * 30
+        log = MultivariateEventLog.from_mapping(
+            {"s1": a, "s2": list(a), "s3": list(a), "s4": [str((i // 3) % 2) for i in range(60)]}
+        )
+        groups = find_redundant_sensors(log)
+        # 4 sensors -> 2 representatives: 12 models shrink to 2.
+        assert groups.reduction_factor() == pytest.approx(6.0)
+        assert set(groups.group_of(groups.representative_of["s1"])) >= {"s1", "s2", "s3"}
+
+    def test_invalid_similarity(self):
+        log = MultivariateEventLog.from_mapping({"a": ["1", "2"]})
+        with pytest.raises(ValueError):
+            find_redundant_sensors(log, similarity=0.0)
+
+    def test_on_plant_dataset_finds_savings(self, plant_dataset):
+        """Same-component sensors with shared drivers yield redundancy."""
+        groups = find_redundant_sensors(plant_dataset.log, similarity=0.95)
+        assert len(groups.representatives) <= plant_dataset.log.num_sensors
+        assert groups.reduction_factor() >= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.sampled_from(["p", "q"]), min_size=10, max_size=60),
+    st.floats(0.5, 1.0),
+)
+def test_property_every_sensor_gets_a_representative(states, similarity):
+    log = MultivariateEventLog.from_mapping(
+        {"s1": states, "s2": list(reversed(states)), "s3": states}
+    )
+    groups = find_redundant_sensors(log, similarity=similarity)
+    assert set(groups.representative_of) == {"s1", "s2", "s3"}
+    # Representatives represent themselves.
+    for representative in groups.representatives:
+        assert groups.representative_of[representative] == representative

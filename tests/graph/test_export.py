@@ -1,0 +1,45 @@
+"""Tests for relationship-graph export."""
+
+from __future__ import annotations
+
+import json
+
+import networkx as nx
+import pytest
+
+from repro.graph import graph_to_dict, load_graph_scores, save_graph_json, save_graphml
+
+
+class TestGraphExport:
+    def test_dict_structure(self, fitted_plant_framework):
+        graph = fitted_plant_framework.graph
+        payload = graph_to_dict(graph)
+        assert payload["sensors"] == graph.sensors
+        assert len(payload["edges"]) == graph.num_edges
+        edge = payload["edges"][0]
+        assert set(edge) == {"source", "target", "score", "runtime_seconds"}
+
+    def test_json_roundtrip_preserves_scores(self, fitted_plant_framework, tmp_path):
+        graph = fitted_plant_framework.graph
+        path = save_graph_json(graph, tmp_path / "graph.json")
+        loaded = load_graph_scores(path)
+        assert isinstance(loaded, nx.DiGraph)
+        assert set(loaded.nodes) == set(graph.sensors)
+        for (source, target), score in graph.scores().items():
+            assert loaded[source][target]["score"] == score
+
+    def test_json_is_valid_json(self, fitted_plant_framework, tmp_path):
+        path = save_graph_json(fitted_plant_framework.graph, tmp_path / "g.json")
+        json.loads(path.read_text())
+
+    def test_foreign_json_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"something": 1}))
+        with pytest.raises(ValueError):
+            load_graph_scores(path)
+
+    def test_graphml_loadable_by_networkx(self, fitted_plant_framework, tmp_path):
+        graph = fitted_plant_framework.graph
+        path = save_graphml(graph, tmp_path / "graph.graphml")
+        loaded = nx.read_graphml(path)
+        assert loaded.number_of_edges() == graph.num_edges

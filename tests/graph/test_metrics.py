@@ -1,0 +1,69 @@
+"""Tests for graph-level summary metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import gini_coefficient, score_asymmetry, summarize_graph
+
+
+class TestGiniCoefficient:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(10, 5.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentrated_near_one(self):
+        values = np.zeros(100)
+        values[0] = 100.0
+        assert gini_coefficient(values) > 0.9
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient(np.zeros(0)) == 0.0
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1.0, 2.0]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=50))
+    def test_property_bounded(self, values):
+        g = gini_coefficient(np.asarray(values))
+        assert -1e-9 <= g <= 1.0
+
+
+class TestScoreAsymmetry:
+    def test_one_entry_per_unordered_pair(self, fitted_plant_framework):
+        graph = fitted_plant_framework.graph
+        asymmetry = score_asymmetry(graph)
+        assert len(asymmetry) == graph.num_edges // 2
+
+    def test_values_match_manual(self, fitted_plant_framework):
+        graph = fitted_plant_framework.graph
+        asymmetry = score_asymmetry(graph)
+        (source, target), value = next(iter(asymmetry.items()))
+        expected = abs(graph.score(source, target) - graph.score(target, source))
+        assert value == pytest.approx(expected)
+
+    def test_directional_scores_do_differ(self, fitted_plant_framework):
+        """The paper notes s(i,j) and s(j,i) may differ; they do."""
+        asymmetry = score_asymmetry(fitted_plant_framework.graph)
+        assert max(asymmetry.values()) > 0.0
+
+
+class TestSummarizeGraph:
+    def test_summary_fields(self, fitted_plant_framework):
+        summary = summarize_graph(fitted_plant_framework.graph)
+        assert summary.num_sensors == len(fitted_plant_framework.graph.sensors)
+        assert summary.num_edges == fitted_plant_framework.graph.num_edges
+        assert 0.0 <= summary.mean_score <= 100.0
+        assert 0.0 <= summary.in_degree_gini <= 1.0
+        row = summary.as_row()
+        assert "mean BLEU" in row and "in-degree Gini" in row
+
+    def test_in_degree_concentration_positive(self, fitted_plant_framework):
+        """Popular-sensor effect: strong in-degree is not uniform."""
+        summary = summarize_graph(fitted_plant_framework.graph)
+        assert summary.in_degree_gini > 0.0

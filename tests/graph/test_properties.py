@@ -1,0 +1,95 @@
+"""Property-based tests over graph-layer invariants."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    DEFAULT_RANGES,
+    connected_component_clusters,
+    local_subgraph,
+    modularity,
+    partition_by_ranges,
+    popular_sensors,
+    walktrap_communities,
+)
+
+
+def random_digraph(edge_spec):
+    graph = nx.DiGraph()
+    for u, v, score in edge_spec:
+        if u != v:
+            graph.add_edge(f"n{u}", f"n{v}", score=score)
+    return graph
+
+EDGES = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7), st.floats(0, 100, allow_nan=False)),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(EDGES, st.integers(1, 5))
+def test_property_local_subgraph_is_subgraph(edges, threshold):
+    graph = random_digraph(edges)
+    local = local_subgraph(graph, threshold)
+    assert set(local.nodes) <= set(graph.nodes)
+    assert set(local.edges) <= set(graph.edges)
+    # No popular node survives, no isolated node remains.
+    popular = set(popular_sensors(graph, threshold))
+    assert not popular & set(local.nodes)
+    assert all(local.degree(node) > 0 for node in local.nodes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(EDGES)
+def test_property_components_partition_nodes(edges):
+    graph = random_digraph(edges)
+    clusters = connected_component_clusters(graph)
+    union = set().union(*clusters) if clusters else set()
+    assert union == set(graph.nodes)
+    for a in range(len(clusters)):
+        for b in range(a + 1, len(clusters)):
+            assert not clusters[a] & clusters[b]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_walktrap_partitions_nodes(edges):
+    graph = nx.Graph()
+    for u, v in edges:
+        if u != v:
+            graph.add_edge(f"n{u}", f"n{v}")
+    if graph.number_of_nodes() == 0:
+        return
+    communities = walktrap_communities(graph)
+    union = set().union(*communities) if communities else set()
+    assert union == set(graph.nodes)
+    for a in range(len(communities)):
+        for b in range(a + 1, len(communities)):
+            assert not communities[a] & communities[b]
+    # The chosen partition's modularity is at least the trivial
+    # one-community partition's (which is 0 per component).
+    assert modularity(graph, communities) >= -1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(EDGES)
+def test_property_range_partition_preserves_scores(edges):
+    graph = random_digraph(edges)
+    subgraphs = partition_by_ranges(graph, DEFAULT_RANGES)
+    for score_range, sub in subgraphs.items():
+        for u, v, data in sub.edges(data=True):
+            assert score_range.contains(data["score"])
+            assert graph[u][v]["score"] == data["score"]

@@ -1,0 +1,48 @@
+"""Tests for BLEU score ranges."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DEFAULT_RANGES, DETECTION_RANGE, STRONGEST_RANGE, ScoreRange
+
+
+class TestScoreRange:
+    def test_half_open_semantics(self):
+        r = ScoreRange(80, 90)
+        assert r.contains(80.0)
+        assert r.contains(89.999)
+        assert not r.contains(90.0)
+        assert not r.contains(79.999)
+
+    def test_inclusive_high(self):
+        r = ScoreRange(90, 100, inclusive_high=True)
+        assert r.contains(100.0)
+
+    def test_label_format(self):
+        assert ScoreRange(80, 90).label == "[80, 90)"
+        assert ScoreRange(90, 100, inclusive_high=True).label == "[90, 100]"
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            ScoreRange(90, 80)
+        with pytest.raises(ValueError):
+            ScoreRange(-5, 50)
+        with pytest.raises(ValueError):
+            ScoreRange(50, 120)
+
+    def test_paper_partition(self):
+        labels = [r.label for r in DEFAULT_RANGES]
+        assert labels == ["[0, 60)", "[60, 70)", "[70, 80)", "[80, 90)", "[90, 100]"]
+        assert DETECTION_RANGE.label == "[80, 90)"
+        assert STRONGEST_RANGE.inclusive_high
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+def test_property_default_ranges_partition_scores(score):
+    """Every BLEU score falls in exactly one default range."""
+    memberships = [r.contains(score) for r in DEFAULT_RANGES]
+    assert sum(memberships) == 1

@@ -1,0 +1,111 @@
+"""Tests for global/local subgraph extraction (Table I machinery)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    DEFAULT_RANGES,
+    ScoreRange,
+    global_subgraph,
+    local_subgraph,
+    partition_by_ranges,
+    popular_sensors,
+    subgraph_statistics,
+)
+
+
+def make_digraph(edges):
+    graph = nx.DiGraph()
+    for source, target, score in edges:
+        graph.add_edge(source, target, score=score)
+    return graph
+
+
+class TestGlobalSubgraph:
+    def test_keeps_only_in_range_edges(self):
+        graph = make_digraph([("a", "b", 85.0), ("b", "c", 50.0), ("c", "a", 89.9)])
+        sub = global_subgraph(graph, ScoreRange(80, 90))
+        assert set(sub.edges) == {("a", "b"), ("c", "a")}
+
+    def test_isolated_nodes_dropped(self):
+        graph = make_digraph([("a", "b", 85.0), ("c", "d", 10.0)])
+        sub = global_subgraph(graph, ScoreRange(80, 90))
+        assert set(sub.nodes) == {"a", "b"}
+
+    def test_boundary_scores(self):
+        graph = make_digraph([("a", "b", 90.0), ("b", "c", 80.0)])
+        sub = global_subgraph(graph, ScoreRange(80, 90))
+        assert set(sub.edges) == {("b", "c")}
+
+    def test_works_on_mvrg(self, fitted_plant_framework):
+        sub = fitted_plant_framework.global_subgraph(ScoreRange(0, 100, inclusive_high=True))
+        assert sub.number_of_edges() == fitted_plant_framework.graph.num_edges
+
+
+class TestPopularAndLocal:
+    def test_popular_by_in_degree(self):
+        edges = [(f"n{i}", "hub", 85.0) for i in range(5)]
+        edges.append(("hub", "n0", 85.0))
+        graph = make_digraph(edges)
+        assert popular_sensors(graph, threshold=5) == ["hub"]
+        assert popular_sensors(graph, threshold=6) == []
+
+    def test_local_removes_popular_and_isolated(self):
+        edges = [(f"n{i}", "hub", 85.0) for i in range(5)]
+        edges += [("n0", "n1", 85.0)]
+        graph = make_digraph(edges)
+        local = local_subgraph(graph, threshold=5)
+        assert "hub" not in local
+        # n2..n4 only connected to the hub, so they drop out too.
+        assert set(local.nodes) == {"n0", "n1"}
+
+    def test_local_subgraph_does_not_mutate_global(self):
+        edges = [(f"n{i}", "hub", 85.0) for i in range(5)]
+        graph = make_digraph(edges)
+        local_subgraph(graph, threshold=5)
+        assert "hub" in graph
+
+
+class TestStatistics:
+    def test_fractions_sum_to_one(self, fitted_plant_framework):
+        stats = fitted_plant_framework.subgraph_statistics()
+        total = sum(s.relationship_fraction for s in stats)
+        assert total == pytest.approx(1.0)
+
+    def test_rows_cover_default_ranges(self, fitted_plant_framework):
+        stats = fitted_plant_framework.subgraph_statistics()
+        assert [s.score_range.label for s in stats] == [r.label for r in DEFAULT_RANGES]
+
+    def test_as_row_keys(self, fitted_plant_framework):
+        row = fitted_plant_framework.subgraph_statistics()[0].as_row()
+        assert set(row) == {
+            "range",
+            "% relationships",
+            "# sensors",
+            "# popular sensors",
+            "# relationships (w/o popular)",
+        }
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6), st.floats(0, 100, allow_nan=False)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_partition_covers_every_edge_once(edges):
+    """Each edge appears in exactly one range's subgraph."""
+    graph = nx.DiGraph()
+    for source, target, score in edges:
+        if source != target:
+            graph.add_edge(f"n{source}", f"n{target}", score=score)
+    subs = {r: global_subgraph(graph, r) for r in DEFAULT_RANGES}
+    total = sum(sub.number_of_edges() for sub in subs.values())
+    assert total == graph.number_of_edges()

@@ -1,0 +1,73 @@
+"""Cross-module consistency checks.
+
+These tests pin down contracts that span packages: the language layer's
+window geometry must agree with the framework's window accounting, the
+graph's stored scores must agree with re-derived model scores, and the
+diagnostics layer must agree with the graph it reads from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lang import ParallelCorpus, num_windows
+from repro.translation import corpus_bleu, diagnose_pair
+
+
+class TestWindowAccounting:
+    def test_framework_window_count_matches_lang_formula(
+        self, fitted_plant_framework, plant_dataset
+    ):
+        _, _, test = plant_dataset.split(10, 3)
+        config = fitted_plant_framework.config.language
+        words = num_windows(test.num_samples, config.word_size, config.word_stride)
+        sentences = num_windows(
+            words, config.sentence_length, config.effective_sentence_stride
+        )
+        assert fitted_plant_framework.windows_per_sample_count(test.num_samples) == sentences
+        result = fitted_plant_framework.detect(test)
+        assert result.num_windows == sentences
+
+
+class TestScoreConsistency:
+    def test_stored_scores_match_rederived_scores(self, fitted_plant_framework):
+        """s(i,j) stored at build time equals the score recomputed from
+        the stored model on the same development sentences."""
+        graph = fitted_plant_framework.graph
+        pair = next(iter(graph.relationships))
+        relationship = graph[pair]
+        # Per-sentence dev scores must average close to the corpus
+        # score's neighborhood (they are different statistics of the
+        # same translations, so only loose agreement is required).
+        sentence_mean = float(relationship.dev_sentence_scores.mean())
+        assert abs(sentence_mean - relationship.score) < 35.0
+
+    def test_detection_training_scores_match_graph(self, fitted_plant_framework, plant_detection):
+        graph = fitted_plant_framework.graph
+        for column, pair in enumerate(plant_detection.valid_pairs):
+            assert plant_detection.training_scores[column] == graph.score(*pair)
+
+
+class TestDiagnosticsConsistency:
+    def test_diagnose_pair_reads_graph_values(self, fitted_plant_framework):
+        graph = fitted_plant_framework.graph
+        source, target = next(iter(graph.relationships))
+        diagnostics = diagnose_pair(graph, source, target)
+        assert diagnostics.score == graph.score(source, target)
+        assert diagnostics.reverse_score == graph.score(target, source)
+        # The breakdown's own score is a valid BLEU.
+        assert 0.0 <= diagnostics.breakdown.score <= 100.0
+
+
+class TestModelReuseAcrossLayers:
+    def test_graph_models_translate_like_standalone_models(
+        self, fitted_plant_framework
+    ):
+        """The model stored in a relationship is the same object the
+        detector uses; translating twice is deterministic."""
+        graph = fitted_plant_framework.graph
+        pair = next(iter(graph.relationships))
+        model = graph[pair].model
+        sentences = graph.corpus[pair[0]].sentences[:5]
+        assert model.translate(sentences) == model.translate(sentences)

@@ -1,0 +1,97 @@
+"""Failure-injection tests: the pipeline degrades loudly, not silently."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import ScoreRange
+from repro.lang import LanguageConfig, MultivariateEventLog
+from repro.pipeline import AnalyticsFramework, FrameworkConfig
+
+
+def small_config() -> FrameworkConfig:
+    return FrameworkConfig(
+        language=LanguageConfig(word_size=4, word_stride=1, sentence_length=5, sentence_stride=5),
+        engine="ngram",
+        popular_threshold=10,
+    )
+
+
+def healthy_log(total: int) -> MultivariateEventLog:
+    rng = np.random.default_rng(1)
+    a = [("ON" if (t // 6) % 2 == 0 else "OFF") for t in range(total)]
+    b = ["OFF"] + a[:-1]
+    return MultivariateEventLog.from_mapping({"sA": a, "sB": b})
+
+
+class TestTrainingFailures:
+    def test_all_constant_training_log_fails_clearly(self):
+        log = MultivariateEventLog.from_mapping({"a": ["x"] * 100, "b": ["y"] * 100})
+        with pytest.raises(ValueError, match="non-constant sensors"):
+            AnalyticsFramework(small_config()).fit(log, log)
+
+    def test_too_short_development_log_rejected(self):
+        train = healthy_log(400)
+        tiny_dev = healthy_log(6)  # shorter than one sentence
+        with pytest.raises(ValueError, match="development log too short"):
+            AnalyticsFramework(small_config()).fit(train, tiny_dev)
+
+    def test_development_missing_sensor_rejected(self):
+        train = healthy_log(400)
+        dev = healthy_log(200).select(["sA"])
+        with pytest.raises(KeyError):
+            AnalyticsFramework(small_config()).fit(train, dev)
+
+
+class TestDetectionFailures:
+    @pytest.fixture(scope="class")
+    def framework(self):
+        return AnalyticsFramework(
+            FrameworkConfig(
+                language=LanguageConfig(word_size=4, sentence_length=5),
+                engine="ngram",
+                detection_range=ScoreRange(0, 100, inclusive_high=True),
+                popular_threshold=10,
+            )
+        ).fit(healthy_log(400), healthy_log(200))
+
+    def test_unseen_states_do_not_crash_detection(self, framework):
+        """A sensor reporting a brand-new state maps to <unk> and is
+        simply a (very) broken relationship, not an exception."""
+        corrupted = MultivariateEventLog.from_mapping(
+            {
+                "sA": ["MELTDOWN"] * 120,
+                "sB": ["OFF"] * 120,
+            }
+        )
+        result = framework.detect(corrupted)
+        assert result.num_windows > 0
+        assert result.anomaly_scores.max() > 0.4  # clearly anomalous
+
+    def test_test_log_with_extra_sensor_is_fine(self, framework):
+        log = healthy_log(120)
+        extra = MultivariateEventLog.from_mapping(
+            {
+                "sA": list(log["sA"].events),
+                "sB": list(log["sB"].events),
+                "sNEW": ["1", "2"] * 60,
+            }
+        )
+        result = framework.detect(extra)  # unknown sensors ignored
+        assert result.num_windows > 0
+
+    def test_missing_required_sensor_raises(self, framework):
+        """Detection over a log missing a monitored sensor fails with a
+        clear error (no pairs remain) rather than returning quietly."""
+        log = healthy_log(120).select(["sA"])
+        with pytest.raises(ValueError, match="no valid pair models"):
+            framework.detect(log)
+
+
+class TestCsvCorruption:
+    def test_ragged_csv_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(ValueError, match="ragged"):
+            MultivariateEventLog.from_csv(path)

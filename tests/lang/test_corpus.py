@@ -1,0 +1,138 @@
+"""Tests for sensor languages and parallel corpora."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import (
+    EventSequence,
+    LanguageConfig,
+    MultiLanguageCorpus,
+    MultivariateEventLog,
+    ParallelCorpus,
+    SensorLanguage,
+    filter_constant_sensors,
+)
+
+
+@pytest.fixture()
+def config():
+    return LanguageConfig(word_size=3, word_stride=1, sentence_length=4, sentence_stride=4)
+
+
+@pytest.fixture()
+def simple_log():
+    return MultivariateEventLog.from_mapping(
+        {
+            "alive": ["on", "off"] * 30,
+            "dead": ["off"] * 60,
+            "counter": [str(i % 3) for i in range(60)],
+        }
+    )
+
+
+class TestLanguageConfig:
+    def test_defaults_match_paper_plant_settings(self):
+        config = LanguageConfig()
+        assert config.word_size == 10
+        assert config.word_stride == 1
+        assert config.sentence_length == 20
+        assert config.effective_sentence_stride == 20
+
+    def test_backblaze_preset(self):
+        config = LanguageConfig.backblaze()
+        assert (config.word_size, config.sentence_length) == (5, 7)
+        assert config.effective_sentence_stride == 1
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            LanguageConfig(word_size=0)
+        with pytest.raises(ValueError):
+            LanguageConfig(sentence_stride=0)
+
+    def test_samples_per_sentence(self):
+        config = LanguageConfig(word_size=10, word_stride=1, sentence_length=20)
+        assert config.samples_per_sentence() == 10 + 19
+
+
+class TestFilterConstantSensors:
+    def test_constant_sensor_discarded(self, simple_log):
+        filtered, discarded = filter_constant_sensors(simple_log)
+        assert discarded == ["dead"]
+        assert filtered.sensors == ["alive", "counter"]
+
+    def test_nothing_discarded_when_all_vary(self):
+        log = MultivariateEventLog.from_mapping({"a": ["1", "2"], "b": ["x", "y"]})
+        filtered, discarded = filter_constant_sensors(log)
+        assert discarded == []
+        assert filtered.sensors == ["a", "b"]
+
+
+class TestSensorLanguage:
+    def test_fit_builds_sentences_and_vocab(self, config):
+        sequence = EventSequence("s1", ["on", "off"] * 20)
+        language = SensorLanguage.fit(sequence, config)
+        assert language.sensor == "s1"
+        assert len(language.sentences) > 0
+        assert language.vocabulary_size >= 1
+        assert all(len(s) == 4 for s in language.sentences)
+
+    def test_sentences_for_new_sequence_uses_trained_encoder(self, config):
+        train = EventSequence("s1", ["on", "off"] * 20)
+        language = SensorLanguage.fit(train, config)
+        test = EventSequence("s1", ["off", "on"] * 20)
+        sentences = language.sentences_for(test)
+        assert len(sentences) == len(language.sentences)
+
+    def test_unseen_state_becomes_unknown_word(self, config):
+        train = EventSequence("s1", ["on", "off"] * 20)
+        language = SensorLanguage.fit(train, config)
+        test = EventSequence("s1", ["BROKEN"] * 40)
+        words = language.words_for(test)
+        assert set(words) == {"???"}
+
+    def test_vocabulary_size_counts_distinct_words(self, config):
+        # Alternating binary sequence has exactly 2 distinct 3-char words.
+        sequence = EventSequence("s1", ["on", "off"] * 20)
+        language = SensorLanguage.fit(sequence, config)
+        assert language.vocabulary_size == 2
+
+
+class TestMultiLanguageCorpus:
+    def test_fit_filters_and_builds_languages(self, simple_log, config):
+        corpus = MultiLanguageCorpus.fit(simple_log, config)
+        assert corpus.discarded_sensors == ["dead"]
+        assert set(corpus.sensors) == {"alive", "counter"}
+        assert corpus["alive"].vocabulary_size >= 1
+
+    def test_vocabulary_sizes_mapping(self, simple_log, config):
+        corpus = MultiLanguageCorpus.fit(simple_log, config)
+        sizes = corpus.vocabulary_sizes()
+        assert set(sizes) == {"alive", "counter"}
+        assert all(size > 0 for size in sizes.values())
+
+    def test_parallel_aligns_sentences(self, simple_log, config):
+        corpus = MultiLanguageCorpus.fit(simple_log, config)
+        parallel = corpus.parallel("alive", "counter")
+        assert parallel.source_sensor == "alive"
+        assert parallel.target_sensor == "counter"
+        assert len(parallel) == min(
+            len(corpus["alive"].sentences), len(corpus["counter"].sentences)
+        )
+
+
+class TestParallelCorpus:
+    def test_mismatched_configs_rejected(self):
+        seq = EventSequence("s1", ["a", "b"] * 20)
+        lang_a = SensorLanguage.fit(seq, LanguageConfig(word_size=3, sentence_length=4))
+        lang_b = SensorLanguage.fit(seq, LanguageConfig(word_size=4, sentence_length=4))
+        with pytest.raises(ValueError, match="identical language configs"):
+            ParallelCorpus.from_languages(lang_a, lang_b)
+
+    def test_from_sentences_truncates_to_shorter(self):
+        corpus = ParallelCorpus.from_sentences(
+            "a", "b", [("x",), ("y",)], [("1",)]
+        )
+        assert len(corpus) == 1
+        assert corpus.source_sentences == [("x",)]
+        assert corpus.target_sentences == [("1",)]

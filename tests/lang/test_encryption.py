@@ -1,0 +1,73 @@
+"""Tests for event encryption (Section II-A1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ALPHABET, UNKNOWN_CHAR, EventSequence, SensorEncoder
+
+
+class TestSensorEncoder:
+    def test_alphanumeric_assignment_order(self):
+        encoder = SensorEncoder.fit(EventSequence("s1", ["on", "off", "idle"]))
+        # sorted: idle < off < on
+        assert encoder.state_to_char == {"idle": "a", "off": "b", "on": "c"}
+
+    def test_encode_produces_characters(self):
+        encoder = SensorEncoder.fit(EventSequence("s1", ["off", "on"]))
+        assert encoder.encode(["on", "off", "on"]) == "bab"
+
+    def test_unknown_state_maps_to_unknown_char(self):
+        encoder = SensorEncoder.fit(EventSequence("s1", ["off", "on"]))
+        assert encoder.encode_event("EXPLODED") == UNKNOWN_CHAR
+        assert encoder.encode(["on", "EXPLODED"]) == "b" + UNKNOWN_CHAR
+
+    def test_decode_inverts_encode(self):
+        events = ["low", "high", "medium", "low"]
+        encoder = SensorEncoder.fit(EventSequence("s1", events))
+        assert encoder.decode(encoder.encode(events)) == events
+
+    def test_decode_rejects_unknown_char(self):
+        encoder = SensorEncoder.fit(EventSequence("s1", ["a", "b"]))
+        with pytest.raises(KeyError):
+            encoder.decode(UNKNOWN_CHAR)
+
+    def test_qualified_token_format(self):
+        encoder = SensorEncoder.fit(EventSequence("s7", ["off", "on"]))
+        assert encoder.qualified_token("off") == "s7.a"
+
+    def test_cardinality_limit(self):
+        states = [f"state_{i:03d}" for i in range(len(ALPHABET) + 1)]
+        with pytest.raises(ValueError, match="cardinality"):
+            SensorEncoder.fit(EventSequence("s1", states))
+
+    def test_unknown_char_not_in_alphabet(self):
+        assert UNKNOWN_CHAR not in ALPHABET
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(["on", "off", "idle", "status 1", "status 2", "fault"]),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_property_encode_decode_roundtrip(events):
+    """Training events always round-trip through the codebook."""
+    encoder = SensorEncoder.fit(EventSequence("sX", events))
+    assert encoder.decode(encoder.encode(events)) == [str(e) for e in events]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.text(min_size=1, max_size=5), min_size=1, max_size=30, unique=True)
+)
+def test_property_distinct_states_get_distinct_chars(states):
+    """The codebook is injective over training states."""
+    encoder = SensorEncoder.fit(EventSequence("sX", states))
+    chars = list(encoder.state_to_char.values())
+    assert len(chars) == len(set(chars))
+    assert UNKNOWN_CHAR not in chars

@@ -1,0 +1,92 @@
+"""Tests for EventSequence and MultivariateEventLog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import EventSequence, MultivariateEventLog
+
+
+class TestEventSequence:
+    def test_events_are_stringified(self):
+        seq = EventSequence("s1", [1, 0, 1])
+        assert seq.events == ("1", "0", "1")
+
+    def test_unique_states_sorted_alphanumerically(self):
+        seq = EventSequence("s1", ["on", "OFF", "on", "idle"])
+        assert seq.unique_states == ("OFF", "idle", "on")
+
+    def test_cardinality(self):
+        assert EventSequence("s1", ["a", "b", "a"]).cardinality == 2
+
+    def test_is_constant(self):
+        assert EventSequence("s1", ["x", "x", "x"]).is_constant()
+        assert not EventSequence("s1", ["x", "y"]).is_constant()
+
+    def test_slice(self):
+        seq = EventSequence("s1", list("abcdef"))
+        assert seq.slice(2, 4).events == ("c", "d")
+        assert seq.slice(2, 4).sensor == "s1"
+
+    def test_indexing_and_iteration(self):
+        seq = EventSequence("s1", ["a", "b", "c"])
+        assert seq[1] == "b"
+        assert list(seq) == ["a", "b", "c"]
+        assert isinstance(seq[0:2], EventSequence)
+
+
+class TestMultivariateEventLog:
+    def test_from_mapping(self):
+        log = MultivariateEventLog.from_mapping({"a": ["x", "y"], "b": ["1", "2"]})
+        assert log.sensors == ["a", "b"]
+        assert log.num_samples == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="not aligned"):
+            MultivariateEventLog.from_mapping({"a": ["x"], "b": ["1", "2"]})
+
+    def test_duplicate_sensor_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MultivariateEventLog(
+                [EventSequence("a", ["x"]), EventSequence("a", ["y"])]
+            )
+
+    def test_slice_preserves_all_sensors(self):
+        log = MultivariateEventLog.from_mapping({"a": list("abcd"), "b": list("wxyz")})
+        sliced = log.slice(1, 3)
+        assert sliced.num_samples == 2
+        assert sliced["b"].events == ("x", "y")
+
+    def test_select_subset_and_order(self):
+        log = MultivariateEventLog.from_mapping(
+            {"a": ["1"], "b": ["2"], "c": ["3"]}
+        )
+        assert log.select(["c", "a"]).sensors == ["c", "a"]
+
+    def test_select_unknown_sensor(self):
+        log = MultivariateEventLog.from_mapping({"a": ["1"]})
+        with pytest.raises(KeyError):
+            log.select(["nope"])
+
+    def test_cardinalities(self):
+        log = MultivariateEventLog.from_mapping({"a": ["x", "x"], "b": ["1", "2"]})
+        assert log.cardinalities() == {"a": 1, "b": 2}
+
+    def test_csv_roundtrip(self, tmp_path):
+        log = MultivariateEventLog.from_mapping(
+            {"a": ["on", "off"], "b": ["status 1", "status 2"]}
+        )
+        path = log.to_csv(tmp_path / "log.csv")
+        loaded = MultivariateEventLog.from_csv(path)
+        assert loaded.sensors == log.sensors
+        assert loaded["b"].events == log["b"].events
+
+    def test_contains_and_getitem(self):
+        log = MultivariateEventLog.from_mapping({"a": ["1"]})
+        assert "a" in log and "z" not in log
+        assert log["a"].sensor == "a"
+
+    def test_empty_log(self):
+        log = MultivariateEventLog([])
+        assert log.num_samples == 0
+        assert log.sensors == []

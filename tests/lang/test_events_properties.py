@@ -1,0 +1,74 @@
+"""Property-based tests for event-log containers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import EventSequence, MultivariateEventLog
+
+STATES = st.sampled_from(["on", "off", "idle"])
+COLUMN = st.lists(STATES, min_size=1, max_size=40)
+
+
+@settings(max_examples=50, deadline=None)
+@given(COLUMN, st.data())
+def test_property_slice_composition(events, data):
+    """log.slice(a, b).slice(c, d) == log.slice(a+c, a+d)."""
+    log = MultivariateEventLog.from_mapping({"s": events})
+    a = data.draw(st.integers(0, len(events)))
+    b = data.draw(st.integers(a, len(events)))
+    inner_len = b - a
+    c = data.draw(st.integers(0, inner_len))
+    d = data.draw(st.integers(c, inner_len))
+    nested = log.slice(a, b).slice(c, d)
+    direct = log.slice(a + c, a + d)
+    assert nested["s"].events == direct["s"].events
+
+
+@settings(max_examples=50, deadline=None)
+@given(COLUMN)
+def test_property_cardinality_matches_set(events):
+    sequence = EventSequence("s", events)
+    assert sequence.cardinality == len(set(sequence.events))
+    assert sequence.is_constant() == (sequence.cardinality <= 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(st.sampled_from(["a", "b", "c", "d"]), COLUMN, min_size=1, max_size=4))
+def test_property_select_preserves_content(columns):
+    lengths = {len(v) for v in columns.values()}
+    if len(lengths) != 1:
+        shortest = min(lengths)
+        columns = {k: v[:shortest] for k, v in columns.items()}
+    log = MultivariateEventLog.from_mapping(columns)
+    names = sorted(columns)
+    selected = log.select(names)
+    for name in names:
+        assert selected[name].events == log[name].events
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.lists(STATES, min_size=1, max_size=20),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_property_csv_roundtrip(columns):
+    import tempfile
+    from pathlib import Path
+
+    shortest = min(len(v) for v in columns.values())
+    columns = {k: v[:shortest] for k, v in columns.items()}
+    log = MultivariateEventLog.from_mapping(columns)
+    with tempfile.TemporaryDirectory() as directory:
+        path = Path(directory) / "log.csv"
+        log.to_csv(path)
+        loaded = MultivariateEventLog.from_csv(path)
+    assert loaded.sensors == log.sensors
+    for name in log.sensors:
+        assert loaded[name].events == log[name].events

@@ -1,0 +1,79 @@
+"""Tests for sensor-language statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import (
+    EventSequence,
+    LanguageConfig,
+    SensorLanguage,
+    language_statistics,
+    type_token_ratio,
+    word_entropy,
+)
+
+
+class TestWordEntropy:
+    def test_uniform_two_words_is_one_bit(self):
+        assert word_entropy(["a", "b"]) == pytest.approx(1.0)
+
+    def test_single_word_is_zero(self):
+        assert word_entropy(["a"] * 50) == 0.0
+
+    def test_empty(self):
+        assert word_entropy([]) == 0.0
+
+    def test_uniform_k_words_is_log2_k(self):
+        words = [f"w{i}" for i in range(8)]
+        assert word_entropy(words) == pytest.approx(3.0)
+
+
+class TestTypeTokenRatio:
+    def test_all_distinct(self):
+        assert type_token_ratio(["a", "b", "c"]) == 1.0
+
+    def test_all_same(self):
+        assert type_token_ratio(["a"] * 10) == 0.1
+
+    def test_empty(self):
+        assert type_token_ratio([]) == 0.0
+
+
+class TestLanguageStatistics:
+    def make_language(self, events):
+        config = LanguageConfig(word_size=4, word_stride=1, sentence_length=4, sentence_stride=4)
+        return SensorLanguage.fit(EventSequence("sX", events), config)
+
+    def test_trivial_language_flagged(self):
+        # Mostly constant with one blip -> near-zero entropy.
+        events = ["off"] * 100 + ["on"] + ["off"] * 100
+        stats = language_statistics(self.make_language(events))
+        assert stats.is_trivial()
+        assert stats.most_common_fraction > 0.8
+
+    def test_rich_language_not_trivial(self):
+        events = ["on", "off", "off", "on", "off"] * 40
+        stats = language_statistics(self.make_language(events))
+        assert not stats.is_trivial()
+        assert stats.vocabulary_size > 2
+
+    def test_fields_consistent(self):
+        events = ["a", "b"] * 40
+        stats = language_statistics(self.make_language(events))
+        assert stats.sensor == "sX"
+        assert stats.num_sentences > 0
+        assert 0 < stats.type_token_ratio <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=80))
+def test_property_entropy_bounds(words):
+    """0 <= H <= log2(vocabulary)."""
+    entropy = word_entropy(words)
+    assert entropy >= 0.0
+    assert entropy <= math.log2(len(set(words))) + 1e-9

@@ -1,0 +1,56 @@
+"""Tests for the token vocabulary."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lang import BOS, EOS, PAD, UNK, Vocabulary
+
+
+class TestVocabulary:
+    def test_specials_have_fixed_ids(self):
+        vocab = Vocabulary()
+        assert vocab.pad_id == 0
+        assert vocab.bos_id == 1
+        assert vocab.eos_id == 2
+        assert vocab.unk_id == 3
+        assert vocab.word_of(0) == PAD
+        assert vocab.word_of(3) == UNK
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("abba")
+        second = vocab.add("abba")
+        assert first == second
+        assert len(vocab) == 5
+
+    def test_from_sentences_first_seen_order(self):
+        vocab = Vocabulary.from_sentences([("b", "a"), ("a", "c")])
+        assert vocab.words() == ["b", "a", "c"]
+
+    def test_content_size_excludes_specials(self):
+        vocab = Vocabulary(["x", "y"])
+        assert vocab.content_size == 2
+        assert len(vocab) == 6
+
+    def test_encode_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["x"])
+        ids = vocab.encode(["x", "zzz"])
+        assert ids[1] == vocab.unk_id
+
+    def test_encode_with_eos(self):
+        vocab = Vocabulary(["x"])
+        ids = vocab.encode(["x"], add_eos=True)
+        assert list(ids) == [4, vocab.eos_id]
+        assert ids.dtype == np.int64
+
+    def test_decode_strips_specials_by_default(self):
+        vocab = Vocabulary(["x"])
+        assert vocab.decode([vocab.bos_id, 4, vocab.eos_id]) == ["x"]
+        assert vocab.decode([vocab.bos_id, 4], strip_specials=False) == [BOS, "x"]
+
+    def test_contains(self):
+        vocab = Vocabulary(["x"])
+        assert "x" in vocab
+        assert EOS in vocab
+        assert "nope" not in vocab

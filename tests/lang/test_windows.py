@@ -1,0 +1,102 @@
+"""Tests for sliding-window word/sentence generation (Section II-A2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import generate_sentences, generate_words, num_windows, sliding_windows
+
+
+class TestNumWindows:
+    def test_exact_fit(self):
+        assert num_windows(10, 10, 1) == 1
+
+    def test_paper_plant_words(self):
+        # 1440 chars/day, word 10, stride 1 -> 1431 words.
+        assert num_windows(1440, 10, 1) == 1431
+
+    def test_too_short_gives_zero(self):
+        assert num_windows(5, 10, 1) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            num_windows(10, 0, 1)
+        with pytest.raises(ValueError):
+            num_windows(10, 3, 0)
+
+
+class TestGenerateWords:
+    def test_overlapping_words(self):
+        words = generate_words("abcde", word_size=3, stride=1)
+        assert words == ["abc", "bcd", "cde"]
+
+    def test_stride_skips(self):
+        words = generate_words("abcdef", word_size=2, stride=2)
+        assert words == ["ab", "cd", "ef"]
+
+    def test_trailing_partial_window_dropped(self):
+        words = generate_words("abcde", word_size=2, stride=2)
+        assert words == ["ab", "cd"]
+
+    def test_paper_example_overlap(self):
+        """Word 10 / stride 1: adjacent words overlap by 9 characters."""
+        encoded = "abababababababababab"
+        words = generate_words(encoded, word_size=10, stride=1)
+        for first, second in zip(words, words[1:]):
+            assert first[1:] == second[:-1]
+
+
+class TestGenerateSentences:
+    def test_non_overlapping_default(self):
+        words = [f"w{i}" for i in range(10)]
+        sentences = generate_sentences(words, sentence_length=3)
+        assert sentences == [
+            ("w0", "w1", "w2"),
+            ("w3", "w4", "w5"),
+            ("w6", "w7", "w8"),
+        ]
+
+    def test_overlapping_stride_one(self):
+        words = ["a", "b", "c", "d"]
+        sentences = generate_sentences(words, sentence_length=2, stride=1)
+        assert sentences == [("a", "b"), ("b", "c"), ("c", "d")]
+
+    def test_paper_plant_sentence_count(self):
+        """1440 samples/day, word 10/1 → 1431 words; sentence 20/20 → 71."""
+        words = ["w"] * 1431
+        assert len(generate_sentences(words, 20, 20)) == 71
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    length=st.integers(0, 200),
+    window=st.integers(1, 20),
+    stride=st.integers(1, 10),
+)
+def test_property_window_count_formula(length, window, stride):
+    """sliding_windows emits exactly num_windows windows of exact size."""
+    items = list(range(length))
+    windows = sliding_windows(items, window, stride)
+    assert len(windows) == num_windows(length, window, stride)
+    assert all(len(w) == window for w in windows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    length=st.integers(1, 120),
+    window=st.integers(1, 15),
+)
+def test_property_stride_one_covers_every_position(length, window):
+    """With stride 1 every item appears in at least one window (when any
+    window exists), and consecutive windows shift by exactly one."""
+    items = list(range(length))
+    windows = sliding_windows(items, window, 1)
+    if not windows:
+        assert length < window
+        return
+    covered = {item for w in windows for item in w}
+    assert covered == set(items)
+    for a, b in zip(windows, windows[1:]):
+        assert list(a)[1:] == list(b)[:-1]

@@ -1,0 +1,58 @@
+"""Tests for Luong attention."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+
+
+def make_inputs(batch=3, src=5, hidden=4, seed=0):
+    rng = np.random.default_rng(seed)
+    decoder = nn.Tensor(rng.normal(size=(batch, hidden)), requires_grad=True)
+    encoder = nn.Tensor(rng.normal(size=(batch, src, hidden)))
+    return decoder, encoder
+
+
+class TestLuongAttention:
+    def test_output_shapes(self):
+        att = nn.LuongAttention(4, rng=np.random.default_rng(0))
+        decoder, encoder = make_inputs()
+        out, weights = att(decoder, encoder)
+        assert out.shape == (3, 4)
+        assert weights.shape == (3, 5)
+
+    def test_weights_are_a_distribution(self):
+        att = nn.LuongAttention(4, rng=np.random.default_rng(1))
+        decoder, encoder = make_inputs(seed=1)
+        _, weights = att(decoder, encoder)
+        assert (weights.data >= 0).all()
+        np.testing.assert_allclose(weights.data.sum(axis=1), np.ones(3))
+
+    def test_mask_zeroes_padding_attention(self):
+        att = nn.LuongAttention(4, rng=np.random.default_rng(2))
+        decoder, encoder = make_inputs(seed=2)
+        mask = np.array([[1, 1, 0, 0, 0], [1, 1, 1, 1, 1], [1, 0, 0, 0, 0]])
+        _, weights = att(decoder, encoder, mask)
+        np.testing.assert_allclose(weights.data[0, 2:], np.zeros(3), atol=1e-9)
+        np.testing.assert_allclose(weights.data[2, 1:], np.zeros(4), atol=1e-9)
+        np.testing.assert_allclose(weights.data[2, 0], 1.0)
+
+    def test_attends_to_matching_position(self):
+        """With identity scoring, attention concentrates on the encoder
+        position most similar to the decoder state."""
+        att = nn.LuongAttention(3, rng=np.random.default_rng(3))
+        att.score_layer.weight.data = np.eye(3)
+        encoder = nn.Tensor(np.stack([np.eye(3) * 10])[..., :3])  # (1, 3, 3)
+        decoder = nn.Tensor(np.array([[10.0, 0.0, 0.0]]))
+        _, weights = att(decoder, encoder)
+        assert weights.data[0].argmax() == 0
+
+    def test_gradients_flow(self):
+        att = nn.LuongAttention(4, rng=np.random.default_rng(4))
+        decoder, encoder = make_inputs(seed=4)
+        out, _ = att(decoder, encoder)
+        out.sum().backward()
+        assert decoder.grad is not None
+        for param in att.parameters():
+            assert param.grad is not None

@@ -1,0 +1,96 @@
+"""Tests for the three Luong attention score variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def make_inputs(batch=2, src=4, hidden=3, seed=0):
+    rng = np.random.default_rng(seed)
+    decoder = nn.Tensor(rng.normal(size=(batch, hidden)), requires_grad=True)
+    encoder = nn.Tensor(rng.normal(size=(batch, src, hidden)))
+    return decoder, encoder
+
+
+class TestScoreVariants:
+    @pytest.mark.parametrize("score", ["dot", "general", "concat"])
+    def test_all_variants_produce_distributions(self, score):
+        att = nn.LuongAttention(3, rng=np.random.default_rng(1), score=score)
+        decoder, encoder = make_inputs(seed=1)
+        out, weights = att(decoder, encoder)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(weights.data.sum(axis=1), np.ones(2))
+
+    @pytest.mark.parametrize("score", ["dot", "general", "concat"])
+    def test_gradients_flow_through_every_variant(self, score):
+        att = nn.LuongAttention(3, rng=np.random.default_rng(2), score=score)
+        decoder, encoder = make_inputs(seed=2)
+        out, _ = att(decoder, encoder)
+        out.sum().backward()
+        assert decoder.grad is not None
+        for param in att.parameters():
+            assert param.grad is not None
+
+    def test_dot_has_fewest_parameters(self):
+        rng = np.random.default_rng(3)
+        dot = nn.LuongAttention(4, rng=rng, score="dot")
+        general = nn.LuongAttention(4, rng=rng, score="general")
+        concat = nn.LuongAttention(4, rng=rng, score="concat")
+        assert dot.num_parameters() < general.num_parameters()
+        assert general.num_parameters() < concat.num_parameters()
+
+    def test_dot_scores_are_plain_inner_products(self):
+        att = nn.LuongAttention(3, rng=np.random.default_rng(4), score="dot")
+        decoder, encoder = make_inputs(seed=4)
+        scores = att._scores(decoder, encoder)
+        manual = np.einsum("bh,bsh->bs", decoder.data, encoder.data)
+        np.testing.assert_allclose(scores.data, manual, rtol=1e-12)
+
+    def test_unknown_score_rejected(self):
+        with pytest.raises(ValueError):
+            nn.LuongAttention(4, score="multiplicative-ish")
+
+    @pytest.mark.parametrize("score", ["dot", "concat"])
+    def test_masking_works_for_every_variant(self, score):
+        att = nn.LuongAttention(3, rng=np.random.default_rng(5), score=score)
+        decoder, encoder = make_inputs(seed=5)
+        mask = np.array([[1, 1, 0, 0], [1, 0, 0, 0]])
+        _, weights = att(decoder, encoder, mask)
+        np.testing.assert_allclose(weights.data[0, 2:], 0.0, atol=1e-9)
+        np.testing.assert_allclose(weights.data[1, 0], 1.0)
+
+
+class TestSeq2SeqIntegration:
+    def test_gru_and_attention_variant_configs_train(self):
+        """A GRU + dot-attention NMT model trains end to end."""
+        from repro.lang import ParallelCorpus
+        from repro.translation import NMTConfig, Seq2SeqTranslator
+
+        sentences = [tuple(f"w{(i + j) % 3}" for j in range(3)) for i in range(9)]
+        corpus = ParallelCorpus.from_sentences("a", "b", sentences, sentences)
+        config = NMTConfig(
+            embedding_size=8,
+            hidden_size=10,
+            num_layers=2,
+            dropout=0.0,
+            training_steps=150,
+            batch_size=6,
+            learning_rate=5e-3,
+            seed=0,
+            recurrent_unit="gru",
+            attention_score="dot",
+        )
+        model = Seq2SeqTranslator(config).fit(corpus)
+        assert model.loss_history[-1] < model.loss_history[0]
+        assert model.score(corpus) > 50.0
+
+    def test_invalid_unit_rejected(self):
+        from repro.translation import NMTConfig
+
+        with pytest.raises(ValueError):
+            NMTConfig(recurrent_unit="transformer")
+        with pytest.raises(ValueError):
+            NMTConfig(attention_score="bahdanau")

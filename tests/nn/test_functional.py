@@ -1,0 +1,134 @@
+"""Tests for softmax, log-softmax, cross entropy and dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 6)))
+        out = F.softmax(x, axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+
+    def test_stability_with_large_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0, -1000.0]]))
+        out = F.softmax(x)
+        assert np.isfinite(out.data).all()
+        np.testing.assert_allclose(out.data[0, :2], [0.5, 0.5])
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(3, 4))
+        weights = rng.normal(size=(3, 4))
+        x = Tensor(data.copy(), requires_grad=True)
+        (F.softmax(x) * Tensor(weights)).sum().backward()
+
+        eps = 1e-6
+        numeric = np.zeros_like(data)
+        for i in range(data.shape[0]):
+            for j in range(data.shape[1]):
+                for sign in (1, -1):
+                    data[i, j] += sign * eps
+                    value = (F.softmax(Tensor(data)) * Tensor(weights)).sum().item()
+                    numeric[i, j] += sign * value / (2 * eps)
+                    data[i, j] -= sign * eps
+        np.testing.assert_allclose(x.grad, numeric, rtol=1e-4, atol=1e-7)
+
+    def test_softmax_log_softmax_consistency(self):
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 5)))
+        np.testing.assert_allclose(
+            np.log(F.softmax(x).data), F.log_softmax(x).data, rtol=1e-10
+        )
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_loss_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_uniform_prediction_is_log_classes(self):
+        logits = Tensor(np.zeros((4, 7)))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 3]))
+        np.testing.assert_allclose(loss.item(), np.log(7), rtol=1e-10)
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        rng = np.random.default_rng(3)
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        targets = np.array([1, 0, 3])
+        F.cross_entropy(logits, targets).backward()
+        probs = F.softmax(Tensor(logits.data)).data
+        onehot = np.zeros((3, 4))
+        onehot[np.arange(3), targets] = 1.0
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 3, rtol=1e-10)
+
+
+class TestMaskedCrossEntropy:
+    def test_mask_removes_padding_contribution(self):
+        rng = np.random.default_rng(4)
+        logits_data = rng.normal(size=(2, 3, 5))
+        targets = np.array([[1, 2, 0], [3, 0, 0]])
+        mask = np.array([[1.0, 1.0, 0.0], [1.0, 0.0, 0.0]])
+        loss = F.masked_cross_entropy(Tensor(logits_data), targets, mask)
+        # Equivalent flat computation over unmasked positions only.
+        flat_logits = Tensor(
+            np.stack([logits_data[0, 0], logits_data[0, 1], logits_data[1, 0]])
+        )
+        expected = F.cross_entropy(flat_logits, np.array([1, 2, 3])).item()
+        np.testing.assert_allclose(loss.item(), expected, rtol=1e-10)
+
+    def test_padding_positions_get_zero_gradient(self):
+        logits = Tensor(np.random.default_rng(5).normal(size=(1, 2, 4)), requires_grad=True)
+        mask = np.array([[1.0, 0.0]])
+        F.masked_cross_entropy(logits, np.array([[2, 0]]), mask).backward()
+        np.testing.assert_allclose(logits.grad[0, 1], np.zeros(4))
+        assert np.abs(logits.grad[0, 0]).sum() > 0
+
+    def test_all_masked_raises(self):
+        logits = Tensor(np.zeros((1, 2, 3)))
+        with pytest.raises(ValueError):
+            F.masked_cross_entropy(logits, np.zeros((1, 2), dtype=int), np.zeros((1, 2)))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, 0.5, training=False, rng=np.random.default_rng(0))
+        assert out is x
+
+    def test_zero_rate_is_identity(self):
+        x = Tensor(np.ones(5))
+        out = F.dropout(x, 0.0, training=True, rng=np.random.default_rng(0))
+        assert out is x
+
+    def test_inverted_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(6)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, training=True, rng=rng)
+        assert abs(out.data.mean() - 1.0) < 0.02
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, np.full_like(kept, 1.0 / 0.7))
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, training=True, rng=np.random.default_rng(0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    batch=st.integers(1, 5),
+    classes=st.integers(2, 8),
+    seed=st.integers(0, 500),
+)
+def test_property_cross_entropy_nonnegative(batch, classes, seed):
+    rng = np.random.default_rng(seed)
+    logits = Tensor(rng.normal(size=(batch, classes)))
+    targets = rng.integers(0, classes, size=batch)
+    assert F.cross_entropy(logits, targets).item() >= 0.0

@@ -1,0 +1,94 @@
+"""Tests for the GRU cell and stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+@pytest.fixture()
+def gru():
+    return nn.GRU(3, 5, num_layers=2, dropout=0.0, rng=np.random.default_rng(0))
+
+
+class TestGRUCell:
+    def test_step_shape(self):
+        cell = nn.GRUCell(3, 5, rng=np.random.default_rng(0))
+        h = cell.zero_state(4)
+        h2 = cell(nn.Tensor(np.ones((4, 3))), h)
+        assert h2.shape == (4, 5)
+
+    def test_output_bounded(self):
+        cell = nn.GRUCell(2, 4, rng=np.random.default_rng(1))
+        h = cell.zero_state(1)
+        for _ in range(60):
+            h = cell(nn.Tensor(np.ones((1, 2)) * 10), h)
+        assert np.abs(h.data).max() <= 1.0
+
+    def test_zero_update_gate_keeps_state(self):
+        """With the update gate forced to one, the state never changes
+        (GRU interpolation semantics: h' = z*h + (1-z)*candidate)."""
+        cell = nn.GRUCell(2, 3, rng=np.random.default_rng(2))
+        cell.gate_bias.data[3:] = 100.0  # update gate saturated at 1
+        h = nn.Tensor(np.full((1, 3), 0.37))
+        h2 = cell(nn.Tensor(np.ones((1, 2))), h)
+        np.testing.assert_allclose(h2.data, h.data, atol=1e-6)
+
+    def test_gradients_reach_all_parameters(self):
+        cell = nn.GRUCell(2, 3, rng=np.random.default_rng(3))
+        h = cell.zero_state(2)
+        out = cell(nn.Tensor(np.ones((2, 2))), h)
+        out.sum().backward()
+        for param in cell.parameters():
+            assert param.grad is not None
+
+
+class TestGRUStack:
+    def test_forward_shapes_match_lstm_contract(self, gru):
+        out, (h, c) = gru(nn.Tensor(np.ones((2, 7, 3))))
+        assert out.shape == (2, 7, 5)
+        assert len(h) == 2 and len(c) == 2
+        # The "cell" list mirrors the hidden list for interface parity.
+        for h_layer, c_layer in zip(h, c):
+            np.testing.assert_array_equal(h_layer.data, c_layer.data)
+
+    def test_step_equals_unrolled_forward(self, gru):
+        gru.eval()
+        rng = np.random.default_rng(4)
+        inputs = rng.normal(size=(2, 4, 3))
+        full_out, _ = gru(nn.Tensor(inputs))
+        state = gru.zero_state(2)
+        for t in range(4):
+            step_out, state = gru.step(nn.Tensor(inputs[:, t]), state)
+            np.testing.assert_allclose(step_out.data, full_out.data[:, t], rtol=1e-10)
+
+    def test_bptt_gradients_flow(self, gru):
+        out, _ = gru(nn.Tensor(np.random.default_rng(5).normal(size=(2, 6, 3))))
+        out.sum().backward()
+        for param in gru.parameters():
+            assert param.grad is not None
+            assert np.abs(param.grad).sum() > 0
+
+    def test_gradcheck_small_gru(self):
+        gru = nn.GRU(2, 3, num_layers=1, rng=np.random.default_rng(6))
+        inputs = np.random.default_rng(7).normal(size=(1, 3, 2))
+
+        out, _ = gru(nn.Tensor(inputs))
+        out.sum().backward()
+        param = gru.cells[0].candidate_weight_h
+        eps = 1e-6
+        for index in [(0, 0), (2, 1)]:
+            original = param.data[index]
+            param.data[index] = original + eps
+            plus = gru(nn.Tensor(inputs))[0].sum().item()
+            param.data[index] = original - eps
+            minus = gru(nn.Tensor(inputs))[0].sum().item()
+            param.data[index] = original
+            numeric = (plus - minus) / (2 * eps)
+            np.testing.assert_allclose(param.grad[index], numeric, rtol=1e-4, atol=1e-8)
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            nn.GRU(2, 2, num_layers=0)

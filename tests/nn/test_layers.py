@@ -1,0 +1,77 @@
+"""Tests for Linear, Embedding and Dropout layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestLinear:
+    def test_output_shape_and_affine(self):
+        rng = np.random.default_rng(0)
+        layer = nn.Linear(4, 3, rng=rng)
+        x = nn.Tensor(rng.normal(size=(5, 4)))
+        out = layer(x)
+        assert out.shape == (5, 3)
+        np.testing.assert_allclose(out.data, x.data @ layer.weight.data + layer.bias.data)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 3, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_flow_to_weight_and_bias(self):
+        layer = nn.Linear(2, 2, rng=np.random.default_rng(1))
+        out = layer(nn.Tensor(np.ones((3, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, np.full(2, 3.0))
+
+    def test_seeded_init_is_deterministic(self):
+        a = nn.Linear(6, 6, rng=np.random.default_rng(9))
+        b = nn.Linear(6, 6, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = nn.Embedding(10, 4, rng=np.random.default_rng(0))
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_lookup_values_match_table(self):
+        emb = nn.Embedding(5, 3, rng=np.random.default_rng(1))
+        out = emb(np.array([2, 2, 0]))
+        np.testing.assert_array_equal(out.data[0], emb.weight.data[2])
+        np.testing.assert_array_equal(out.data[2], emb.weight.data[0])
+
+    def test_out_of_range_token_rejected(self):
+        emb = nn.Embedding(5, 3)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_only_on_used_rows(self):
+        emb = nn.Embedding(6, 2, rng=np.random.default_rng(2))
+        emb(np.array([1, 3])).sum().backward()
+        used = np.zeros((6, 2))
+        used[[1, 3]] = 1.0
+        np.testing.assert_allclose(emb.weight.grad, used)
+
+
+class TestDropoutLayer:
+    def test_respects_training_flag(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = nn.Tensor(np.ones((50, 50)))
+        layer.eval()
+        assert layer(x) is x
+        layer.train()
+        out = layer(x)
+        assert (out.data == 0).any()
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)

@@ -1,0 +1,115 @@
+"""Tests for the LSTM cell and multi-layer stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+@pytest.fixture()
+def lstm():
+    return nn.LSTM(3, 5, num_layers=2, dropout=0.0, rng=np.random.default_rng(0))
+
+
+class TestLSTMCell:
+    def test_step_shapes(self):
+        cell = nn.LSTMCell(3, 5, rng=np.random.default_rng(0))
+        h, c = cell.zero_state(4)
+        h2, c2 = cell(nn.Tensor(np.ones((4, 3))), h, c)
+        assert h2.shape == (4, 5)
+        assert c2.shape == (4, 5)
+
+    def test_forget_bias_initialised_to_one(self):
+        cell = nn.LSTMCell(3, 5)
+        np.testing.assert_array_equal(cell.bias.data[5:10], np.ones(5))
+        np.testing.assert_array_equal(cell.bias.data[:5], np.zeros(5))
+
+    def test_state_is_bounded(self):
+        cell = nn.LSTMCell(2, 4, rng=np.random.default_rng(1))
+        h, c = cell.zero_state(1)
+        for _ in range(50):
+            h, c = cell(nn.Tensor(np.ones((1, 2)) * 10), h, c)
+        assert np.abs(h.data).max() <= 1.0  # tanh-bounded output
+
+    def test_gradients_reach_all_parameters(self):
+        cell = nn.LSTMCell(2, 3, rng=np.random.default_rng(2))
+        h, c = cell.zero_state(2)
+        h2, _ = cell(nn.Tensor(np.ones((2, 2))), h, c)
+        h2.sum().backward()
+        for param in cell.parameters():
+            assert param.grad is not None
+
+
+class TestLSTMStack:
+    def test_forward_shapes(self, lstm):
+        out, (h, c) = lstm(nn.Tensor(np.ones((2, 7, 3))))
+        assert out.shape == (2, 7, 5)
+        assert len(h) == 2 and len(c) == 2
+        assert h[0].shape == (2, 5)
+
+    def test_step_equals_unrolled_forward(self, lstm):
+        lstm.eval()
+        rng = np.random.default_rng(3)
+        inputs = rng.normal(size=(2, 4, 3))
+        full_out, _ = lstm(nn.Tensor(inputs))
+        state = lstm.zero_state(2)
+        for t in range(4):
+            step_out, state = lstm.step(nn.Tensor(inputs[:, t]), state)
+            np.testing.assert_allclose(step_out.data, full_out.data[:, t], rtol=1e-10)
+
+    def test_initial_state_is_used(self, lstm):
+        lstm.eval()
+        inputs = nn.Tensor(np.ones((1, 2, 3)))
+        zero_out, _ = lstm(inputs)
+        h0 = [nn.Tensor(np.ones((1, 5))) for _ in range(2)]
+        c0 = [nn.Tensor(np.ones((1, 5))) for _ in range(2)]
+        seeded_out, _ = lstm(inputs, (h0, c0))
+        assert not np.allclose(zero_out.data, seeded_out.data)
+
+    def test_backward_through_time(self, lstm):
+        out, _ = lstm(nn.Tensor(np.random.default_rng(4).normal(size=(2, 6, 3))))
+        out.sum().backward()
+        for param in lstm.parameters():
+            assert param.grad is not None
+            assert np.abs(param.grad).sum() > 0
+
+    def test_gradcheck_small_lstm(self):
+        """Full BPTT gradient vs numerical differentiation."""
+        lstm = nn.LSTM(2, 3, num_layers=1, rng=np.random.default_rng(5))
+        inputs = np.random.default_rng(6).normal(size=(1, 3, 2))
+
+        def loss_value() -> float:
+            out, _ = lstm(nn.Tensor(inputs))
+            return out.sum().item()
+
+        out, _ = lstm(nn.Tensor(inputs))
+        out.sum().backward()
+        param = lstm.cells[0].weight_h
+        eps = 1e-6
+        for index in [(0, 0), (1, 5), (2, 11)]:
+            original = param.data[index]
+            param.data[index] = original + eps
+            plus = loss_value()
+            param.data[index] = original - eps
+            minus = loss_value()
+            param.data[index] = original
+            numeric = (plus - minus) / (2 * eps)
+            np.testing.assert_allclose(param.grad[index], numeric, rtol=1e-4, atol=1e-8)
+
+    def test_dropout_only_in_training(self):
+        lstm = nn.LSTM(3, 4, num_layers=2, dropout=0.5, rng=np.random.default_rng(7))
+        inputs = nn.Tensor(np.ones((1, 5, 3)))
+        lstm.eval()
+        a, _ = lstm(inputs)
+        b, _ = lstm(inputs)
+        np.testing.assert_array_equal(a.data, b.data)  # deterministic in eval
+        lstm.train()
+        c, _ = lstm(inputs)
+        d, _ = lstm(inputs)
+        assert not np.allclose(c.data, d.data)  # stochastic in train
+
+    def test_invalid_layer_count(self):
+        with pytest.raises(ValueError):
+            nn.LSTM(2, 2, num_layers=0)

@@ -1,0 +1,82 @@
+"""Tests for the Module/Parameter tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class Inner(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = nn.Parameter(np.ones((2, 2)))
+
+
+class Outer(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = Inner()
+        self.bias = nn.Parameter(np.zeros(3))
+        self.blocks = [Inner(), Inner()]
+
+
+class TestParameterTree:
+    def test_named_parameters_walks_nested_and_lists(self):
+        names = {name for name, _ in Outer().named_parameters()}
+        assert names == {
+            "inner.weight",
+            "bias",
+            "blocks.0.weight",
+            "blocks.1.weight",
+        }
+
+    def test_num_parameters(self):
+        assert Outer().num_parameters() == 4 + 3 + 4 + 4
+
+    def test_zero_grad_clears_all(self):
+        module = Outer()
+        for param in module.parameters():
+            param.grad = np.ones_like(param.data)
+        module.zero_grad()
+        assert all(param.grad is None for param in module.parameters())
+
+    def test_train_eval_propagates(self):
+        module = Outer()
+        module.eval()
+        assert not module.inner.training
+        assert not module.blocks[1].training
+        module.train()
+        assert module.blocks[0].training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        source = Outer()
+        for param in source.parameters():
+            param.data += np.random.default_rng(0).normal(size=param.data.shape)
+        target = Outer()
+        target.load_state_dict(source.state_dict())
+        for (_, a), (_, b) in zip(source.named_parameters(), target.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_state_dict_is_a_copy(self):
+        module = Outer()
+        state = module.state_dict()
+        state["bias"][:] = 99.0
+        assert not (module.bias.data == 99.0).any()
+
+    def test_mismatched_keys_rejected(self):
+        module = Outer()
+        state = module.state_dict()
+        state.pop("bias")
+        with pytest.raises(KeyError):
+            module.load_state_dict(state)
+
+    def test_mismatched_shape_rejected(self):
+        module = Outer()
+        state = module.state_dict()
+        state["bias"] = np.zeros(99)
+        with pytest.raises(ValueError):
+            module.load_state_dict(state)

@@ -1,0 +1,108 @@
+"""Tests for optimisers and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def quadratic_step(optimizer, param):
+    """One step minimising ||param||²."""
+    optimizer.zero_grad()
+    loss = (param * param).sum()
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+class TestSGD:
+    def test_minimises_quadratic(self):
+        param = nn.Parameter(np.array([5.0, -3.0]))
+        opt = nn.SGD([param], lr=0.1)
+        for _ in range(100):
+            quadratic_step(opt, param)
+        np.testing.assert_allclose(param.data, np.zeros(2), atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        plain = nn.Parameter(np.array([10.0]))
+        momentum = nn.Parameter(np.array([10.0]))
+        opt_plain = nn.SGD([plain], lr=0.01)
+        opt_momentum = nn.SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            quadratic_step(opt_plain, plain)
+            quadratic_step(opt_momentum, momentum)
+        assert abs(momentum.data[0]) < abs(plain.data[0])
+
+    def test_skips_parameters_without_grad(self):
+        param = nn.Parameter(np.ones(2))
+        opt = nn.SGD([param], lr=0.1)
+        opt.step()  # no grad accumulated
+        np.testing.assert_array_equal(param.data, np.ones(2))
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        param = nn.Parameter(np.array([4.0, -2.0, 1.0]))
+        opt = nn.Adam([param], lr=0.1)
+        for _ in range(400):
+            quadratic_step(opt, param)
+        np.testing.assert_allclose(param.data, np.zeros(3), atol=1e-3)
+
+    def test_bias_correction_first_step_magnitude(self):
+        """First Adam update is ≈ lr regardless of gradient scale."""
+        for scale in (0.01, 100.0):
+            param = nn.Parameter(np.array([scale]))
+            opt = nn.Adam([param], lr=0.5)
+            opt.zero_grad()
+            (param * param).sum().backward()
+            before = param.data.copy()
+            opt.step()
+            np.testing.assert_allclose(abs(param.data - before), 0.5, rtol=1e-3)
+
+    def test_reaches_lower_loss_than_sgd_on_illconditioned(self):
+        rng = np.random.default_rng(0)
+        scales = np.array([100.0, 1.0, 0.01])
+
+        def run(optimizer_cls, **kwargs):
+            param = nn.Parameter(np.ones(3))
+            opt = optimizer_cls([param], **kwargs)
+            for _ in range(100):
+                opt.zero_grad()
+                loss = (param * param * nn.Tensor(scales)).sum()
+                loss.backward()
+                opt.step()
+            return float((param.data**2 * scales).sum())
+
+        assert run(nn.Adam, lr=0.05) < run(nn.SGD, lr=0.001)
+
+
+class TestClipGradNorm:
+    def test_norm_reduced_to_max(self):
+        param = nn.Parameter(np.zeros(4))
+        param.grad = np.full(4, 10.0)
+        returned = nn.clip_grad_norm([param], max_norm=1.0)
+        np.testing.assert_allclose(returned, 20.0)
+        np.testing.assert_allclose(np.linalg.norm(param.grad), 1.0)
+
+    def test_small_gradients_untouched(self):
+        param = nn.Parameter(np.zeros(2))
+        param.grad = np.array([0.1, 0.1])
+        nn.clip_grad_norm([param], max_norm=5.0)
+        np.testing.assert_allclose(param.grad, [0.1, 0.1])
+
+    def test_direction_preserved(self):
+        param = nn.Parameter(np.zeros(2))
+        param.grad = np.array([3.0, 4.0])
+        nn.clip_grad_norm([param], max_norm=1.0)
+        np.testing.assert_allclose(param.grad, [0.6, 0.8])
+
+    def test_invalid_max_norm(self):
+        param = nn.Parameter(np.zeros(2))
+        with pytest.raises(ValueError):
+            nn.clip_grad_norm([param], max_norm=0.0)

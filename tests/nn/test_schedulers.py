@@ -1,0 +1,66 @@
+"""Tests for learning-rate schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def make_optimizer(lr=1.0):
+    return nn.SGD([nn.Parameter(np.zeros(2))], lr=lr)
+
+
+class TestExponentialDecay:
+    def test_decay_per_step(self):
+        opt = make_optimizer(1.0)
+        sched = nn.ExponentialDecay(opt, gamma=0.5)
+        sched.step()
+        sched.step()
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            nn.ExponentialDecay(make_optimizer(), gamma=0.0)
+
+
+class TestStepDecay:
+    def test_decays_only_on_period(self):
+        opt = make_optimizer(1.0)
+        sched = nn.StepDecay(opt, period=3, gamma=0.1)
+        for _ in range(2):
+            sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            nn.StepDecay(make_optimizer(), period=0)
+
+
+class TestReduceOnPlateau:
+    def test_reduces_after_patience_without_improvement(self):
+        opt = make_optimizer(1.0)
+        sched = nn.ReduceOnPlateau(opt, patience=2, factor=0.5)
+        sched.step(1.0)   # establishes best
+        sched.step(1.0)   # stale 1
+        sched.step(1.0)   # stale 2 -> reduce
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_improvement_resets_counter(self):
+        opt = make_optimizer(1.0)
+        sched = nn.ReduceOnPlateau(opt, patience=2, factor=0.5)
+        sched.step(1.0)
+        sched.step(1.0)   # stale 1
+        sched.step(0.5)   # improvement resets
+        sched.step(0.5)   # stale 1
+        assert opt.lr == 1.0
+
+    def test_respects_min_lr(self):
+        opt = make_optimizer(1e-6)
+        sched = nn.ReduceOnPlateau(opt, patience=1, factor=0.5, min_lr=1e-6)
+        sched.step(1.0)
+        sched.step(1.0)
+        assert opt.lr == pytest.approx(1e-6)

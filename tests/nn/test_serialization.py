@@ -1,0 +1,37 @@
+"""Tests for module save/load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import load_module, save_module
+
+
+def make_model(seed: int) -> nn.LSTM:
+    return nn.LSTM(3, 4, num_layers=2, rng=np.random.default_rng(seed))
+
+
+class TestSerialization:
+    def test_roundtrip_restores_outputs(self, tmp_path):
+        source = make_model(0)
+        path = save_module(source, tmp_path / "model")
+        assert path.suffix == ".npz"
+        target = make_model(99)  # different init
+        load_module(target, path)
+        source.eval(), target.eval()
+        x = nn.Tensor(np.random.default_rng(1).normal(size=(2, 5, 3)))
+        a, _ = source(x)
+        b, _ = target(x)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_wrong_architecture_rejected(self, tmp_path):
+        path = save_module(make_model(0), tmp_path / "model.npz")
+        other = nn.LSTM(3, 5, num_layers=2)
+        with pytest.raises((KeyError, ValueError)):
+            load_module(other, path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_module(make_model(0), tmp_path / "deep" / "nested" / "model")
+        assert path.exists()

@@ -1,0 +1,250 @@
+"""Autograd engine tests: every op's gradient is checked numerically."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, no_grad
+
+
+def numeric_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = fn()
+        flat[index] = original - eps
+        minus = fn()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_unary(op, shape=(3, 4), positive=False, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape)
+    if positive:
+        data = np.abs(data) + 0.5
+    x = Tensor(data.copy(), requires_grad=True)
+    out = op(x).sum()
+    out.backward()
+    numeric = numeric_gradient(lambda: op(Tensor(x.data)).sum().item(), x.data)
+    np.testing.assert_allclose(x.grad, numeric, rtol=1e-5, atol=1e-7)
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        check_unary(lambda x: x + 2.5)
+
+    def test_mul(self):
+        check_unary(lambda x: x * 3.0)
+
+    def test_neg_sub(self):
+        check_unary(lambda x: (1.0 - x) - x)
+
+    def test_div(self):
+        check_unary(lambda x: x / 2.0, positive=True)
+
+    def test_rdiv(self):
+        check_unary(lambda x: 1.0 / x, positive=True)
+
+    def test_pow(self):
+        check_unary(lambda x: x**3)
+
+    def test_exp(self):
+        check_unary(lambda x: x.exp())
+
+    def test_log(self):
+        check_unary(lambda x: x.log(), positive=True)
+
+    def test_tanh(self):
+        check_unary(lambda x: x.tanh())
+
+    def test_sigmoid(self):
+        check_unary(lambda x: x.sigmoid())
+
+    def test_relu(self):
+        # Shift away from 0 to avoid the kink in the numeric check.
+        check_unary(lambda x: (x + 5.0).relu())
+
+    def test_chained_ops(self):
+        check_unary(lambda x: ((x * 2).tanh() + x.sigmoid()).exp())
+
+
+class TestBroadcasting:
+    def test_add_broadcast_gradient_shapes(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(4, 3)), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).normal(size=(3,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (4, 3)
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, np.full(3, 4.0))
+
+    def test_mul_broadcast_values(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.tile([1.0, 2.0, 3.0], (2, 1)))
+        np.testing.assert_allclose(b.grad, np.full(3, 2.0))
+
+    def test_keepdims_broadcast(self):
+        a = Tensor(np.random.default_rng(2).normal(size=(2, 3)), requires_grad=True)
+        out = (a - a.mean(axis=1, keepdims=True)).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.zeros((2, 3)), atol=1e-12)
+
+
+class TestMatmul:
+    def test_matmul_gradients(self):
+        rng = np.random.default_rng(3)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        na = numeric_gradient(lambda: (Tensor(a.data) @ Tensor(b.data)).sum().item(), a.data)
+        nb = numeric_gradient(lambda: (Tensor(a.data) @ Tensor(b.data)).sum().item(), b.data)
+        np.testing.assert_allclose(a.grad, na, rtol=1e-5)
+        np.testing.assert_allclose(b.grad, nb, rtol=1e-5)
+
+    def test_batched_matmul(self):
+        rng = np.random.default_rng(4)
+        a = Tensor(rng.normal(size=(5, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (5, 3, 2)
+        out.sum().backward()
+        assert a.grad.shape == (5, 3, 4)
+        assert b.grad.shape == (4, 2)
+
+
+class TestShaping:
+    def test_reshape_roundtrip_gradient(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        x.reshape(4, 3).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((3, 4)))
+
+    def test_transpose_gradient(self):
+        x = Tensor(np.random.default_rng(5).normal(size=(2, 3)), requires_grad=True)
+        (x.T * Tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        np.testing.assert_allclose(x.grad, np.arange(6.0).reshape(3, 2).T)
+
+    def test_getitem_gradient_scatter(self):
+        x = Tensor(np.zeros((4, 3)), requires_grad=True)
+        x[1:3, :].sum().backward()
+        expected = np.zeros((4, 3))
+        expected[1:3, :] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_concat_gradient_split(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = Tensor.concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * Tensor(np.arange(10.0).reshape(2, 5))).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0, 1], [5, 6]])
+        np.testing.assert_allclose(b.grad, [[2, 3, 4], [7, 8, 9]])
+
+    def test_stack_gradient(self):
+        parts = [Tensor(np.full((2,), float(i)), requires_grad=True) for i in range(3)]
+        out = Tensor.stack(parts, axis=0)
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        for part in parts:
+            np.testing.assert_allclose(part.grad, np.ones(2))
+
+    def test_take_rows_accumulates_repeats(self):
+        table = Tensor(np.eye(4), requires_grad=True)
+        out = table.take_rows(np.array([1, 1, 2]))
+        out.sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1] = 2.0
+        expected[2] = 1.0
+        np.testing.assert_allclose(table.grad, expected)
+
+
+class TestReductions:
+    def test_sum_axis_gradient(self):
+        x = Tensor(np.random.default_rng(6).normal(size=(3, 4)), requires_grad=True)
+        x.sum(axis=0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((3, 4)))
+
+    def test_mean_gradient(self):
+        x = Tensor(np.ones((2, 5)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 5), 0.1))
+
+    def test_max_gradient_ties_split(self):
+        x = Tensor(np.array([[1.0, 2.0, 2.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 0.5, 0.5]])
+
+
+class TestGraphMechanics:
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_on_detached_raises(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            x.detach().sum().backward()
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        x.sum().backward()
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 2.0))
+
+    def test_diamond_graph_accumulation(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3
+        z = (y + x * x).sum()  # dz/dx = 3 + 2x = 7
+        z.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_no_grad_context(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = (x * 2).sum()
+        assert not out.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        x.sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 4),
+    cols=st.integers(1, 4),
+    seed=st.integers(0, 1000),
+)
+def test_property_tanh_gradient_matches_numeric(rows, cols, seed):
+    """Gradcheck holds for arbitrary shapes and values (hypothesis)."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(rows, cols))
+    x = Tensor(data.copy(), requires_grad=True)
+    (x.tanh() * x).sum().backward()
+    numeric = numeric_gradient(lambda: (Tensor(x.data).tanh() * Tensor(x.data)).sum().item(), x.data)
+    np.testing.assert_allclose(x.grad, numeric, rtol=1e-4, atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 1000))
+def test_property_softmax_style_normalisation(seed):
+    """exp(x)/sum(exp(x)) built from primitives sums to one."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(5,)), requires_grad=True)
+    e = x.exp()
+    p = e / e.sum()
+    assert abs(p.data.sum() - 1.0) < 1e-12
+    p.log().sum().backward()
+    assert x.grad is not None

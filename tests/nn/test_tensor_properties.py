@@ -1,0 +1,95 @@
+"""Property-based gradient checks over composite tensor expressions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+
+
+def numeric_grad(fn, array, eps=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn()
+        flat[i] = original - eps
+        minus = fn()
+        flat[i] = original
+        out[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(1, 3),
+    inner=st.integers(1, 3),
+    cols=st.integers(1, 3),
+    seed=st.integers(0, 10_000),
+)
+def test_property_matmul_gradcheck(rows, inner, cols, seed):
+    rng = np.random.default_rng(seed)
+    a_data = rng.normal(size=(rows, inner))
+    b_data = rng.normal(size=(inner, cols))
+    a = Tensor(a_data.copy(), requires_grad=True)
+    b = Tensor(b_data.copy(), requires_grad=True)
+    ((a @ b).tanh()).sum().backward()
+
+    def value():
+        return (Tensor(a.data) @ Tensor(b.data)).tanh().sum().item()
+
+    np.testing.assert_allclose(a.grad, numeric_grad(value, a.data), rtol=1e-4, atol=1e-7)
+    np.testing.assert_allclose(b.grad, numeric_grad(value, b.data), rtol=1e-4, atol=1e-7)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    size=st.integers(2, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_property_composite_expression_gradcheck(size, seed):
+    """A softmax-like normalisation composed from primitives."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(size,))
+    x = Tensor(data.copy(), requires_grad=True)
+    e = (x * 0.5).exp()
+    normalised = e / e.sum()
+    (normalised * Tensor(np.arange(size, dtype=float))).sum().backward()
+
+    def value():
+        e2 = (Tensor(x.data) * 0.5).exp()
+        return ((e2 / e2.sum()) * Tensor(np.arange(size, dtype=float))).sum().item()
+
+    np.testing.assert_allclose(x.grad, numeric_grad(value, x.data), rtol=1e-4, atol=1e-7)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    batch=st.integers(1, 4),
+    features=st.integers(1, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_property_mean_centering_gradient_sums_to_zero(batch, features, seed):
+    """d/dx Σ f(x - mean(x)) has zero column-sums for linear f."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(batch, features)), requires_grad=True)
+    weights = Tensor(rng.normal(size=(batch, features)))
+    centred = x - x.mean(axis=1, keepdims=True)
+    (centred * weights).sum().backward()
+    np.testing.assert_allclose(x.grad.sum(axis=1), np.zeros(batch), atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_detach_blocks_gradient(seed):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(4,)), requires_grad=True)
+    through = (x * 2).sum()
+    blocked = (x.detach() * 3).sum()
+    (through + blocked).backward()
+    np.testing.assert_allclose(x.grad, np.full(4, 2.0))

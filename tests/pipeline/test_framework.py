@@ -1,0 +1,122 @@
+"""Tests for the end-to-end AnalyticsFramework."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import ScoreRange
+from repro.lang import LanguageConfig
+from repro.pipeline import AnalyticsFramework, FrameworkConfig
+
+
+class TestFit:
+    def test_unfitted_accessors_raise(self):
+        framework = AnalyticsFramework()
+        with pytest.raises(RuntimeError):
+            framework.global_subgraph()
+        with pytest.raises(RuntimeError):
+            _ = framework.detector
+
+    def test_fit_builds_graph_over_all_pairs(self, fitted_plant_framework, plant_dataset):
+        graph = fitted_plant_framework.graph
+        # Constant sensors are filtered before pairing.
+        n = len(graph.sensors)
+        assert graph.num_edges == n * (n - 1)
+
+    def test_progress_callback(self, plant_dataset):
+        train, dev, _ = plant_dataset.split(10, 3)
+        small = train.select(train.sensors[:4])
+        small_dev = dev.select(dev.sensors[:4])
+        calls = []
+        config = FrameworkConfig(
+            language=LanguageConfig(word_size=6, sentence_length=8),
+            popular_threshold=10,
+        )
+        AnalyticsFramework(config).fit(
+            small, small_dev, progress=lambda s, t, score: calls.append((s, t))
+        )
+        assert len(calls) > 0
+
+
+class TestKnowledgeDiscovery:
+    def test_local_subgraph_has_no_popular_sensors(self, fitted_plant_framework):
+        threshold = fitted_plant_framework.config.popular_threshold
+        local = fitted_plant_framework.local_subgraph()
+        assert all(degree < threshold for _, degree in local.in_degree())
+
+    def test_clusters_components(self, fitted_plant_framework):
+        clusters = fitted_plant_framework.clusters()
+        local_nodes = set(fitted_plant_framework.local_subgraph().nodes)
+        assert set().union(*clusters) == local_nodes if clusters else not local_nodes
+
+    def test_clusters_walktrap(self, fitted_plant_framework):
+        clusters = fitted_plant_framework.clusters(method="walktrap")
+        for cluster in clusters:
+            assert len(cluster) >= 1
+
+    def test_unknown_cluster_method(self, fitted_plant_framework):
+        with pytest.raises(ValueError):
+            fitted_plant_framework.clusters(method="kmeans")
+
+    def test_clusters_reflect_plant_components(
+        self, fitted_plant_framework, plant_dataset
+    ):
+        """Sensors sharing a component co-cluster more often than not:
+        the knowledge-discovery claim of Section III-B."""
+        clusters = [
+            c for c in fitted_plant_framework.clusters(
+                ScoreRange(70, 100, inclusive_high=True)
+            )
+            if len(c) >= 2
+        ]
+        if not clusters:
+            pytest.skip("no multi-sensor clusters at this scale")
+        component_of = plant_dataset.component_of
+        same = 0
+        total = 0
+        for cluster in clusters:
+            members = sorted(cluster)
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    total += 1
+                    same += component_of[a] == component_of[b]
+        assert same / total > 0.5
+
+
+class TestDetectionIntegration:
+    def test_detect_with_override_range(self, fitted_plant_framework, plant_dataset):
+        _, _, test = plant_dataset.split(10, 3)
+        result = fitted_plant_framework.detect(
+            test, ScoreRange(60, 90)
+        )
+        assert result.num_valid_pairs > 0
+
+    def test_windows_per_sample_count(self, fitted_plant_framework, plant_dataset):
+        _, _, test = plant_dataset.split(10, 3)
+        result = fitted_plant_framework.detect(test)
+        expected = fitted_plant_framework.windows_per_sample_count(test.num_samples)
+        assert result.num_windows == expected
+
+    def test_diagnose_delegates_to_local_subgraph(
+        self, fitted_plant_framework, plant_detection
+    ):
+        diagnosis = fitted_plant_framework.diagnose(plant_detection, 0)
+        local_edges = set(fitted_plant_framework.local_subgraph().edges)
+        assert set(diagnosis.broken_edges) | set(diagnosis.normal_edges) == local_edges
+
+
+class TestConfigPresets:
+    def test_plant_preset(self):
+        config = FrameworkConfig.plant()
+        assert config.language.word_size == 10
+        assert config.language.sentence_length == 20
+
+    def test_backblaze_preset(self):
+        config = FrameworkConfig.backblaze()
+        assert config.language.word_size == 5
+        assert config.popular_threshold < 100
+
+    def test_invalid_threshold_strategy(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig(threshold_strategy="nope")

@@ -1,0 +1,80 @@
+"""Tests for the HDD case-study orchestration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import BackblazeConfig, generate_backblaze_dataset
+from repro.datasets.smart import KEY_FAILURE_ATTRIBUTES, framework_attribute_names
+from repro.pipeline import HDDCaseStudy, HDDSplit
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_backblaze_dataset(
+        BackblazeConfig(num_drives=12, days=240, seed=11)
+    )
+
+
+@pytest.fixture(scope="module")
+def case_study(dataset):
+    return HDDCaseStudy(dataset=dataset).fit()
+
+
+class TestFit:
+    def test_framework_uses_16_features(self, case_study):
+        sensors = case_study.framework.graph.sensors
+        assert set(sensors) <= set(framework_attribute_names())
+        # Benign incidents keep every framework feature non-constant.
+        assert len(sensors) == 16
+
+    def test_discretizers_fit_per_feature(self, case_study):
+        assert set(case_study.discretizers) == set(framework_attribute_names())
+
+    def test_eligible_drives_filters_history(self, dataset):
+        study = HDDCaseStudy(dataset=dataset, min_history_days=10_000)
+        with pytest.raises(ValueError):
+            study.fit()
+
+    def test_unfitted_accessors_raise(self, dataset):
+        study = HDDCaseStudy(dataset=dataset)
+        with pytest.raises(RuntimeError):
+            study.trajectories()
+
+    def test_split_totals(self):
+        split = HDDSplit()
+        assert split.total_days == 120
+
+
+class TestDetection:
+    def test_trajectories_cover_eligible_drives(self, case_study):
+        trajectories = case_study.trajectories()
+        eligible = {d.serial for d in case_study.eligible_drives()}
+        assert set(trajectories) == eligible
+        for scores in trajectories.values():
+            assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_evaluation_recall_bounds(self, case_study):
+        evaluation = case_study.evaluate()
+        assert 0.0 <= evaluation.recall <= 1.0
+        assert 0.0 <= evaluation.false_positive_rate <= 1.0
+
+    def test_ramped_failures_score_higher_than_healthy(self, case_study, dataset):
+        """Non-silent failing drives show elevated late-window scores."""
+        trajectories = case_study.trajectories()
+        silent_count = int(
+            len(dataset.failed_serials) * dataset.config.silent_failure_fraction
+        )
+        # Generator marks the first `silent_count` failed indices silent.
+        failed_sorted = sorted(dataset.failed_serials)
+        ramped = failed_sorted[silent_count:]
+        healthy = [d.serial for d in dataset if not d.failed]
+        ramped_peak = np.mean([trajectories[s].max() for s in ramped])
+        healthy_peak = np.mean([trajectories[s].max() for s in healthy])
+        assert ramped_peak > healthy_peak
+
+    def test_feature_ranking_prefers_key_attributes(self, case_study):
+        top5 = {name for name, _, _ in case_study.feature_ranking(top=5)}
+        key = {f"smart_{i}" for i in KEY_FAILURE_ATTRIBUTES}
+        assert len(top5 & key) >= 3

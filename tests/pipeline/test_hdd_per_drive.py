@@ -1,0 +1,46 @@
+"""Tests for the per-drive (non-pooled) HDD training mode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import BackblazeConfig, generate_backblaze_dataset
+from repro.pipeline import HDDCaseStudy
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_backblaze_dataset(BackblazeConfig(num_drives=6, days=200, seed=17))
+
+
+@pytest.fixture(scope="module")
+def per_drive_study(dataset):
+    return HDDCaseStudy(dataset=dataset, pooled=False).fit()
+
+
+class TestPerDriveMode:
+    def test_one_framework_per_drive(self, per_drive_study, dataset):
+        eligible = {d.serial for d in per_drive_study.eligible_drives()}
+        assert set(per_drive_study._per_drive) == eligible
+        assert per_drive_study.framework is None
+
+    def test_trajectories_cover_all_drives(self, per_drive_study):
+        trajectories = per_drive_study.trajectories()
+        eligible = {d.serial for d in per_drive_study.eligible_drives()}
+        assert set(trajectories) == eligible
+        for scores in trajectories.values():
+            assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_evaluation_runs(self, per_drive_study):
+        evaluation = per_drive_study.evaluate()
+        assert 0.0 <= evaluation.recall <= 1.0
+
+    def test_unknown_drive_framework_rejected(self, per_drive_study):
+        with pytest.raises(KeyError):
+            per_drive_study._framework_for("NOPE")
+
+    def test_unfitted_per_drive_raises(self, dataset):
+        study = HDDCaseStudy(dataset=dataset, pooled=False)
+        with pytest.raises(RuntimeError):
+            study.trajectories()

@@ -1,0 +1,66 @@
+"""Tests for the plant case-study orchestration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lang import LanguageConfig
+from repro.pipeline import FrameworkConfig, PlantCaseStudy
+
+
+@pytest.fixture(scope="module")
+def case_study(plant_dataset):
+    config = FrameworkConfig(
+        language=LanguageConfig(word_size=6, word_stride=1, sentence_length=8, sentence_stride=8),
+        engine="ngram",
+        popular_threshold=10,
+    )
+    return PlantCaseStudy(dataset=plant_dataset, config=config).fit()
+
+
+@pytest.fixture(scope="module")
+def detection(case_study):
+    return case_study.detect()
+
+
+class TestPlantCaseStudy:
+    def test_unfitted_detect_raises(self, plant_dataset):
+        study = PlantCaseStudy(dataset=plant_dataset, config=FrameworkConfig())
+        with pytest.raises(RuntimeError):
+            study.detect()
+
+    def test_first_test_day(self, case_study):
+        assert case_study.first_test_day == 14
+
+    def test_window_day_monotone_and_in_range(self, case_study, detection):
+        days = [case_study.window_day(w) for w in range(detection.num_windows)]
+        assert days == sorted(days)
+        assert days[0] == 14
+        assert days[-1] <= case_study.dataset.config.days
+
+    def test_day_scores_cover_all_test_days(self, case_study, detection):
+        scores = case_study.day_scores(detection)
+        assert [s.day for s in scores] == list(range(14, 31))
+        for score in scores:
+            assert 0.0 <= score.mean_score <= score.max_score <= 1.0
+
+    def test_day_flags(self, case_study, detection):
+        scores = {s.day: s for s in case_study.day_scores(detection)}
+        assert scores[21].is_anomaly and scores[28].is_anomaly
+        assert scores[19].is_precursor and not scores[19].is_anomaly
+        assert not scores[15].is_anomaly and not scores[15].is_precursor
+
+    def test_detection_quality_finds_both_anomalies(self, case_study, detection):
+        quality = case_study.detection_quality(detection)
+        assert set(quality["detected_days"]) == {21, 28}
+        assert quality["missed_days"] == []
+        assert quality["anomaly_peak"] > quality["normal_peak"]
+
+    def test_calibrated_threshold_detects_anomalies(self, case_study, detection):
+        """The dev-calibrated alarm threshold sits between normal noise
+        and the anomaly peaks."""
+        threshold = case_study.calibrated_alarm_threshold()
+        assert 0.0 < threshold < 1.0
+        evaluation = case_study.evaluate(detection, alarm_threshold=threshold)
+        assert evaluation.recall == 1.0

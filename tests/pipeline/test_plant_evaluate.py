@@ -1,0 +1,42 @@
+"""Tests for PlantCaseStudy.evaluate (day-level metrics wiring)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import LanguageConfig
+from repro.pipeline import FrameworkConfig, PlantCaseStudy
+
+
+@pytest.fixture(scope="module")
+def study_and_result(plant_dataset):
+    config = FrameworkConfig(
+        language=LanguageConfig(word_size=6, word_stride=1, sentence_length=8, sentence_stride=8),
+        engine="ngram",
+        popular_threshold=10,
+    )
+    study = PlantCaseStudy(dataset=plant_dataset, config=config).fit()
+    return study, study.detect()
+
+
+class TestPlantEvaluate:
+    def test_detects_both_anomalies(self, study_and_result):
+        study, result = study_and_result
+        evaluation = study.evaluate(result, alarm_threshold=0.5)
+        assert set(evaluation.detected_days) == set(study.dataset.anomaly_days)
+        assert evaluation.recall == 1.0
+
+    def test_precursors_credited_as_early_warnings(self, study_and_result):
+        study, result = study_and_result
+        evaluation = study.evaluate(result, alarm_threshold=0.3, early_warning_window=2)
+        # Any alarm on days 19/20/27 counts as early warning, not FP.
+        for day in evaluation.early_warning_days:
+            assert day in study.dataset.precursor_days or any(
+                0 < a - day <= 2 for a in study.dataset.anomaly_days
+            )
+
+    def test_extreme_threshold_misses_everything(self, study_and_result):
+        study, result = study_and_result
+        evaluation = study.evaluate(result, alarm_threshold=0.999)
+        assert evaluation.recall == 0.0
+        assert set(evaluation.missed_days) == set(study.dataset.anomaly_days)

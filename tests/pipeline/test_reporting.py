@@ -1,0 +1,48 @@
+"""Tests for markdown report generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import AnalyticsFramework, generate_report, write_report
+
+
+class TestGenerateReport:
+    def test_unfitted_framework_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(AnalyticsFramework())
+
+    def test_report_sections_present(self, fitted_plant_framework):
+        report = generate_report(fitted_plant_framework)
+        for heading in (
+            "# Relationship-graph report",
+            "## Graph summary",
+            "## Global subgraph statistics (Table I)",
+            "## Popular sensors",
+            "## Local-subgraph clusters",
+            "## Strongest relationships",
+        ):
+            assert heading in report
+
+    def test_detection_section(self, fitted_plant_framework, plant_detection):
+        report = generate_report(fitted_plant_framework, plant_detection)
+        assert "## Detection run" in report
+        assert "Peak window" in report
+
+    def test_markdown_tables_well_formed(self, fitted_plant_framework):
+        report = generate_report(fitted_plant_framework)
+        table_lines = [l for l in report.splitlines() if l.startswith("|")]
+        assert table_lines
+        # Separator rows follow every header row.
+        for line, following in zip(table_lines, table_lines[1:]):
+            if set(following.replace("|", "").strip()) <= {"-", " "}:
+                assert line.count("|") == following.count("|")
+
+    def test_custom_title(self, fitted_plant_framework):
+        report = generate_report(fitted_plant_framework, title="Plant X")
+        assert report.startswith("# Plant X")
+
+    def test_write_report(self, fitted_plant_framework, tmp_path):
+        path = write_report(fitted_plant_framework, tmp_path / "r" / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# ")

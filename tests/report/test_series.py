@@ -1,0 +1,49 @@
+"""Tests for CDF/histogram series builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.report import cdf_at, cdf_series, histogram_series
+
+
+class TestCdfSeries:
+    def test_sorted_and_normalised(self):
+        xs, ys = cdf_series([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(xs, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(ys, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        xs, ys = cdf_series([])
+        assert xs.size == 0 and ys.size == 0
+
+    def test_cdf_at(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(values, 2.5) == 0.5
+        assert cdf_at(values, 0.0) == 0.0
+        assert cdf_at(values, 10.0) == 1.0
+        assert cdf_at([], 1.0) == 0.0
+
+
+class TestHistogramSeries:
+    def test_counts_sum_to_population(self):
+        values = np.random.default_rng(0).uniform(0, 100, 500)
+        edges, counts = histogram_series(values, bins=10, value_range=(0, 100))
+        assert counts.sum() == 500
+        assert len(edges) == 11
+
+    def test_explicit_bins(self):
+        edges, counts = histogram_series([5, 15, 25], bins=[0, 10, 20, 30])
+        np.testing.assert_array_equal(counts, [1, 1, 1])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=60))
+def test_property_cdf_monotone_ending_at_one(values):
+    xs, ys = cdf_series(values)
+    assert (np.diff(xs) >= 0).all()
+    assert (np.diff(ys) > 0).all()
+    assert ys[-1] == pytest.approx(1.0)

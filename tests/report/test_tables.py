@@ -1,0 +1,29 @@
+"""Tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+from repro.report import ascii_table, format_row
+
+
+class TestAsciiTable:
+    def test_header_and_rows_aligned(self):
+        rows = [{"name": "a", "value": 10}, {"name": "bbbb", "value": 2}]
+        table = ascii_table(rows)
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len({line.index("|") for line in (lines[0], lines[2], lines[3])}) == 1
+
+    def test_title_rendered(self):
+        table = ascii_table([{"x": 1}], title="Table I")
+        assert table.splitlines()[0] == "Table I"
+
+    def test_missing_cells_render_empty(self):
+        table = ascii_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert "3" in table
+
+    def test_empty_rows(self):
+        assert "(no rows)" in ascii_table([])
+        assert ascii_table([], title="T").startswith("T")
+
+    def test_format_row_padding(self):
+        assert format_row(["a", "b"], [3, 3]) == "a   | b  "

@@ -1,0 +1,45 @@
+"""Tests for timeline rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.report import render_bar, render_timeline
+
+
+class TestRenderBar:
+    def test_full_and_empty(self):
+        assert render_bar(1.0, width=10) == "#" * 10
+        assert render_bar(0.0, width=10) == " " * 10
+
+    def test_half(self):
+        assert render_bar(0.5, width=10) == "#####     "
+
+    def test_fixed_width(self):
+        for value in (0.0, 0.33, 0.66, 1.0):
+            assert len(render_bar(value, width=17)) == 17
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar(1.5)
+
+
+class TestRenderTimeline:
+    def test_rows_sorted_by_key(self):
+        out = render_timeline({3: 0.1, 1: 0.9, 2: 0.5})
+        lines = out.splitlines()
+        assert lines[0].startswith("day   1")
+        assert lines[2].startswith("day   3")
+
+    def test_labels_appended(self):
+        out = render_timeline({21: 0.8}, labels={21: "ANOMALY"})
+        assert out.endswith("ANOMALY")
+
+    def test_custom_key_name(self):
+        out = render_timeline({0: 0.2}, key_name="window")
+        assert out.startswith("window")
+
+    def test_no_trailing_whitespace(self):
+        out = render_timeline({1: 0.0, 2: 1.0})
+        for line in out.splitlines():
+            assert line == line.rstrip()

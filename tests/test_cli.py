@@ -1,0 +1,185 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.lang import MultivariateEventLog
+
+
+@pytest.fixture(scope="module")
+def csv_logs(tmp_path_factory):
+    """Training/dev/test CSVs for a small related-sensor system."""
+    root = tmp_path_factory.mktemp("cli-logs")
+    rng = np.random.default_rng(9)
+    total = 700
+    a = [("ON" if (t // 6) % 2 == 0 else "OFF") for t in range(total)]
+    b = ["OFF"] + a[:-1]
+    c = [str(rng.integers(0, 2)) for _ in range(total)]
+    log = MultivariateEventLog.from_mapping({"sA": a, "sB": b, "sC": c})
+
+    train = root / "train.csv"
+    dev = root / "dev.csv"
+    test = root / "test.csv"
+    log.slice(0, 400).to_csv(train)
+    log.slice(400, 550).to_csv(dev)
+    log.slice(550, 700).to_csv(test)
+    return train, dev, test, root
+
+
+@pytest.fixture(scope="module")
+def trained_model(csv_logs):
+    train, dev, _, root = csv_logs
+    model = root / "model.pkl"
+    code = main(
+        [
+            "train",
+            str(train),
+            str(dev),
+            "--model",
+            str(model),
+            "--word-size",
+            "4",
+            "--sentence-length",
+            "5",
+            "--range",
+            "60:100",
+            "--popular-threshold",
+            "10",
+        ]
+    )
+    assert code == 0
+    return model
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_invalid_range_rejected(self, csv_logs):
+        train, dev, _, root = csv_logs
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "train",
+                    str(train),
+                    str(dev),
+                    "--model",
+                    str(root / "x.pkl"),
+                    "--range",
+                    "eighty-to-ninety",
+                ]
+            )
+
+
+class TestTrainDetectInspect:
+    def test_train_writes_model(self, trained_model):
+        assert trained_model.exists()
+
+    def test_detect_text_output(self, csv_logs, trained_model, capsys):
+        _, _, test, _ = csv_logs
+        code = main(["detect", str(test), "--model", str(trained_model)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "windows over" in out
+        assert "alarms" in out
+
+    def test_detect_json_output(self, csv_logs, trained_model, capsys):
+        _, _, test, _ = csv_logs
+        code = main(
+            ["detect", str(test), "--model", str(trained_model), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "anomaly_scores" in payload
+        assert all(0.0 <= s <= 1.0 for s in payload["anomaly_scores"])
+        assert payload["valid_pairs"]
+
+    def test_simulate_plant_with_split(self, tmp_path, capsys):
+        code = main(
+            [
+                "simulate",
+                "plant",
+                str(tmp_path / "plant"),
+                "--sensors",
+                "8",
+                "--days",
+                "20",
+                "--samples-per-day",
+                "48",
+                "--split",
+                "10:3",
+            ]
+        )
+        assert code == 0
+        for name in ("events.csv", "ground_truth.json", "train.csv", "dev.csv", "test.csv"):
+            assert (tmp_path / "plant" / name).exists()
+
+    def test_simulate_backblaze(self, tmp_path):
+        code = main(
+            ["simulate", "backblaze", str(tmp_path / "drives"), "--drives", "4", "--days", "80"]
+        )
+        assert code == 0
+        assert (tmp_path / "drives" / "manifest.json").exists()
+
+    def test_simulate_invalid_split(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["simulate", "plant", str(tmp_path / "p"), "--split", "ten-three"])
+
+    def test_simulated_split_feeds_train_command(self, tmp_path):
+        """The simulate -> train -> detect loop closes end to end."""
+        plant_dir = tmp_path / "plant"
+        assert main(
+            [
+                "simulate", "plant", str(plant_dir),
+                "--sensors", "8", "--days", "20", "--samples-per-day", "48",
+                "--split", "10:3",
+            ]
+        ) == 0
+        model = tmp_path / "m.pkl"
+        assert main(
+            [
+                "train", str(plant_dir / "train.csv"), str(plant_dir / "dev.csv"),
+                "--model", str(model),
+                "--word-size", "4", "--sentence-length", "5",
+                "--range", "60:100", "--popular-threshold", "10",
+            ]
+        ) == 0
+        assert main(["detect", str(plant_dir / "test.csv"), "--model", str(model)]) == 0
+
+    def test_inspect_with_exports(self, csv_logs, trained_model, capsys):
+        _, _, _, root = csv_logs
+        json_path = root / "graph.json"
+        graphml_path = root / "graph.graphml"
+        code = main(
+            [
+                "inspect",
+                "--model",
+                str(trained_model),
+                "--export-json",
+                str(json_path),
+                "--export-graphml",
+                str(graphml_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Global subgraph statistics" in out
+        assert json_path.exists()
+        assert graphml_path.exists()
+
+    def test_inspect_writes_markdown_report(self, csv_logs, trained_model, capsys):
+        _, _, _, root = csv_logs
+        report_path = root / "report.md"
+        code = main(
+            ["inspect", "--model", str(trained_model), "--report", str(report_path)]
+        )
+        assert code == 0
+        content = report_path.read_text()
+        assert content.startswith("# Relationship-graph report")
+        assert "## Strongest relationships" in content

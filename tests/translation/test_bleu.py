@@ -1,0 +1,125 @@
+"""Tests for the BLEU implementation (Papineni et al., 2002)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.translation import brevity_penalty, corpus_bleu, modified_precision, sentence_bleu
+
+WORDS = st.sampled_from(["aa", "ab", "ba", "bb", "cc"])
+SENTENCES = st.lists(WORDS, min_size=1, max_size=12)
+
+
+class TestModifiedPrecision:
+    def test_exact_match(self):
+        matched, total = modified_precision([["a", "b", "c"]], [["a", "b", "c"]], 1)
+        assert (matched, total) == (3, 3)
+
+    def test_clipping_prevents_overcounting(self):
+        # Candidate repeats "the" 7 times; reference contains it twice.
+        candidate = ["the"] * 7
+        reference = ["the", "cat", "the", "mat"]
+        matched, total = modified_precision([candidate], [reference], 1)
+        assert (matched, total) == (2, 7)
+
+    def test_bigram_counting(self):
+        matched, total = modified_precision([["a", "b", "c"]], [["a", "b", "d"]], 2)
+        assert (matched, total) == (1, 2)
+
+    def test_order_longer_than_sentence(self):
+        matched, total = modified_precision([["a"]], [["a"]], 3)
+        assert (matched, total) == (0, 0)
+
+
+class TestBrevityPenalty:
+    def test_no_penalty_when_long_enough(self):
+        assert brevity_penalty(10, 10) == 1.0
+        assert brevity_penalty(12, 10) == 1.0
+
+    def test_penalty_formula(self):
+        assert brevity_penalty(5, 10) == pytest.approx(math.exp(1 - 2.0))
+
+    def test_empty_candidate(self):
+        assert brevity_penalty(0, 10) == 0.0
+
+
+class TestCorpusBleu:
+    def test_perfect_translation_scores_100(self):
+        sentences = [["w1", "w2", "w3", "w4", "w5"]]
+        assert corpus_bleu(sentences, sentences) == pytest.approx(100.0)
+
+    def test_disjoint_translation_scores_0(self):
+        assert corpus_bleu([["a"] * 5], [["b"] * 5]) == 0.0
+
+    def test_score_scale_and_bounds(self):
+        candidate = [["a", "b", "c", "d", "e"]]
+        reference = [["a", "b", "c", "d", "x"]]
+        score = corpus_bleu(candidate, reference)
+        assert 0.0 < score < 100.0
+
+    def test_multiple_sentences_pool_counts(self):
+        candidates = [["a", "b"], ["c", "d"]]
+        references = [["a", "b"], ["c", "d"]]
+        assert corpus_bleu(candidates, references) == pytest.approx(100.0)
+
+    def test_known_value_half_unigrams(self):
+        """1 of 2 unigrams match, no bigrams: smoothed BLEU is computable
+        and unsmoothed is 0 (a zero higher-order count)."""
+        candidate = [["a", "x"]]
+        reference = [["a", "b"]]
+        assert corpus_bleu(candidate, reference, smooth=False) == 0.0
+        assert corpus_bleu(candidate, reference, smooth=True) > 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            corpus_bleu([["a"]], [["a"], ["b"]])
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            corpus_bleu([], [])
+
+    def test_brevity_penalty_applied(self):
+        short = corpus_bleu([["a", "b"]], [["a", "b", "c", "d"]], smooth=True)
+        full = corpus_bleu([["a", "b", "c", "d"]], [["a", "b", "c", "d"]], smooth=True)
+        assert short < full
+
+    def test_better_translation_scores_higher(self):
+        reference = [["a", "b", "c", "d", "e", "f"]]
+        close = [["a", "b", "c", "d", "e", "x"]]
+        far = [["a", "x", "y", "z", "w", "v"]]
+        assert corpus_bleu(close, reference, smooth=True) > corpus_bleu(
+            far, reference, smooth=True
+        )
+
+
+class TestSentenceBleu:
+    def test_identity_is_100(self):
+        assert sentence_bleu(["x", "y", "z", "w"], ["x", "y", "z", "w"]) == pytest.approx(100.0)
+
+    def test_always_finite_for_short_sentences(self):
+        # Single-word sentences have no higher-order n-grams at all.
+        assert 0.0 <= sentence_bleu(["a"], ["a"]) <= 100.0
+        assert sentence_bleu(["a"], ["b"]) == pytest.approx(0.0, abs=1e-6)
+
+
+@settings(max_examples=80, deadline=None)
+@given(candidate=SENTENCES, reference=SENTENCES)
+def test_property_bleu_bounded(candidate, reference):
+    score = sentence_bleu(candidate, reference)
+    assert 0.0 <= score <= 100.0 + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(sentence=SENTENCES)
+def test_property_identity_is_maximal(sentence):
+    assert sentence_bleu(sentence, sentence) == pytest.approx(100.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(sentences=st.lists(SENTENCES, min_size=1, max_size=6))
+def test_property_corpus_identity(sentences):
+    assert corpus_bleu(sentences, sentences) == pytest.approx(100.0)

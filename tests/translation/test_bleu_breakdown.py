@@ -1,0 +1,43 @@
+"""Tests for BLEU breakdown diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.translation import bleu_breakdown, corpus_bleu
+
+
+class TestBleuBreakdown:
+    def test_perfect_translation(self):
+        sentences = [["a", "b", "c", "d", "e"]]
+        breakdown = bleu_breakdown(sentences, sentences)
+        assert breakdown.precisions == {1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0}
+        assert breakdown.brevity_penalty == 1.0
+        assert breakdown.score == pytest.approx(100.0)
+
+    def test_shared_vocabulary_without_dynamics(self):
+        """Same unigrams, scrambled order: p1 high, p4 low — the
+        signature of sensors that share states but not behaviour."""
+        reference = [["a", "b", "c", "d", "e", "f"]]
+        scrambled = [["d", "a", "f", "b", "e", "c"]]
+        breakdown = bleu_breakdown(scrambled, reference)
+        assert breakdown.precisions[1] == 1.0
+        assert breakdown.precisions[4] == 0.0
+
+    def test_brevity_captured(self):
+        breakdown = bleu_breakdown([["a", "b"]], [["a", "b", "c", "d"]])
+        assert breakdown.candidate_length == 2
+        assert breakdown.reference_length == 4
+        assert breakdown.brevity_penalty < 1.0
+
+    def test_score_matches_corpus_bleu(self):
+        candidates = [["a", "b", "c"], ["d", "e", "f"]]
+        references = [["a", "b", "x"], ["d", "e", "f"]]
+        breakdown = bleu_breakdown(candidates, references)
+        assert breakdown.score == pytest.approx(
+            corpus_bleu(candidates, references, smooth=True)
+        )
+
+    def test_short_sentences_omit_infeasible_orders(self):
+        breakdown = bleu_breakdown([["a"]], [["a"]])
+        assert set(breakdown.precisions) == {1}

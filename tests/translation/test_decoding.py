@@ -1,0 +1,87 @@
+"""Tests for beam-search decoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lang import ParallelCorpus
+from repro.translation import (
+    BeamHypothesis,
+    NMTConfig,
+    Seq2SeqTranslator,
+    beam_search_translate,
+    sentence_bleu,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    sentences = [tuple(f"w{(i + j) % 4}" for j in range(4)) for i in range(12)]
+    corpus = ParallelCorpus.from_sentences("src", "tgt", sentences, sentences)
+    config = NMTConfig(
+        embedding_size=12,
+        hidden_size=16,
+        num_layers=2,
+        dropout=0.0,
+        training_steps=250,
+        batch_size=8,
+        learning_rate=5e-3,
+        seed=0,
+    )
+    return Seq2SeqTranslator(config).fit(corpus), corpus
+
+
+class TestBeamSearch:
+    def test_beam_width_one_matches_greedy(self, trained_model):
+        model, corpus = trained_model
+        source = corpus.source_sentences[0]
+        greedy = model.translate([source])[0]
+        beam = beam_search_translate(model, source, beam_width=1, length_penalty=0.0)
+        assert beam == greedy
+
+    def test_wider_beam_never_much_worse(self, trained_model):
+        """Beam search's normalised model score is >= greedy's proxy:
+        on a well-learned task its BLEU matches or beats greedy."""
+        model, corpus = trained_model
+        greedy_total = 0.0
+        beam_total = 0.0
+        for source, target in corpus.pairs[:6]:
+            greedy_total += sentence_bleu(model.translate([source])[0], target)
+            beam_total += sentence_bleu(
+                beam_search_translate(model, source, beam_width=4), target
+            )
+        assert beam_total >= greedy_total - 5.0
+
+    def test_respects_max_length(self, trained_model):
+        model, corpus = trained_model
+        out = beam_search_translate(
+            model, corpus.source_sentences[0], beam_width=2, max_length=2
+        )
+        assert len(out) <= 2
+
+    def test_output_words_in_target_vocabulary(self, trained_model):
+        model, corpus = trained_model
+        target_words = {w for s in corpus.target_sentences for w in s}
+        out = beam_search_translate(model, corpus.source_sentences[1], beam_width=3)
+        assert set(out) <= target_words
+
+    def test_invalid_beam_width(self, trained_model):
+        model, corpus = trained_model
+        with pytest.raises(ValueError):
+            beam_search_translate(model, corpus.source_sentences[0], beam_width=0)
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(RuntimeError):
+            beam_search_translate(Seq2SeqTranslator(), ("w",))
+
+
+class TestBeamHypothesis:
+    def test_length_normalisation_prefers_longer_at_equal_logprob(self):
+        short = BeamHypothesis(log_probability=-2.0, tokens=(1, 2), state=None)
+        long = BeamHypothesis(log_probability=-2.0, tokens=(1, 2, 3, 4, 5), state=None)
+        assert long.normalised_score() > short.normalised_score()
+
+    def test_zero_penalty_is_raw_logprob(self):
+        hyp = BeamHypothesis(log_probability=-3.5, tokens=(1, 2, 3), state=None)
+        assert hyp.normalised_score(length_penalty=0.0) == -3.5

@@ -1,0 +1,39 @@
+"""Tests for the translation-engine factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.translation import (
+    ENGINES,
+    NGramTranslator,
+    NMTConfig,
+    Seq2SeqTranslator,
+    make_translator,
+    translator_factory,
+)
+
+
+class TestFactory:
+    def test_known_engines(self):
+        assert isinstance(make_translator("ngram"), NGramTranslator)
+        assert isinstance(make_translator("seq2seq"), Seq2SeqTranslator)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown translation engine"):
+            make_translator("transformer")
+        with pytest.raises(ValueError):
+            translator_factory("transformer")
+
+    def test_factory_produces_fresh_instances(self):
+        factory = translator_factory("ngram")
+        assert factory() is not factory()
+
+    def test_config_is_passed_to_seq2seq(self):
+        config = NMTConfig.small(seed=3)
+        model = translator_factory("seq2seq", config)()
+        assert model.config is config
+
+    def test_engines_constant_is_complete(self):
+        for engine in ENGINES:
+            assert make_translator(engine) is not None

@@ -1,0 +1,62 @@
+"""Property-based tests for the n-gram translator's contracts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ParallelCorpus
+from repro.translation import NGramTranslator
+
+WORD = st.sampled_from(["aa", "ab", "ba", "bb"])
+SENTENCE = st.lists(WORD, min_size=1, max_size=6).map(tuple)
+CORPUS = st.lists(st.tuples(SENTENCE, SENTENCE), min_size=1, max_size=15)
+
+
+def aligned(pairs):
+    """Trim each pair to equal source/target length (positional model)."""
+    return [
+        (s[: min(len(s), len(t))], t[: min(len(s), len(t))]) for s, t in pairs
+    ]
+
+
+@settings(max_examples=50, deadline=None)
+@given(CORPUS)
+def test_property_translation_preserves_lengths(pairs):
+    corpus = ParallelCorpus("src", "tgt", aligned(pairs))
+    model = NGramTranslator().fit(corpus)
+    translations = model.translate(corpus.source_sentences)
+    for translation, source in zip(translations, corpus.source_sentences):
+        assert len(translation) == len(source)
+
+
+@settings(max_examples=50, deadline=None)
+@given(CORPUS)
+def test_property_translations_use_observed_target_words(pairs):
+    corpus = ParallelCorpus("src", "tgt", aligned(pairs))
+    model = NGramTranslator().fit(corpus)
+    target_words = {w for _, t in corpus.pairs for w in t}
+    for translation in model.translate(corpus.source_sentences):
+        assert set(translation) <= target_words
+
+
+@settings(max_examples=30, deadline=None)
+@given(CORPUS)
+def test_property_translation_deterministic(pairs):
+    corpus = ParallelCorpus("src", "tgt", aligned(pairs))
+    model = NGramTranslator().fit(corpus)
+    first = model.translate(corpus.source_sentences)
+    second = model.translate(corpus.source_sentences)
+    assert first == second
+
+
+@settings(max_examples=30, deadline=None)
+@given(CORPUS)
+def test_property_identity_corpus_scores_perfectly(pairs):
+    """Target == source makes translation trivial: BLEU 100."""
+    sentences = [s for s, _ in aligned(pairs)]
+    corpus = ParallelCorpus("src", "tgt", list(zip(sentences, sentences)))
+    model = NGramTranslator().fit(corpus)
+    assert model.score(corpus) == pytest.approx(100.0)

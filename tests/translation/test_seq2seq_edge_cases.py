@@ -1,0 +1,84 @@
+"""Edge-case tests for the seq2seq translator (padding, lengths, unk)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lang import ParallelCorpus
+from repro.translation import NMTConfig, Seq2SeqTranslator
+
+TINY = NMTConfig(
+    embedding_size=8,
+    hidden_size=10,
+    num_layers=1,
+    dropout=0.0,
+    training_steps=40,
+    batch_size=4,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def variable_length_model():
+    """Corpus with sentences of different lengths exercises padding."""
+    pairs = [
+        (("a", "b"), ("x", "y")),
+        (("a", "b", "c"), ("x", "y", "z")),
+        (("b", "c", "a", "b"), ("y", "z", "x", "y")),
+        (("c",), ("z",)),
+    ] * 3
+    corpus = ParallelCorpus(
+        "src", "tgt", [(tuple(s), tuple(t)) for s, t in pairs]
+    )
+    return Seq2SeqTranslator(TINY).fit(corpus), corpus
+
+
+class TestVariableLengths:
+    def test_training_with_padding_succeeds(self, variable_length_model):
+        model, _ = variable_length_model
+        assert model.fitted
+        assert all(np.isfinite(loss) for loss in model.loss_history)
+
+    def test_translation_of_mixed_length_batch(self, variable_length_model):
+        model, corpus = variable_length_model
+        sources = [("a",), ("a", "b", "c", "a")]
+        translations = model.translate(sources)
+        assert len(translations) == 2
+        # Greedy decode caps at max source length + 1 in the batch.
+        assert all(len(t) <= 5 for t in translations)
+
+    def test_empty_batch(self, variable_length_model):
+        model, _ = variable_length_model
+        assert model.translate([]) == []
+
+    def test_explicit_max_length(self, variable_length_model):
+        model, _ = variable_length_model
+        out = model.translate([("a", "b", "c")], max_length=1)
+        assert len(out[0]) <= 1
+
+
+class TestUnknownWords:
+    def test_unseen_source_words_translate_without_error(self, variable_length_model):
+        model, _ = variable_length_model
+        out = model.translate([("never-seen", "also-new")])
+        assert len(out) == 1  # maps to <unk> internally
+
+    def test_translations_never_contain_specials(self, variable_length_model):
+        model, corpus = variable_length_model
+        for sentence in model.translate(corpus.source_sentences):
+            for word in sentence:
+                assert not word.startswith("<")
+
+
+class TestScoreValidation:
+    def test_score_on_empty_corpus_rejected(self, variable_length_model):
+        model, _ = variable_length_model
+        with pytest.raises(ValueError):
+            model.score(ParallelCorpus("src", "tgt", []))
+
+    def test_score_checks_sensor_names(self, variable_length_model):
+        model, corpus = variable_length_model
+        wrong = ParallelCorpus("other", "tgt", corpus.pairs)
+        with pytest.raises(ValueError, match="source"):
+            model.score(wrong)
