@@ -31,7 +31,7 @@ from .lang.corpus import LanguageConfig
 from .lang.events import MultivariateEventLog
 from .pipeline.config import FrameworkConfig
 from .pipeline.framework import AnalyticsFramework
-from .pipeline.persistence import load_framework, save_framework
+from .pipeline.persistence import PairCheckpointStore, load_framework, save_framework
 from .report.tables import ascii_table
 
 __all__ = ["main", "build_parser"]
@@ -59,6 +59,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default="80:90",
         help="detection BLEU range, LOW:HIGH (default 80:90)",
+    )
+    train.add_argument(
+        "--n-jobs",
+        type=str,
+        default="1",
+        help="parallel pair-training workers: a count or 'auto' (default 1)",
+    )
+    train.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="pair-level checkpoint journal (default: MODEL.pairs when --resume)",
+    )
+    train.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint journal instead of retraining "
+        "finished pairs (a stale journal is cleared without this flag)",
     )
 
     detect = sub.add_parser("detect", help="score a testing log (Algorithm 2)")
@@ -105,6 +123,18 @@ def _parse_range(text: str) -> ScoreRange:
     return ScoreRange(low, high, inclusive_high=high >= 100.0)
 
 
+def _parse_n_jobs(text: str) -> int | str:
+    if text == "auto":
+        return "auto"
+    try:
+        n_jobs = int(text)
+    except ValueError as error:
+        raise SystemExit(f"invalid --n-jobs {text!r}; expected an integer or 'auto'") from error
+    if n_jobs < 1:
+        raise SystemExit(f"invalid --n-jobs {text!r}; must be >= 1")
+    return n_jobs
+
+
 def _command_train(args: argparse.Namespace) -> int:
     training = MultivariateEventLog.from_csv(args.training_csv)
     development = MultivariateEventLog.from_csv(args.development_csv)
@@ -118,15 +148,43 @@ def _command_train(args: argparse.Namespace) -> int:
         engine=args.engine,
         detection_range=_parse_range(args.range),
         popular_threshold=args.popular_threshold,
+        n_jobs=_parse_n_jobs(args.n_jobs),
     )
+    checkpoint = None
+    checkpoint_path = args.checkpoint
+    if checkpoint_path is None and args.resume:
+        checkpoint_path = args.model.with_suffix(args.model.suffix + ".pairs")
+    if checkpoint_path is not None:
+        checkpoint = PairCheckpointStore(checkpoint_path)
+        try:
+            if not args.resume and checkpoint.exists():
+                checkpoint.clear()
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
+
     framework = AnalyticsFramework(config)
-    fitted = framework.fit(training, development)
+    try:
+        fitted = framework.fit(training, development, checkpoint=checkpoint)
+    except ValueError as error:
+        # A foreign file at --checkpoint (e.g. a CSV) is a usage error,
+        # not a crash; other ValueErrors keep their tracebacks.
+        if "not a pair checkpoint journal" in str(error):
+            raise SystemExit(str(error)) from error
+        raise
     path = save_framework(fitted, args.model)
     graph = fitted.graph
     print(
         f"trained {graph.num_edges} pair models over {len(graph.sensors)} sensors; "
         f"saved to {path}"
     )
+    report = fitted.build_report
+    if report is not None:
+        print(f"build: {report.summary()}")
+        if not report.ok:
+            print(
+                f"warning: {len(report.skipped)} pair(s) skipped after retries",
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -111,11 +111,21 @@ class AnomalyDetector:
         self.quantile = quantile
 
     def valid_pairs(self, sensors: Sequence[str] | None = None) -> list[tuple[str, str]]:
-        """Directed pairs whose training score lies in the range."""
+        """Directed pairs whose training score lies in the range.
+
+        A pair whose dev BLEU is exactly ``0.0`` (e.g. an empty or
+        degenerate development corpus) carries no relationship signal:
+        its threshold is 0 so it can never break, and counting it in
+        Algorithm 2's broken-pair ratio only dilutes ``a_t``.  Such
+        pairs are never valid edges, even when the score range starts
+        at 0.
+        """
         available = set(sensors) if sensors is not None else None
         pairs = []
         for (source, target), rel in self.graph.relationships.items():
             if available is not None and (source not in available or target not in available):
+                continue
+            if rel.score == 0.0:
                 continue
             if self.score_range.contains(rel.score):
                 pairs.append((source, target))

@@ -10,9 +10,8 @@ the scores.
 from __future__ import annotations
 
 import itertools
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 import networkx as nx
 import numpy as np
@@ -22,6 +21,9 @@ from ..lang.events import MultivariateEventLog
 from ..translation.base import TranslationModel
 from ..translation.factory import translator_factory
 from ..translation.seq2seq import NMTConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline -> graph)
+    from ..pipeline.persistence import PairCheckpointStore
 
 __all__ = ["PairwiseRelationship", "MultivariateRelationshipGraph"]
 
@@ -80,6 +82,9 @@ class MultivariateRelationshipGraph:
     ) -> None:
         self.corpus = corpus
         self.relationships = relationships
+        #: Populated by :meth:`build`: completed/resumed/skipped pairs,
+        #: worker configuration and wall-clock time of the build.
+        self.build_report = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -93,6 +98,10 @@ class MultivariateRelationshipGraph:
         model_factory: Callable[[], TranslationModel] | None = None,
         pairs: Iterable[tuple[str, str]] | None = None,
         progress: Callable[[str, str, float], None] | None = None,
+        n_jobs: int | str = 1,
+        backend: str = "auto",
+        checkpoint: "PairCheckpointStore | str | None" = None,
+        retries: int = 1,
     ) -> "MultivariateRelationshipGraph":
         """Run Algorithm 1.
 
@@ -113,10 +122,35 @@ class MultivariateRelationshipGraph:
             ``N(N-1)`` ordered pairs, as in the paper).
         progress:
             Optional callback ``(source, target, score)`` invoked after
-            each pair is fitted, for long-running builds.
+            each pair is fitted (completion order under parallel
+            builds), for long-running builds.
+        n_jobs, backend:
+            Worker pool for the pair-training loop (see
+            :class:`~repro.pipeline.executor.PairExecutor`).  The
+            default is the serial single-process build; parallel
+            builds produce byte-identical scores because every pair
+            model trains independently from a fresh seeded factory.
+        checkpoint:
+            Optional pair-level checkpoint journal (path or
+            :class:`~repro.pipeline.persistence.PairCheckpointStore`);
+            completed pairs are restored instead of retrained and new
+            completions are recorded as they finish.
+        retries:
+            Per-pair retry budget; a pair failing every attempt is
+            recorded as a skipped edge in ``build_report`` instead of
+            aborting the build.
         """
+        from ..pipeline.executor import PairExecutor, PairTask
+        from ..pipeline.persistence import PairCheckpointStore
+
         config = config or LanguageConfig()
-        factory = model_factory or translator_factory(engine, nmt_config)
+        if model_factory is not None:
+            spec = ("factory", model_factory)
+        else:
+            translator_factory(engine, nmt_config)  # validate the engine name early
+            spec = ("engine", engine, nmt_config)
+        if checkpoint is not None and not isinstance(checkpoint, PairCheckpointStore):
+            checkpoint = PairCheckpointStore(checkpoint)
 
         corpus = MultiLanguageCorpus.fit(training_log, config)
         sensors = corpus.sensors
@@ -136,42 +170,58 @@ class MultivariateRelationshipGraph:
             raise KeyError(f"development log is missing sensors: {missing}")
 
         if pairs is None:
-            pairs = itertools.permutations(sensors, 2)
+            pair_list = list(itertools.permutations(sensors, 2))
+        else:
+            pair_list = list(pairs)
 
-        from ..translation.bleu import corpus_bleu, sentence_bleu
-
-        relationships: dict[tuple[str, str], PairwiseRelationship] = {}
-        for source, target in pairs:
-            start = time.perf_counter()
-            model = factory()
-            model.fit(corpus.parallel(source, target))
-            dev_source = dev_sentences[source]
-            dev_target = dev_sentences[target]
-            if not dev_source or not dev_target:
-                raise ValueError(
-                    "development log too short to produce a sentence for "
-                    f"pair ({source!r}, {target!r})"
-                )
-            translations = model.translate(dev_source)
-            score = corpus_bleu(translations, dev_target, smooth=True)
-            sentence_scores = np.asarray(
-                [
-                    sentence_bleu(candidate, reference)
-                    for candidate, reference in zip(translations, dev_target)
-                ]
+        # Structural problems abort the build up front; only per-pair
+        # model failures degrade to skipped edges below.
+        short = sorted(
+            {
+                name
+                for pair in pair_list
+                for name in pair
+                if name in dev_sentences and not dev_sentences[name]
+            }
+        )
+        if short:
+            raise ValueError(
+                "development log too short to produce a sentence for "
+                f"sensors: {short}"
             )
-            elapsed = time.perf_counter() - start
-            relationships[(source, target)] = PairwiseRelationship(
+
+        tasks = [
+            PairTask(
                 source=source,
                 target=target,
-                model=model,
-                score=score,
-                dev_sentence_scores=sentence_scores,
-                runtime_seconds=elapsed,
+                corpus=corpus.parallel(source, target),
+                dev_source=dev_sentences[source],
+                dev_target=dev_sentences[target],
             )
-            if progress is not None:
-                progress(source, target, score)
-        return cls(corpus, relationships)
+            for source, target in pair_list
+        ]
+        executor = PairExecutor(
+            n_jobs=n_jobs,
+            backend=backend,
+            retries=retries,
+            progress=progress,
+            checkpoint=checkpoint,
+        )
+        results, report = executor.run(tasks, spec)
+        if tasks and not results:
+            first = report.skipped[0]
+            raise RuntimeError(
+                f"all {len(tasks)} pair models failed; first error for "
+                f"({first.source!r}, {first.target!r}): {first.error}"
+            )
+        # Assemble in the original pair order so serial and parallel
+        # builds produce byte-identical relationship/score dicts.
+        relationships = {
+            pair: results[pair] for pair in (t.pair for t in tasks) if pair in results
+        }
+        graph = cls(corpus, relationships)
+        graph.build_report = report
+        return graph
 
     # ------------------------------------------------------------------
     @property

@@ -17,13 +17,18 @@ reshaping, concatenation, stacking and gather-style indexing.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+# Thread-local so one thread's no_grad() inference cannot disable
+# gradient tracking for a model training concurrently on another
+# thread (the parallel pair executor trains and evaluates models on a
+# thread pool).
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
@@ -31,23 +36,22 @@ class no_grad:
 
     Within the context, newly created tensors do not record their
     producers, which makes inference passes cheaper and keeps the
-    autograd graph from growing during evaluation.
+    autograd graph from growing during evaluation.  The switch is
+    per-thread.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_STATE.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether gradient tracking is currently enabled."""
-    return _GRAD_ENABLED
+    """Return whether gradient tracking is enabled in this thread."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -97,7 +101,7 @@ class Tensor:
         name: str = "",
     ) -> None:
         self.data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -149,7 +153,7 @@ class Tensor:
     ) -> "Tensor":
         """Create a result tensor wired into the autograd graph."""
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward

@@ -1,19 +1,25 @@
 """End-to-end framework: configuration, pipeline and persistence."""
 
 from .config import FrameworkConfig
+from .executor import BuildReport, PairExecutor, PairTask, SkippedPair
 from .framework import AnalyticsFramework
 from .hdd import HDDCaseStudy, HDDSplit
-from .persistence import load_framework, save_framework
+from .persistence import PairCheckpointStore, load_framework, save_framework
 from .plant import DayScore, PlantCaseStudy, window_start_sample
 from .reporting import generate_report, write_report
 
 __all__ = [
     "AnalyticsFramework",
+    "BuildReport",
     "DayScore",
     "FrameworkConfig",
     "HDDCaseStudy",
     "HDDSplit",
+    "PairCheckpointStore",
+    "PairExecutor",
+    "PairTask",
     "PlantCaseStudy",
+    "SkippedPair",
     "generate_report",
     "load_framework",
     "save_framework",

@@ -8,6 +8,7 @@ from ..graph.ranges import DEFAULT_RANGES, DETECTION_RANGE, ScoreRange
 from ..graph.subgraphs import POPULAR_IN_DEGREE
 from ..lang.corpus import LanguageConfig
 from ..translation.seq2seq import NMTConfig
+from .executor import BACKENDS as EXECUTOR_BACKENDS
 
 __all__ = ["FrameworkConfig"]
 
@@ -19,6 +20,9 @@ class FrameworkConfig:
     Defaults are the paper's plant settings with the fast n-gram
     engine; pass ``engine="seq2seq"`` (and optionally a small
     :class:`NMTConfig`) for the faithful neural pipeline.
+    ``n_jobs``/``executor_backend`` parallelise the Algorithm 1 pair
+    loop (see :class:`~repro.pipeline.executor.PairExecutor`); results
+    are bit-identical to the serial build.
     """
 
     language: LanguageConfig = field(default_factory=LanguageConfig)
@@ -30,6 +34,8 @@ class FrameworkConfig:
     margin: float = 0.0
     threshold_strategy: str = "dev-quantile"
     threshold_quantile: float = 0.05
+    n_jobs: int | str = 1
+    executor_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.margin < 0:
@@ -38,6 +44,17 @@ class FrameworkConfig:
             raise ValueError("popular_threshold must be >= 1")
         if self.threshold_strategy not in ("train", "dev-min", "dev-quantile"):
             raise ValueError(f"unknown threshold strategy {self.threshold_strategy!r}")
+        if self.n_jobs != "auto" and (
+            not isinstance(self.n_jobs, int) or self.n_jobs < 1
+        ):
+            raise ValueError(
+                f"n_jobs must be a positive integer or 'auto', got {self.n_jobs!r}"
+            )
+        if self.executor_backend not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"unknown executor backend {self.executor_backend!r}; "
+                f"choose from {EXECUTOR_BACKENDS}"
+            )
 
     @classmethod
     def plant(cls, engine: str = "ngram", popular_threshold: int = POPULAR_IN_DEGREE) -> "FrameworkConfig":

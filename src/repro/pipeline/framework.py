@@ -9,9 +9,12 @@ global/local subgraphs, popular sensors, clusters and Table I rows.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover - persistence imports this module
+    from .persistence import PairCheckpointStore
 
 from ..detection.anomaly import AnomalyDetector, DetectionResult
 from ..detection.diagnosis import FaultDiagnosis, diagnose
@@ -47,8 +50,18 @@ class AnalyticsFramework:
         training_log: MultivariateEventLog,
         development_log: MultivariateEventLog,
         progress: Callable[[str, str, float], None] | None = None,
+        n_jobs: int | str | None = None,
+        backend: str | None = None,
+        checkpoint: "PairCheckpointStore | str | None" = None,
     ) -> "AnalyticsFramework":
-        """Build the relationship graph from normal-operation logs."""
+        """Build the relationship graph from normal-operation logs.
+
+        ``n_jobs``/``backend`` override the config's executor settings
+        for this fit; ``checkpoint`` enables the pair-level journal so
+        an interrupted fit resumes without retraining finished pairs.
+        The resulting :attr:`build_report` records completed, resumed
+        and skipped pairs.
+        """
         self.graph = MultivariateRelationshipGraph.build(
             training_log,
             development_log,
@@ -56,9 +69,17 @@ class AnalyticsFramework:
             engine=self.config.engine,
             nmt_config=self.config.nmt,
             progress=progress,
+            n_jobs=self.config.n_jobs if n_jobs is None else n_jobs,
+            backend=self.config.executor_backend if backend is None else backend,
+            checkpoint=checkpoint,
         )
         self._detector = self._make_detector(self.config.detection_range)
         return self
+
+    @property
+    def build_report(self):
+        """The last fit's :class:`~repro.pipeline.executor.BuildReport`."""
+        return None if self.graph is None else self.graph.build_report
 
     def _make_detector(self, score_range: ScoreRange) -> AnomalyDetector:
         return AnomalyDetector(

@@ -1,20 +1,31 @@
-"""Saving/loading fitted frameworks.
+"""Saving/loading fitted frameworks and pair-level build checkpoints.
 
 Pickle is appropriate here: the object graph is plain Python plus numpy
 arrays, produced and consumed by the same library version.  A format
 tag guards against loading foreign pickles by accident.
+
+:class:`PairCheckpointStore` is the executor's crash journal: one
+pickled record per completed ``(source, target)`` pair, appended as
+pairs finish, so an interrupted Algorithm 1 build resumes without
+retraining finished pairs.  A truncated trailing record (the write the
+crash interrupted) is discarded on load.
 """
 
 from __future__ import annotations
 
 import pickle
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from .framework import AnalyticsFramework
 
-__all__ = ["save_framework", "load_framework"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..graph.mvrg import PairwiseRelationship
+
+__all__ = ["save_framework", "load_framework", "PairCheckpointStore"]
 
 _FORMAT_TAG = "repro-analytics-framework-v1"
+_CHECKPOINT_TAG = "repro-pair-checkpoint-v1"
 
 
 def save_framework(framework: AnalyticsFramework, path: str | Path) -> Path:
@@ -36,3 +47,89 @@ def load_framework(path: str | Path) -> AnalyticsFramework:
     if not isinstance(framework, AnalyticsFramework):
         raise ValueError(f"{path} does not contain an AnalyticsFramework")
     return framework
+
+
+class PairCheckpointStore:
+    """Append-only journal of completed Algorithm 1 pairs.
+
+    The file is a pickle stream: a header record followed by one
+    ``{"pair": (source, target), "relationship": PairwiseRelationship}``
+    record per finished pair (score, dev sentence scores, runtime and
+    the fitted model travel inside the relationship).  Appends flush
+    eagerly so a killed build loses at most the in-flight record.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def clear(self) -> None:
+        """Delete the journal (start the next build from scratch).
+
+        Refuses to delete a file that is not a pair journal, so a
+        mistyped ``--checkpoint`` path can never destroy user data.
+        """
+        if self.path.exists() and self.path.stat().st_size > 0:
+            with self.path.open("rb") as handle:
+                self._check_header(handle)
+        self.path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    # ------------------------------------------------------------------
+    def load(self) -> dict[tuple[str, str], "PairwiseRelationship"]:
+        """All completed pairs recorded so far (empty if no journal)."""
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            return {}
+        rows: dict[tuple[str, str], "PairwiseRelationship"] = {}
+        with self.path.open("rb") as handle:
+            self._check_header(handle)
+            while True:
+                try:
+                    record = pickle.load(handle)
+                except EOFError:
+                    break
+                except (pickle.UnpicklingError, AttributeError, ValueError):
+                    # Truncated trailing record from an interrupted
+                    # write; everything before it is intact.
+                    break
+                rows[tuple(record["pair"])] = record["relationship"]
+        return rows
+
+    def _check_header(self, handle) -> None:
+        """Raise unless ``handle`` starts with this journal's header.
+
+        A file that is not a pickle stream at all (e.g. a CSV passed to
+        ``--checkpoint`` by mistake) must be rejected here — only a
+        *trailing* record may be tolerated as truncation, never the
+        header — otherwise ``append`` would write pickle records into a
+        foreign file.
+        """
+        try:
+            header = pickle.load(handle)
+        except (EOFError, pickle.UnpicklingError, AttributeError, ValueError, IndexError):
+            raise ValueError(f"{self.path} is not a pair checkpoint journal") from None
+        if not isinstance(header, dict) or header.get("format") != _CHECKPOINT_TAG:
+            raise ValueError(f"{self.path} is not a pair checkpoint journal")
+
+    def append(self, relationship: "PairwiseRelationship") -> None:
+        """Record one completed pair (called as each pair finishes)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        new_file = not self.path.exists() or self.path.stat().st_size == 0
+        if not new_file:
+            with self.path.open("rb") as handle:
+                self._check_header(handle)
+        with self.path.open("ab") as handle:
+            if new_file:
+                pickle.dump({"format": _CHECKPOINT_TAG}, handle)
+            pickle.dump(
+                {
+                    "pair": (relationship.source, relationship.target),
+                    "relationship": relationship,
+                },
+                handle,
+            )
+            handle.flush()

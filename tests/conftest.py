@@ -1,6 +1,14 @@
-"""Shared fixtures: small datasets and fitted frameworks, built once."""
+"""Shared fixtures: small datasets and fitted frameworks, built once.
+
+``REPRO_TEST_N_JOBS`` (used by the CI executor matrix) selects how many
+pair-training workers the shared fitted framework uses; results are
+bit-identical across values by design, so the whole suite doubles as an
+equivalence check.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -8,6 +16,9 @@ import pytest
 from repro.datasets import PlantConfig, generate_plant_dataset
 from repro.lang import LanguageConfig, MultivariateEventLog
 from repro.pipeline import AnalyticsFramework, FrameworkConfig
+
+#: Worker count for shared fitted fixtures (the CI matrix sets 1 and 2).
+TEST_N_JOBS: int = int(os.environ.get("REPRO_TEST_N_JOBS", "1"))
 
 
 @pytest.fixture(scope="session")
@@ -41,8 +52,40 @@ def fitted_plant_framework(plant_dataset):
         language=LanguageConfig(word_size=6, word_stride=1, sentence_length=8, sentence_stride=8),
         engine="ngram",
         popular_threshold=10,
+        n_jobs=TEST_N_JOBS,
     )
     return AnalyticsFramework(config).fit(train, dev)
+
+
+@pytest.fixture(scope="session")
+def executor_log():
+    """Six seeded, inter-related sensors for executor determinism tests.
+
+    Sensors come in lead/follow couples (B lags A, D lags C, F lags E)
+    so the pair grid holds both strong and weak relationships; the
+    fixed seed makes every build over it reproducible.
+    """
+    rng = np.random.default_rng(1234)
+    total = 480
+    a = [("ON" if (t // 6) % 2 == 0 else "OFF") for t in range(total)]
+    c = [("HI" if (t // 8) % 2 == 0 else "LO") for t in range(total)]
+    e = [str(rng.integers(0, 3)) for _ in range(total)]
+    return MultivariateEventLog.from_mapping(
+        {
+            "sA": a,
+            "sB": ["OFF", "OFF"] + a[:-2],
+            "sC": c,
+            "sD": ["LO"] + c[:-1],
+            "sE": e,
+            "sF": ["0"] + e[:-1],
+        }
+    )
+
+
+@pytest.fixture(scope="session")
+def executor_language_config():
+    """Windowing small enough that the executor log yields dev sentences."""
+    return LanguageConfig(word_size=4, word_stride=1, sentence_length=5, sentence_stride=5)
 
 
 @pytest.fixture(scope="session")

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.detection import AnomalyDetector
-from repro.graph import ScoreRange
+from repro.graph import PairwiseRelationship, ScoreRange
 
 
 class TestValidPairs:
@@ -22,6 +22,42 @@ class TestValidPairs:
         subset = graph.sensors[:3]
         pairs = detector.valid_pairs(subset)
         assert all(s in subset and t in subset for s, t in pairs)
+
+    def test_zero_score_pair_is_never_a_valid_edge(self, fitted_plant_framework):
+        """Regression: a pair whose dev BLEU is exactly 0.0 (e.g. an
+        empty/degenerate dev corpus) must not enter Algorithm 2's
+        broken-pair ratio even when the score range starts at 0."""
+        import copy
+
+        graph = copy.copy(fitted_plant_framework.graph)
+        graph.relationships = dict(graph.relationships)
+        graph.relationships[("zX", "zY")] = PairwiseRelationship(
+            source="zX", target="zY", model=None, score=0.0
+        )
+        detector = AnomalyDetector(graph, ScoreRange(0, 100, inclusive_high=True))
+        pairs = detector.valid_pairs()
+        assert ("zX", "zY") not in pairs
+        assert pairs  # the real pairs are unaffected
+
+    def test_zero_score_pair_does_not_dilute_anomaly_ratio(
+        self, fitted_plant_framework, plant_dataset
+    ):
+        import copy
+
+        _, _, test = plant_dataset.split(10, 3)
+        score_range = ScoreRange(0, 100, inclusive_high=True)
+        baseline = AnomalyDetector(fitted_plant_framework.graph, score_range).detect(test)
+
+        graph = copy.copy(fitted_plant_framework.graph)
+        graph.relationships = dict(graph.relationships)
+        degenerate = next(iter(graph.relationships))
+        rel = graph.relationships[degenerate]
+        graph.relationships[degenerate] = PairwiseRelationship(
+            source=rel.source, target=rel.target, model=rel.model, score=0.0
+        )
+        result = AnomalyDetector(graph, score_range).detect(test)
+        assert degenerate not in result.valid_pairs
+        assert result.num_valid_pairs == baseline.num_valid_pairs - 1
 
     def test_empty_range_raises_on_detect(self, fitted_plant_framework, plant_dataset):
         _, _, test = plant_dataset.split(10, 3)

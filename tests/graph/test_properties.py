@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 
 from repro.graph import (
     DEFAULT_RANGES,
+    PairwiseRelationship,
     connected_component_clusters,
     local_subgraph,
     modularity,
@@ -82,6 +83,51 @@ def test_property_walktrap_partitions_nodes(edges):
     # The chosen partition's modularity is at least the trivial
     # one-community partition's (which is 0 per component).
     assert modularity(graph, communities) >= -1e-9
+
+
+DEV_SCORES = st.lists(
+    st.floats(0, 100, allow_nan=False, allow_infinity=False), min_size=1, max_size=50
+)
+
+
+def relationship_with(dev_scores, score=77.0):
+    return PairwiseRelationship(
+        source="src",
+        target="tgt",
+        model=None,
+        score=score,
+        dev_sentence_scores=np.asarray(dev_scores),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(DEV_SCORES, st.floats(0, 1, allow_nan=False))
+def test_property_threshold_quantile_between_extremes(dev_scores, q):
+    rel = relationship_with(dev_scores)
+    dev_min = rel.threshold("dev-min")
+    quantile = rel.threshold("dev-quantile", q)
+    assert dev_min == min(dev_scores)
+    assert dev_min <= quantile <= max(dev_scores)
+
+
+@settings(max_examples=40, deadline=None)
+@given(DEV_SCORES, st.floats(0, 100, allow_nan=False))
+def test_property_train_threshold_ignores_dev_scores(dev_scores, score):
+    rel = relationship_with(dev_scores, score=score)
+    assert rel.threshold("train") == score
+    # Without dev scores every strategy falls back to the training score.
+    bare = PairwiseRelationship(source="src", target="tgt", model=None, score=score)
+    assert bare.threshold("dev-min") == score
+    assert bare.threshold("dev-quantile", 0.3) == score
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(max_size=20), DEV_SCORES)
+def test_property_unknown_threshold_strategy_raises(strategy, dev_scores):
+    if strategy in ("train", "dev-min", "dev-quantile"):
+        return
+    with pytest.raises(ValueError, match="unknown threshold strategy"):
+        relationship_with(dev_scores).threshold(strategy)
 
 
 @settings(max_examples=40, deadline=None)

@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import threading
+from collections import Counter
+
 import numpy as np
 import pytest
 
-from repro.graph import ScoreRange
+from repro.graph import MultivariateRelationshipGraph, ScoreRange
 from repro.lang import LanguageConfig, MultivariateEventLog
 from repro.pipeline import AnalyticsFramework, FrameworkConfig
+from repro.translation.ngram import NGramTranslator
 
 
 def small_config() -> FrameworkConfig:
@@ -42,6 +46,106 @@ class TestTrainingFailures:
         dev = healthy_log(200).select(["sA"])
         with pytest.raises(KeyError):
             AnalyticsFramework(small_config()).fit(train, dev)
+
+
+class InjectedFailureFactory:
+    """Model factory whose models raise mid-fit for one targeted pair.
+
+    ``fail_attempts`` controls how many consecutive fit attempts on the
+    target pair blow up: 1 exercises the executor's retry, a large
+    value exhausts it so the pair is recorded as skipped.
+    """
+
+    def __init__(self, pair: tuple[str, str], fail_attempts: int) -> None:
+        self.pair = pair
+        self.fail_attempts = fail_attempts
+        self.attempts: Counter = Counter()
+        self.lock = threading.Lock()
+
+    def __call__(self) -> NGramTranslator:
+        factory = self
+
+        class _Model(NGramTranslator):
+            def fit(self, corpus):
+                key = (corpus.source_sensor, corpus.target_sensor)
+                if key == factory.pair:
+                    with factory.lock:
+                        factory.attempts[key] += 1
+                        if factory.attempts[key] <= factory.fail_attempts:
+                            raise RuntimeError("injected mid-fit failure")
+                return super().fit(corpus)
+
+        return _Model()
+
+
+def three_sensor_log(total: int) -> MultivariateEventLog:
+    a = [("ON" if (t // 6) % 2 == 0 else "OFF") for t in range(total)]
+    return MultivariateEventLog.from_mapping(
+        {"sA": a, "sB": ["OFF"] + a[:-1], "sC": ["OFF", "OFF"] + a[:-2]}
+    )
+
+
+class TestPairFailureInjection:
+    """Algorithm 1 degrades per pair: retry once, then skip — never abort."""
+
+    def build(self, factory, n_jobs=4):
+        return MultivariateRelationshipGraph.build(
+            three_sensor_log(400),
+            three_sensor_log(200),
+            config=LanguageConfig(word_size=4, word_stride=1, sentence_length=5, sentence_stride=5),
+            model_factory=factory,
+            n_jobs=n_jobs,
+            backend="thread",
+        )
+
+    def test_transient_failure_is_retried_once_and_recovers(self):
+        factory = InjectedFailureFactory(("sA", "sB"), fail_attempts=1)
+        graph = self.build(factory)
+        assert factory.attempts[("sA", "sB")] == 2  # failed once, retried once
+        assert ("sA", "sB") in graph.relationships
+        assert graph.build_report.ok
+        assert len(graph.relationships) == 6
+
+    def test_persistent_failure_skips_pair_but_completes_others(self):
+        factory = InjectedFailureFactory(("sA", "sB"), fail_attempts=99)
+        graph = self.build(factory)
+        assert factory.attempts[("sA", "sB")] == 2  # one retry, then give up
+        assert ("sA", "sB") not in graph.relationships
+        assert len(graph.relationships) == 5  # the other pairs still complete
+
+        report = graph.build_report
+        assert not report.ok
+        [skipped] = report.skipped
+        assert skipped.pair == ("sA", "sB")
+        assert "injected mid-fit failure" in skipped.error
+        assert skipped.attempts == 2
+        assert "skipped sA->sB" in report.summary()
+
+    def test_skipped_pair_build_still_detects(self):
+        factory = InjectedFailureFactory(("sA", "sB"), fail_attempts=99)
+        graph = self.build(factory)
+        from repro.detection import AnomalyDetector
+
+        result = AnomalyDetector(graph, ScoreRange(0, 100, inclusive_high=True)).detect(
+            three_sensor_log(150)
+        )
+        assert result.num_windows > 0
+        assert ("sA", "sB") not in result.valid_pairs
+
+    def test_every_pair_failing_aborts_loudly(self):
+        class _Broken(NGramTranslator):
+            def fit(self, corpus):
+                raise RuntimeError("injected total failure")
+
+        with pytest.raises(RuntimeError, match="all 2 pair models failed"):
+            MultivariateRelationshipGraph.build(
+                three_sensor_log(400).select(["sA", "sB"]),
+                three_sensor_log(200).select(["sA", "sB"]),
+                config=LanguageConfig(word_size=4, word_stride=1, sentence_length=5, sentence_stride=5),
+                model_factory=_Broken,
+                n_jobs=2,
+                backend="thread",
+            )
 
 
 class TestDetectionFailures:

@@ -214,6 +214,33 @@ class TestGraphMechanics:
             out = (x * 2).sum()
         assert not out.requires_grad
 
+    def test_no_grad_is_thread_local(self):
+        """Regression: one thread's no_grad() inference must not
+        disable gradient tracking for a model training concurrently on
+        another thread (the parallel pair executor relies on this)."""
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+        seen: dict[str, bool] = {}
+
+        def inference_thread():
+            with no_grad():
+                entered.set()
+                release.wait(timeout=5)
+
+        worker = threading.Thread(target=inference_thread)
+        worker.start()
+        try:
+            assert entered.wait(timeout=5)
+            x = Tensor(np.ones(3), requires_grad=True)
+            out = (x * 2).sum()
+            seen["requires_grad"] = out.requires_grad
+        finally:
+            release.set()
+            worker.join(timeout=5)
+        assert seen["requires_grad"]
+
     def test_zero_grad(self):
         x = Tensor(np.ones(3), requires_grad=True)
         x.sum().backward()
