@@ -10,6 +10,11 @@ Three subcommands mirror the framework's lifecycle on CSV event logs
 - ``inspect`` — print a saved framework's Table-I statistics, popular
   sensors and clusters, optionally exporting the graph to JSON/GraphML.
 
+``train`` (alias ``build``) accepts ``--cache-dir`` to reuse pair
+models from a content-addressed artifact cache across rebuilds; the
+companion ``cache`` subcommand inspects or garbage-collects such a
+cache.
+
 Example::
 
     python -m repro.cli train train.csv dev.csv --model plant.pkl \
@@ -44,7 +49,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    train = sub.add_parser("train", help="fit the relationship graph (Algorithm 1)")
+    train = sub.add_parser(
+        "train",
+        aliases=["build"],
+        help="fit the relationship graph (Algorithm 1)",
+    )
     train.add_argument("training_csv", type=Path)
     train.add_argument("development_csv", type=Path)
     train.add_argument("--model", type=Path, required=True, help="output model path")
@@ -78,6 +87,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from the checkpoint journal instead of retraining "
         "finished pairs (a stale journal is cleared without this flag)",
     )
+    train.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="content-addressed artifact cache: rebuilds with unchanged "
+        "inputs restore pairs instead of retraining them",
+    )
+    train.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the artifact cache even when --cache-dir is given",
+    )
+    train.add_argument(
+        "--report-json",
+        type=Path,
+        default=None,
+        help="write the build report (trained/cached/resumed/skipped pairs) "
+        "as JSON to this path",
+    )
 
     detect = sub.add_parser("detect", help="score a testing log (Algorithm 2)")
     detect.add_argument("testing_csv", type=Path)
@@ -92,6 +120,19 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument(
         "--report", type=Path, default=None, help="write a markdown report here"
     )
+
+    cache = sub.add_parser("cache", help="inspect or clean a build cache")
+    cache.add_argument("cache_dir", type=Path)
+    cache.add_argument(
+        "--gc-days",
+        type=float,
+        default=None,
+        help="delete artifacts last touched more than this many days ago",
+    )
+    cache.add_argument(
+        "--purge", action="store_true", help="delete every artifact in the cache"
+    )
+    cache.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     simulate = sub.add_parser(
         "simulate", help="generate a synthetic dataset to files"
@@ -162,9 +203,12 @@ def _command_train(args: argparse.Namespace) -> int:
         except ValueError as error:
             raise SystemExit(str(error)) from error
 
+    cache_dir = False if args.no_cache else args.cache_dir
     framework = AnalyticsFramework(config)
     try:
-        fitted = framework.fit(training, development, checkpoint=checkpoint)
+        fitted = framework.fit(
+            training, development, checkpoint=checkpoint, cache_dir=cache_dir
+        )
     except ValueError as error:
         # A foreign file at --checkpoint (e.g. a CSV) is a usage error,
         # not a crash; other ValueErrors keep their tracebacks.
@@ -180,6 +224,10 @@ def _command_train(args: argparse.Namespace) -> int:
     report = fitted.build_report
     if report is not None:
         print(f"build: {report.summary()}")
+        if args.report_json is not None:
+            args.report_json.parent.mkdir(parents=True, exist_ok=True)
+            args.report_json.write_text(json.dumps(report.to_dict(), indent=2))
+            print(f"build report written to {args.report_json}")
         if not report.ok:
             print(
                 f"warning: {len(report.skipped)} pair(s) skipped after retries",
@@ -232,6 +280,39 @@ def _command_inspect(args: argparse.Namespace) -> int:
 
         path = write_report(framework, args.report)
         print(f"markdown report written to {path}")
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    from .pipeline.artifacts import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir)
+    removed = 0
+    if args.purge:
+        removed = store.purge()
+    elif args.gc_days is not None:
+        if args.gc_days < 0:
+            raise SystemExit(f"invalid --gc-days {args.gc_days}; must be >= 0")
+        removed = store.gc(max_age_seconds=args.gc_days * 86400.0)
+    stats = store.stats()
+    if args.json:
+        payload = {
+            "cache_dir": str(store.root),
+            "artifacts": stats.num_artifacts,
+            "total_bytes": stats.total_bytes,
+            "by_kind": stats.as_rows(),
+            "removed": removed,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    if args.purge or args.gc_days is not None:
+        print(f"removed {removed} artifact(s)")
+    print(
+        f"cache {store.root}: {stats.num_artifacts} artifact(s), "
+        f"{stats.total_bytes} bytes"
+    )
+    for row in stats.as_rows():
+        print(f"  {row['kind']}: {row['artifacts']} artifact(s), {row['bytes']} bytes")
     return 0
 
 
@@ -293,8 +374,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "train": _command_train,
+        "build": _command_train,
         "detect": _command_detect,
         "inspect": _command_inspect,
+        "cache": _command_cache,
         "simulate": _command_simulate,
     }
     return handlers[args.command](args)

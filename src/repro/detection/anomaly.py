@@ -131,12 +131,19 @@ class AnomalyDetector:
                 pairs.append((source, target))
         return pairs
 
-    def detect(self, test_log: MultivariateEventLog) -> DetectionResult:
+    def detect(
+        self,
+        test_log: MultivariateEventLog,
+        sentence_cache: dict[str, list] | None = None,
+    ) -> DetectionResult:
         """Run Algorithm 2 over a testing log.
 
         Sentences are generated with the *training* languages (fitted
         encoders handle unseen states via the unknown character), so
-        window ``t`` is time-aligned across sensors.
+        window ``t`` is time-aligned across sensors.  ``sentence_cache``
+        (sensor → sentence list) lets callers share the encrypted test
+        corpus across detectors for the same log: missing sensors are
+        encrypted into the cache, present ones are reused verbatim.
         """
         pairs = self.valid_pairs(test_log.sensors)
         if not pairs:
@@ -146,9 +153,10 @@ class AnomalyDetector:
             )
         corpus = self.graph.corpus
         involved = sorted({sensor for pair in pairs for sensor in pair})
-        sentences = {
-            name: corpus[name].sentences_for(test_log[name]) for name in involved
-        }
+        sentences = {} if sentence_cache is None else sentence_cache
+        for name in involved:
+            if name not in sentences:
+                sentences[name] = corpus[name].sentences_for(test_log[name])
         window_count = min(len(sentences[name]) for name in involved)
         if window_count == 0:
             raise ValueError(

@@ -9,21 +9,18 @@ the scores.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 import networkx as nx
 import numpy as np
 
-from ..lang.corpus import LanguageConfig, MultiLanguageCorpus, ParallelCorpus
+from ..lang.corpus import LanguageConfig, MultiLanguageCorpus
 from ..lang.events import MultivariateEventLog
+from ..pipeline.types import PairStore
 from ..translation.base import TranslationModel
 from ..translation.factory import translator_factory
 from ..translation.seq2seq import NMTConfig
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline -> graph)
-    from ..pipeline.persistence import PairCheckpointStore
 
 __all__ = ["PairwiseRelationship", "MultivariateRelationshipGraph"]
 
@@ -100,10 +97,11 @@ class MultivariateRelationshipGraph:
         progress: Callable[[str, str, float], None] | None = None,
         n_jobs: int | str = 1,
         backend: str = "auto",
-        checkpoint: "PairCheckpointStore | str | None" = None,
+        checkpoint: PairStore | str | None = None,
         retries: int = 1,
+        store: "ArtifactStore | str | None" = None,
     ) -> "MultivariateRelationshipGraph":
-        """Run Algorithm 1.
+        """Run Algorithm 1 as a stage graph.
 
         Parameters
         ----------
@@ -139,9 +137,23 @@ class MultivariateRelationshipGraph:
             Per-pair retry budget; a pair failing every attempt is
             recorded as a skipped edge in ``build_report`` instead of
             aborting the build.
+        store:
+            Optional content-addressed artifact cache (path or
+            :class:`~repro.pipeline.artifacts.ArtifactStore`).  Pairs
+            whose input fingerprint is already stored are restored
+            instead of retrained (``build_report.cached``); a rebuild
+            with unchanged logs and config trains zero pairs.
         """
-        from ..pipeline.executor import PairExecutor, PairTask
+        from ..pipeline.artifacts import ArtifactStore
         from ..pipeline.persistence import PairCheckpointStore
+        from ..pipeline.stages import (
+            CorpusStage,
+            EncryptStage,
+            GraphAssembleStage,
+            PairTrainStage,
+            StageContext,
+            StageGraph,
+        )
 
         config = config or LanguageConfig()
         if model_factory is not None:
@@ -149,79 +161,31 @@ class MultivariateRelationshipGraph:
         else:
             translator_factory(engine, nmt_config)  # validate the engine name early
             spec = ("engine", engine, nmt_config)
-        if checkpoint is not None and not isinstance(checkpoint, PairCheckpointStore):
+        if checkpoint is not None and not isinstance(checkpoint, PairStore):
             checkpoint = PairCheckpointStore(checkpoint)
+        if store is not None and not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
 
-        corpus = MultiLanguageCorpus.fit(training_log, config)
-        sensors = corpus.sensors
-        if len(sensors) < 2:
-            raise ValueError(
-                "need at least two non-constant sensors to build pairwise "
-                f"relationships; got {len(sensors)} after filtering "
-                f"(discarded: {corpus.discarded_sensors})"
-            )
-        dev_sentences = {
-            name: corpus[name].sentences_for(development_log[name])
-            for name in sensors
-            if name in development_log
+        seeds = {
+            "training_log": training_log,
+            "development_log": development_log,
+            "language_config": config,
+            "factory_spec": spec,
+            "pairs": pairs,
+            "executor_options": {
+                "n_jobs": n_jobs,
+                "backend": backend,
+                "retries": retries,
+                "progress": progress,
+                "checkpoint": checkpoint,
+            },
         }
-        missing = [name for name in sensors if name not in dev_sentences]
-        if missing:
-            raise KeyError(f"development log is missing sensors: {missing}")
-
-        if pairs is None:
-            pair_list = list(itertools.permutations(sensors, 2))
-        else:
-            pair_list = list(pairs)
-
-        # Structural problems abort the build up front; only per-pair
-        # model failures degrade to skipped edges below.
-        short = sorted(
-            {
-                name
-                for pair in pair_list
-                for name in pair
-                if name in dev_sentences and not dev_sentences[name]
-            }
+        pipeline = StageGraph(
+            [EncryptStage(), CorpusStage(), PairTrainStage(), GraphAssembleStage()],
+            seeds=tuple(seeds),
         )
-        if short:
-            raise ValueError(
-                "development log too short to produce a sentence for "
-                f"sensors: {short}"
-            )
-
-        tasks = [
-            PairTask(
-                source=source,
-                target=target,
-                corpus=corpus.parallel(source, target),
-                dev_source=dev_sentences[source],
-                dev_target=dev_sentences[target],
-            )
-            for source, target in pair_list
-        ]
-        executor = PairExecutor(
-            n_jobs=n_jobs,
-            backend=backend,
-            retries=retries,
-            progress=progress,
-            checkpoint=checkpoint,
-        )
-        results, report = executor.run(tasks, spec)
-        if tasks and not results:
-            first = report.skipped[0]
-            raise RuntimeError(
-                f"all {len(tasks)} pair models failed; first error for "
-                f"({first.source!r}, {first.target!r}): {first.error}"
-            )
-        # Assemble in the original pair order so serial and parallel
-        # builds produce byte-identical relationship/score dicts.
-        relationships = {
-            pair: results[pair] for pair in (t.pair for t in tasks) if pair in results
-        }
-        graph = cls(corpus, relationships)
-        graph.build_report = report
-        return graph
+        context = pipeline.run(StageContext(seeds, store=store))
+        return context["graph"]
 
     # ------------------------------------------------------------------
     @property

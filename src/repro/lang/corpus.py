@@ -24,6 +24,7 @@ __all__ = [
     "MultiLanguageCorpus",
     "ParallelCorpus",
     "filter_constant_sensors",
+    "iter_languages",
 ]
 
 
@@ -86,7 +87,18 @@ class SensorLanguage:
     @classmethod
     def fit(cls, sequence: EventSequence, config: LanguageConfig) -> "SensorLanguage":
         """Fit the encoder on ``sequence`` and build its sentence corpus."""
-        encoder = SensorEncoder.fit(sequence)
+        return cls.from_encoder(SensorEncoder.fit(sequence), sequence, config)
+
+    @classmethod
+    def from_encoder(
+        cls, encoder: SensorEncoder, sequence: EventSequence, config: LanguageConfig
+    ) -> "SensorLanguage":
+        """Build a language from an already fitted encoder.
+
+        Lets the encryption step run (and be cached) separately from
+        language generation; the result is identical to :meth:`fit` on
+        the same sequence.
+        """
         language = cls(encoder, config, [], Vocabulary())
         language.sentences = language.sentences_for(sequence)
         language.vocabulary = Vocabulary.from_sentences(language.sentences)
@@ -120,6 +132,22 @@ class SensorLanguage:
         )
 
 
+def iter_languages(
+    encoders: dict[str, SensorEncoder],
+    log: MultivariateEventLog,
+    config: LanguageConfig,
+) -> Iterator[tuple[str, SensorLanguage]]:
+    """Lazily yield ``(sensor, language)`` for each fitted encoder.
+
+    Each language is fully built (sentences and vocabulary) before the
+    next sensor's encoding starts, so a consumer that processes
+    languages one at a time holds at most one sensor's intermediate
+    word list in memory.
+    """
+    for name, encoder in encoders.items():
+        yield name, SensorLanguage.from_encoder(encoder, log[name], config)
+
+
 def filter_constant_sensors(
     log: MultivariateEventLog,
 ) -> tuple[MultivariateEventLog, list[str]]:
@@ -144,10 +172,28 @@ class MultiLanguageCorpus:
     def fit(cls, log: MultivariateEventLog, config: LanguageConfig) -> "MultiLanguageCorpus":
         """Filter constant sensors and fit one language per survivor."""
         filtered, discarded = filter_constant_sensors(log)
-        languages = {
-            sequence.sensor: SensorLanguage.fit(sequence, config) for sequence in filtered
+        encoders = {
+            sequence.sensor: SensorEncoder.fit(sequence) for sequence in filtered
         }
-        return cls(languages, discarded)
+        return cls.from_encoders(encoders, log, config, discarded)
+
+    @classmethod
+    def from_encoders(
+        cls,
+        encoders: dict[str, SensorEncoder],
+        log: MultivariateEventLog,
+        config: LanguageConfig,
+        discarded: list[str] | None = None,
+    ) -> "MultiLanguageCorpus":
+        """Generate languages from pre-fitted encoders, one sensor at a time.
+
+        Consumes :func:`iter_languages` so only one sensor's
+        intermediate word list is alive at a time — language generation
+        streams through the log instead of materialising every
+        sensor's words before building the first vocabulary.
+        """
+        languages = dict(iter_languages(encoders, log, config))
+        return cls(languages, list(discarded or []))
 
     # ------------------------------------------------------------------
     @property

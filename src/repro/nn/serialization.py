@@ -1,14 +1,24 @@
-"""Saving and loading module weights as ``.npz`` archives."""
+"""Saving and loading module weights as ``.npz`` archives.
+
+Also provides the stable-state hooks used by the pipeline's
+content-addressed artifact store: :func:`state_digest` fingerprints a
+flat parameter state deterministically (sorted keys, raw array bytes),
+and :func:`save_state`/:func:`load_state` round-trip states that are
+not attached to a live :class:`Module` — e.g. a translation model's
+aggregated encoder/decoder/attention weights.
+"""
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
+from typing import Mapping
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_module", "load_module"]
+__all__ = ["save_module", "load_module", "save_state", "load_state", "state_digest"]
 
 
 def save_module(module: Module, path: str | Path) -> Path:
@@ -23,7 +33,39 @@ def save_module(module: Module, path: str | Path) -> Path:
 
 def load_module(module: Module, path: str | Path) -> Module:
     """Load parameters saved by :func:`save_module` into ``module``."""
-    with np.load(Path(path)) as archive:
-        state = {key: archive[key] for key in archive.files}
-    module.load_state_dict(state)
+    module.load_state_dict(load_state(path))
     return module
+
+
+def save_state(state: Mapping[str, np.ndarray], path: str | Path) -> Path:
+    """Write a flat parameter state to ``path`` (``.npz`` appended if absent)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **dict(state))
+    return path
+
+
+def load_state(path: str | Path) -> dict[str, np.ndarray]:
+    """Load a flat parameter state saved by :func:`save_state`."""
+    with np.load(Path(path)) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def state_digest(state: Mapping[str, np.ndarray]) -> str:
+    """Deterministic SHA-256 fingerprint of a flat parameter state.
+
+    Keys are visited in sorted order and arrays contribute their shape,
+    dtype and raw bytes, so two states are digest-equal exactly when
+    every parameter matches bit for bit — the property the artifact
+    store relies on to verify restored models.
+    """
+    hasher = hashlib.sha256()
+    for key in sorted(state):
+        array = np.ascontiguousarray(state[key])
+        hasher.update(key.encode("utf-8"))
+        hasher.update(str(array.shape).encode("utf-8"))
+        hasher.update(str(array.dtype).encode("utf-8"))
+        hasher.update(array.tobytes())
+    return hasher.hexdigest()

@@ -1,0 +1,341 @@
+"""Content-addressed artifact store backing the stage-graph pipeline.
+
+Every cacheable stage output is stored under an :class:`ArtifactKey`
+``(kind, digest)`` where the digest is a SHA-256 fingerprint of the
+stage's inputs: the event data consumed, the configuration that shapes
+the computation, and the stage version.  Because the key is derived
+from *content* rather than file names or timestamps, incremental
+rebuilds fall out structurally: rerunning a build with unchanged logs
+and config resolves every key to an existing artifact and trains
+nothing, while perturbing one sensor's events changes only the keys
+whose fingerprint covers that sensor.
+
+The module also hosts :class:`PickleJournal`, the append-only pickle
+stream underlying :class:`~repro.pipeline.persistence.PairCheckpointStore`
+— kept byte-compatible with the PR 1 journal format so existing
+checkpoint files remain readable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import re
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime import
+    from ..lang.events import EventSequence, MultivariateEventLog
+
+__all__ = [
+    "ArtifactKey",
+    "ArtifactStore",
+    "PickleJournal",
+    "StoreStats",
+    "combine_fingerprints",
+    "fingerprint_bytes",
+    "fingerprint_log",
+    "fingerprint_obj",
+    "fingerprint_sequence",
+]
+
+_FORMAT_TAG = "repro-artifact-v1"
+_KIND_RE = re.compile(r"^[a-z0-9][a-z0-9-]*$")
+_DIGEST_RE = re.compile(r"^[0-9a-f]{16,64}$")
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def fingerprint_bytes(data: bytes) -> str:
+    """SHA-256 hex digest of raw bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def _jsonify(obj: Any) -> Any:
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dataclass__": type(obj).__name__, **dataclasses.asdict(obj)}
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError(f"cannot fingerprint object of type {type(obj).__name__}")
+
+
+def fingerprint_obj(obj: Any) -> str:
+    """Fingerprint a JSON-representable object (incl. dataclasses).
+
+    The rendering is canonical — sorted keys, no whitespace — so two
+    equal configurations always fingerprint identically regardless of
+    construction order.
+    """
+    text = json.dumps(obj, sort_keys=True, separators=(",", ":"), default=_jsonify)
+    return fingerprint_bytes(text.encode("utf-8"))
+
+
+def fingerprint_sequence(sequence: "EventSequence") -> str:
+    """Fingerprint one sensor's event data (name and states)."""
+    hasher = hashlib.sha256()
+    hasher.update(sequence.sensor.encode("utf-8"))
+    hasher.update(b"\x00")
+    for event in sequence.events:
+        hasher.update(event.encode("utf-8"))
+        hasher.update(b"\x1f")
+    return hasher.hexdigest()
+
+
+def fingerprint_log(log: "MultivariateEventLog") -> str:
+    """Fingerprint a whole event log (sensor order is significant)."""
+    return combine_fingerprints(*(fingerprint_sequence(seq) for seq in log))
+
+
+def combine_fingerprints(*parts: str) -> str:
+    """Fold any number of fingerprints/tokens into one digest."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(part.encode("utf-8"))
+        hasher.update(b"\x1e")
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Artifact store
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Address of one stored artifact: an artifact kind plus a digest."""
+
+    kind: str
+    digest: str
+
+    def __post_init__(self) -> None:
+        if not _KIND_RE.match(self.kind):
+            raise ValueError(f"invalid artifact kind {self.kind!r}")
+        if not _DIGEST_RE.match(self.digest):
+            raise ValueError(f"invalid artifact digest {self.digest!r}")
+
+    def __str__(self) -> str:
+        return f"{self.kind}/{self.digest}"
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate view of a store: per-kind artifact counts and bytes."""
+
+    kinds: dict[str, tuple[int, int]]
+
+    @property
+    def num_artifacts(self) -> int:
+        return sum(count for count, _ in self.kinds.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(size for _, size in self.kinds.values())
+
+    def as_rows(self) -> list[dict[str, object]]:
+        return [
+            {"kind": kind, "artifacts": count, "bytes": size}
+            for kind, (count, size) in sorted(self.kinds.items())
+        ]
+
+
+class ArtifactStore:
+    """Content-addressed on-disk cache of pipeline artifacts.
+
+    Layout: ``root/objects/<kind>/<digest[:2]>/<digest>.pkl``; each
+    file is a pickled record tagged with the format version and its own
+    key, so a hash collision with a foreign file or a record moved
+    between kinds is detected on load.  Writes go through a temp file
+    and ``os.replace`` so a crashed writer can never leave a truncated
+    artifact behind.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactStore({str(self.root)!r})"
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: ArtifactKey) -> Path:
+        return self.root / "objects" / key.kind / key.digest[:2] / f"{key.digest}.pkl"
+
+    def contains(self, key: ArtifactKey) -> bool:
+        return self.path_for(key).exists()
+
+    __contains__ = contains
+
+    def save(self, key: ArtifactKey, payload: Any) -> Path:
+        """Store ``payload`` under ``key`` atomically; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "format": _FORMAT_TAG,
+            "kind": key.kind,
+            "digest": key.digest,
+            "payload": payload,
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(record, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load(self, key: ArtifactKey) -> Any:
+        """Load the payload stored under ``key``.
+
+        Raises ``KeyError`` when absent and ``ValueError`` when the
+        file exists but is not an artifact written for this key.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            raise KeyError(str(key))
+        try:
+            with path.open("rb") as handle:
+                record = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError) as error:
+            raise ValueError(f"corrupt artifact at {path}: {error}") from None
+        if (
+            not isinstance(record, dict)
+            or record.get("format") != _FORMAT_TAG
+            or record.get("kind") != key.kind
+            or record.get("digest") != key.digest
+        ):
+            raise ValueError(f"{path} is not the artifact for {key}")
+        return record["payload"]
+
+    def get(self, key: ArtifactKey, default: Any = None) -> Any:
+        """Like :meth:`load` but treats missing/corrupt artifacts as a miss."""
+        try:
+            return self.load(key)
+        except (KeyError, ValueError):
+            return default
+
+    def delete(self, key: ArtifactKey) -> bool:
+        path = self.path_for(key)
+        if not path.exists():
+            return False
+        path.unlink()
+        return True
+
+    # ------------------------------------------------------------------
+    def keys(self, kind: str | None = None) -> Iterator[ArtifactKey]:
+        """Iterate stored keys, optionally restricted to one kind."""
+        objects = self.root / "objects"
+        if not objects.exists():
+            return
+        kinds = [kind] if kind is not None else sorted(
+            p.name for p in objects.iterdir() if p.is_dir()
+        )
+        for name in kinds:
+            for path in sorted((objects / name).glob("*/*.pkl")):
+                yield ArtifactKey(name, path.stem)
+
+    def stats(self) -> StoreStats:
+        """Per-kind artifact counts and byte totals."""
+        kinds: dict[str, tuple[int, int]] = {}
+        for key in self.keys():
+            count, size = kinds.get(key.kind, (0, 0))
+            kinds[key.kind] = (count + 1, size + self.path_for(key).stat().st_size)
+        return StoreStats(kinds)
+
+    def gc(self, max_age_seconds: float, now: float | None = None) -> int:
+        """Delete artifacts last touched more than ``max_age_seconds`` ago."""
+        if max_age_seconds < 0:
+            raise ValueError("max_age_seconds must be non-negative")
+        cutoff = (time.time() if now is None else now) - max_age_seconds
+        removed = 0
+        for key in list(self.keys()):
+            path = self.path_for(key)
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+                    removed += 1
+            except FileNotFoundError:  # pragma: no cover - concurrent gc
+                continue
+        return removed
+
+    def purge(self) -> int:
+        """Delete every artifact in the store."""
+        removed = 0
+        for key in list(self.keys()):
+            removed += self.delete(key)
+        return removed
+
+
+# ----------------------------------------------------------------------
+# Append-only journal (PR 1 checkpoint substrate)
+# ----------------------------------------------------------------------
+class PickleJournal:
+    """Append-only pickle stream with a header tag.
+
+    One header record (``{"format": tag}``) followed by arbitrary
+    pickled records, flushed eagerly so a killed writer loses at most
+    the in-flight record; a truncated *trailing* record is discarded on
+    read, while a foreign header (e.g. a CSV passed by mistake) raises.
+    This is the exact on-disk format of the PR 1 pair checkpoint
+    journal, which is now a thin schema adapter over this class.
+    """
+
+    def __init__(self, path: str | Path, tag: str, description: str = "journal") -> None:
+        self.path = Path(path)
+        self.tag = tag
+        self.description = description
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def clear(self) -> None:
+        """Delete the journal; refuses to delete a non-journal file."""
+        if self.path.exists() and self.path.stat().st_size > 0:
+            with self.path.open("rb") as handle:
+                self._check_header(handle)
+        self.path.unlink(missing_ok=True)
+
+    def _check_header(self, handle) -> None:
+        try:
+            header = pickle.load(handle)
+        except (EOFError, pickle.UnpicklingError, AttributeError, ValueError, IndexError):
+            raise ValueError(f"{self.path} is not a {self.description}") from None
+        if not isinstance(header, dict) or header.get("format") != self.tag:
+            raise ValueError(f"{self.path} is not a {self.description}")
+
+    def records(self) -> Iterator[Any]:
+        """Yield intact records; stops at a truncated trailing record."""
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            return
+        with self.path.open("rb") as handle:
+            self._check_header(handle)
+            while True:
+                try:
+                    yield pickle.load(handle)
+                except EOFError:
+                    return
+                except (pickle.UnpicklingError, AttributeError, ValueError):
+                    # Truncated trailing record from an interrupted
+                    # write; everything before it is intact.
+                    return
+
+    def append(self, record: Any) -> None:
+        """Append one record, writing the header first on a fresh file."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        new_file = not self.path.exists() or self.path.stat().st_size == 0
+        if not new_file:
+            with self.path.open("rb") as handle:
+                self._check_header(handle)
+        with self.path.open("ab") as handle:
+            if new_file:
+                pickle.dump({"format": self.tag}, handle)
+            pickle.dump(record, handle)
+            handle.flush()

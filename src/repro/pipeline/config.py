@@ -22,7 +22,10 @@ class FrameworkConfig:
     :class:`NMTConfig`) for the faithful neural pipeline.
     ``n_jobs``/``executor_backend`` parallelise the Algorithm 1 pair
     loop (see :class:`~repro.pipeline.executor.PairExecutor`); results
-    are bit-identical to the serial build.
+    are bit-identical to the serial build.  ``cache_dir`` names a
+    content-addressed artifact store (see
+    :class:`~repro.pipeline.artifacts.ArtifactStore`): fits through a
+    cache restore unchanged pairs instead of retraining them.
     """
 
     language: LanguageConfig = field(default_factory=LanguageConfig)
@@ -36,6 +39,7 @@ class FrameworkConfig:
     threshold_quantile: float = 0.05
     n_jobs: int | str = 1
     executor_backend: str = "auto"
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.margin < 0:

@@ -26,11 +26,12 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard (graph -> pipeline)
+from .types import PairStore
+
+if TYPE_CHECKING:  # pragma: no cover - heavy imports deferred to workers
     from ..graph.mvrg import PairwiseRelationship
     from ..lang.corpus import ParallelCorpus
     from ..translation.base import Sentence, TranslationModel
-    from .persistence import PairCheckpointStore
 
 __all__ = ["PairExecutor", "PairTask", "SkippedPair", "BuildReport", "BACKENDS"]
 
@@ -75,15 +76,18 @@ class SkippedPair:
 class BuildReport:
     """What happened during one Algorithm 1 build.
 
-    ``completed`` lists pairs trained this run, ``resumed`` pairs
-    restored from the checkpoint store, ``skipped`` pairs that failed
-    after retry (with their error strings).  The build aborts only on
-    structural errors; per-pair failures degrade to skipped edges.
+    ``completed`` lists pairs trained this run, ``cached`` pairs
+    restored from the content-addressed artifact store, ``resumed``
+    pairs restored from the checkpoint journal, ``skipped`` pairs that
+    failed after retry (with their error strings).  The build aborts
+    only on structural errors; per-pair failures degrade to skipped
+    edges.
     """
 
     n_jobs: int = 1
     backend: str = "serial"
     completed: list[tuple[str, str]] = field(default_factory=list)
+    cached: list[tuple[str, str]] = field(default_factory=list)
     resumed: list[tuple[str, str]] = field(default_factory=list)
     skipped: list[SkippedPair] = field(default_factory=list)
     wall_seconds: float = 0.0
@@ -99,6 +103,7 @@ class BuildReport:
     def summary(self) -> str:
         parts = [
             f"{len(self.completed)} pair(s) trained",
+            f"{len(self.cached)} cached",
             f"{len(self.resumed)} resumed",
             f"{len(self.skipped)} skipped",
             f"n_jobs={self.n_jobs}",
@@ -109,6 +114,25 @@ class BuildReport:
         for failure in self.skipped:
             line += f"\n  skipped {failure.source}->{failure.target}: {failure.error}"
         return line
+
+    def to_dict(self) -> dict:
+        """JSON-ready view of the report (consumed by CI cache checks)."""
+        return {
+            "n_jobs": self.n_jobs,
+            "backend": self.backend,
+            "trained": len(self.completed),
+            "cached": len(self.cached),
+            "resumed": len(self.resumed),
+            "skipped": len(self.skipped),
+            "wall_seconds": self.wall_seconds,
+            "trained_pairs": [list(pair) for pair in self.completed],
+            "cached_pairs": [list(pair) for pair in self.cached],
+            "resumed_pairs": [list(pair) for pair in self.resumed],
+            "skipped_pairs": [
+                {"pair": [failure.source, failure.target], "error": failure.error}
+                for failure in self.skipped
+            ],
+        }
 
 
 def _resolve_factory(spec: FactorySpec) -> Callable[[], "TranslationModel"]:
@@ -176,7 +200,7 @@ class PairExecutor:
         backend: str = "auto",
         retries: int = 1,
         progress: Callable[[str, str, float], None] | None = None,
-        checkpoint: "PairCheckpointStore | None" = None,
+        checkpoint: PairStore | None = None,
     ) -> None:
         if n_jobs == "auto":
             n_jobs = os.cpu_count() or 1

@@ -1,20 +1,21 @@
 """The end-to-end analytics framework (Figure 1).
 
-``fit`` runs sensor encryption, language generation and Algorithm 1 to
-build the multivariate relationship graph; ``detect`` runs Algorithm 2
-over a testing log; ``diagnose`` traces broken relationships through
-the local subgraph (Figure 9); the knowledge-discovery accessors expose
-global/local subgraphs, popular sensors, clusters and Table I rows.
+``fit`` runs the stage-graph pipeline — sensor encryption, language
+generation and Algorithm 1 — to build the multivariate relationship
+graph, optionally through a content-addressed artifact cache so
+unchanged inputs train nothing; ``detect`` runs Algorithm 2 over a
+testing log via a memoized :class:`~repro.pipeline.stages.DetectStage`;
+``diagnose`` traces broken relationships through the local subgraph
+(Figure 9); the knowledge-discovery accessors expose global/local
+subgraphs, popular sensors, clusters and Table I rows.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from pathlib import Path
+from typing import Callable
 
 import networkx as nx
-
-if TYPE_CHECKING:  # pragma: no cover - persistence imports this module
-    from .persistence import PairCheckpointStore
 
 from ..detection.anomaly import AnomalyDetector, DetectionResult
 from ..detection.diagnosis import FaultDiagnosis, diagnose
@@ -29,7 +30,11 @@ from ..graph.subgraphs import (
     subgraph_statistics,
 )
 from ..lang.events import MultivariateEventLog
+from ..lang.windows import num_windows
+from .artifacts import ArtifactStore
 from .config import FrameworkConfig
+from .stages.detect import DetectStage
+from .types import PairStore
 
 __all__ = ["AnalyticsFramework"]
 
@@ -40,7 +45,7 @@ class AnalyticsFramework:
     def __init__(self, config: FrameworkConfig | None = None) -> None:
         self.config = config or FrameworkConfig()
         self.graph: MultivariateRelationshipGraph | None = None
-        self._detector: AnomalyDetector | None = None
+        self._detect_stage: DetectStage | None = None
 
     # ------------------------------------------------------------------
     # Training (Algorithm 1)
@@ -52,15 +57,20 @@ class AnalyticsFramework:
         progress: Callable[[str, str, float], None] | None = None,
         n_jobs: int | str | None = None,
         backend: str | None = None,
-        checkpoint: "PairCheckpointStore | str | None" = None,
+        checkpoint: PairStore | str | None = None,
+        cache_dir: "str | Path | ArtifactStore | bool | None" = None,
     ) -> "AnalyticsFramework":
         """Build the relationship graph from normal-operation logs.
 
         ``n_jobs``/``backend`` override the config's executor settings
         for this fit; ``checkpoint`` enables the pair-level journal so
         an interrupted fit resumes without retraining finished pairs.
-        The resulting :attr:`build_report` records completed, resumed
-        and skipped pairs.
+        ``cache_dir`` overrides the config's artifact cache: a path or
+        :class:`~repro.pipeline.artifacts.ArtifactStore` enables
+        content-addressed incremental rebuilds, ``False`` disables
+        caching even when the config names a cache directory.  The
+        resulting :attr:`build_report` records completed, cached,
+        resumed and skipped pairs.
         """
         self.graph = MultivariateRelationshipGraph.build(
             training_log,
@@ -72,23 +82,41 @@ class AnalyticsFramework:
             n_jobs=self.config.n_jobs if n_jobs is None else n_jobs,
             backend=self.config.executor_backend if backend is None else backend,
             checkpoint=checkpoint,
+            store=self._resolve_store(cache_dir),
         )
-        self._detector = self._make_detector(self.config.detection_range)
+        self._detect_stage = DetectStage(self.graph, self.config)
         return self
+
+    def _resolve_store(
+        self, cache_dir: "str | Path | ArtifactStore | bool | None"
+    ) -> ArtifactStore | None:
+        if cache_dir is False:
+            return None
+        if cache_dir is None or cache_dir is True:
+            cache_dir = self.config.cache_dir
+        if cache_dir is None:
+            return None
+        if isinstance(cache_dir, ArtifactStore):
+            return cache_dir
+        return ArtifactStore(cache_dir)
 
     @property
     def build_report(self):
         """The last fit's :class:`~repro.pipeline.executor.BuildReport`."""
         return None if self.graph is None else self.graph.build_report
 
-    def _make_detector(self, score_range: ScoreRange) -> AnomalyDetector:
-        return AnomalyDetector(
-            self._require_graph(),
-            score_range,
-            margin=self.config.margin,
-            threshold=self.config.threshold_strategy,
-            quantile=self.config.threshold_quantile,
-        )
+    def _stage(self) -> DetectStage:
+        """The detection stage bound to the fitted graph.
+
+        Created lazily so frameworks pickled before the stage-graph
+        refactor (which stored a bare detector) keep working after
+        :func:`~repro.pipeline.persistence.load_framework`.
+        """
+        stage = getattr(self, "_detect_stage", None)
+        if stage is None:
+            stage = DetectStage(self._require_graph(), self.config)
+            self._detect_stage = stage
+        return stage
 
     def _require_graph(self) -> MultivariateRelationshipGraph:
         if self.graph is None:
@@ -144,17 +172,21 @@ class AnalyticsFramework:
     # ------------------------------------------------------------------
     @property
     def detector(self) -> AnomalyDetector:
-        if self._detector is None:
+        if self.graph is None:
             raise RuntimeError("framework has not been fitted")
-        return self._detector
+        return self._stage().detector_for()
 
     def detect(
         self, test_log: MultivariateEventLog, score_range: ScoreRange | None = None
     ) -> DetectionResult:
-        """Anomaly scores ``a_t`` and alert matrix ``W_t`` for a test log."""
-        if score_range is None:
-            return self.detector.detect(test_log)
-        return self._make_detector(score_range).detect(test_log)
+        """Anomaly scores ``a_t`` and alert matrix ``W_t`` for a test log.
+
+        Detectors are memoized per score range and the encrypted test
+        corpus is shared across ranges, so sweeping ``score_range``
+        over the same log re-encrypts nothing.
+        """
+        self._require_graph()
+        return self._stage().detect(test_log, score_range)
 
     def diagnose(
         self,
@@ -169,7 +201,5 @@ class AnalyticsFramework:
     def windows_per_sample_count(self, num_samples: int) -> int:
         """How many detection windows a test log of ``num_samples`` yields."""
         lang = self.config.language
-        from ..lang.windows import num_windows
-
         words = num_windows(num_samples, lang.word_size, lang.word_stride)
         return num_windows(words, lang.sentence_length, lang.effective_sentence_stride)

@@ -15,12 +15,10 @@ from __future__ import annotations
 
 import pickle
 from pathlib import Path
-from typing import TYPE_CHECKING
 
+from ..graph.mvrg import PairwiseRelationship
+from .artifacts import PickleJournal
 from .framework import AnalyticsFramework
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..graph.mvrg import PairwiseRelationship
 
 __all__ = ["save_framework", "load_framework", "PairCheckpointStore"]
 
@@ -52,18 +50,27 @@ def load_framework(path: str | Path) -> AnalyticsFramework:
 class PairCheckpointStore:
     """Append-only journal of completed Algorithm 1 pairs.
 
-    The file is a pickle stream: a header record followed by one
-    ``{"pair": (source, target), "relationship": PairwiseRelationship}``
-    record per finished pair (score, dev sentence scores, runtime and
-    the fitted model travel inside the relationship).  Appends flush
-    eagerly so a killed build loses at most the in-flight record.
+    A thin schema adapter over the generic
+    :class:`~repro.pipeline.artifacts.PickleJournal`: a header record
+    followed by one ``{"pair": (source, target), "relationship":
+    PairwiseRelationship}`` record per finished pair (score, dev
+    sentence scores, runtime and the fitted model travel inside the
+    relationship).  The on-disk format is byte-identical to the PR 1
+    journal, so existing checkpoint files remain readable.  Appends
+    flush eagerly so a killed build loses at most the in-flight record.
     """
 
     def __init__(self, path: str | Path) -> None:
-        self.path = Path(path)
+        self._journal = PickleJournal(
+            path, _CHECKPOINT_TAG, description="pair checkpoint journal"
+        )
+
+    @property
+    def path(self) -> Path:
+        return self._journal.path
 
     def exists(self) -> bool:
-        return self.path.exists()
+        return self._journal.exists()
 
     def clear(self) -> None:
         """Delete the journal (start the next build from scratch).
@@ -71,65 +78,24 @@ class PairCheckpointStore:
         Refuses to delete a file that is not a pair journal, so a
         mistyped ``--checkpoint`` path can never destroy user data.
         """
-        if self.path.exists() and self.path.stat().st_size > 0:
-            with self.path.open("rb") as handle:
-                self._check_header(handle)
-        self.path.unlink(missing_ok=True)
+        self._journal.clear()
 
     def __len__(self) -> int:
         return len(self.load())
 
     # ------------------------------------------------------------------
-    def load(self) -> dict[tuple[str, str], "PairwiseRelationship"]:
+    def load(self) -> dict[tuple[str, str], PairwiseRelationship]:
         """All completed pairs recorded so far (empty if no journal)."""
-        if not self.path.exists() or self.path.stat().st_size == 0:
-            return {}
-        rows: dict[tuple[str, str], "PairwiseRelationship"] = {}
-        with self.path.open("rb") as handle:
-            self._check_header(handle)
-            while True:
-                try:
-                    record = pickle.load(handle)
-                except EOFError:
-                    break
-                except (pickle.UnpicklingError, AttributeError, ValueError):
-                    # Truncated trailing record from an interrupted
-                    # write; everything before it is intact.
-                    break
-                rows[tuple(record["pair"])] = record["relationship"]
-        return rows
+        return {
+            tuple(record["pair"]): record["relationship"]
+            for record in self._journal.records()
+        }
 
-    def _check_header(self, handle) -> None:
-        """Raise unless ``handle`` starts with this journal's header.
-
-        A file that is not a pickle stream at all (e.g. a CSV passed to
-        ``--checkpoint`` by mistake) must be rejected here — only a
-        *trailing* record may be tolerated as truncation, never the
-        header — otherwise ``append`` would write pickle records into a
-        foreign file.
-        """
-        try:
-            header = pickle.load(handle)
-        except (EOFError, pickle.UnpicklingError, AttributeError, ValueError, IndexError):
-            raise ValueError(f"{self.path} is not a pair checkpoint journal") from None
-        if not isinstance(header, dict) or header.get("format") != _CHECKPOINT_TAG:
-            raise ValueError(f"{self.path} is not a pair checkpoint journal")
-
-    def append(self, relationship: "PairwiseRelationship") -> None:
+    def append(self, relationship: PairwiseRelationship) -> None:
         """Record one completed pair (called as each pair finishes)."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        new_file = not self.path.exists() or self.path.stat().st_size == 0
-        if not new_file:
-            with self.path.open("rb") as handle:
-                self._check_header(handle)
-        with self.path.open("ab") as handle:
-            if new_file:
-                pickle.dump({"format": _CHECKPOINT_TAG}, handle)
-            pickle.dump(
-                {
-                    "pair": (relationship.source, relationship.target),
-                    "relationship": relationship,
-                },
-                handle,
-            )
-            handle.flush()
+        self._journal.append(
+            {
+                "pair": (relationship.source, relationship.target),
+                "relationship": relationship,
+            }
+        )

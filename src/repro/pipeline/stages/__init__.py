@@ -1,0 +1,30 @@
+"""The stage-graph pipeline: explicit, cacheable, swappable stages.
+
+The paper's Figure 1 cascade — sensor encryption → language generation
+→ pairwise NMT (Algorithm 1) → graph assembly → detection (Algorithm 2)
+— is expressed as five typed stages wired through a
+:class:`~repro.pipeline.stages.base.StageGraph` and backed by a shared
+content-addressed :class:`~repro.pipeline.artifacts.ArtifactStore`.
+See ``docs/architecture.md`` for the diagram, the artifact-key scheme
+and the cache-invalidation rules.
+"""
+
+from .base import Stage, StageContext, StageGraph, StageResult
+from .corpus import CorpusStage
+from .detect import DetectStage
+from .encrypt import EncryptStage
+from .graph_assemble import GraphAssembleStage
+from .pair_train import PairTrainStage, spec_fingerprint
+
+__all__ = [
+    "CorpusStage",
+    "DetectStage",
+    "EncryptStage",
+    "GraphAssembleStage",
+    "PairTrainStage",
+    "Stage",
+    "StageContext",
+    "StageGraph",
+    "StageResult",
+    "spec_fingerprint",
+]

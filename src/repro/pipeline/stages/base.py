@@ -1,0 +1,182 @@
+"""Stage-graph substrate: typed stages, a shared context, a validated DAG.
+
+A :class:`Stage` declares the context keys it consumes (``inputs``)
+and produces (``outputs``) and computes the latter from the former.  A
+:class:`StageGraph` validates at construction time that every stage's
+inputs are produced by an earlier stage or seeded into the context, so
+a mis-wired pipeline fails before any work runs.
+
+Caching is structural: a stage that returns a fingerprint (a digest of
+its input data, its configuration and its ``version``) has its output
+dict stored in the run's :class:`~repro.pipeline.artifacts.ArtifactStore`
+under ``(stage name, fingerprint)`` and restored instead of recomputed
+on the next run with the same fingerprint.  Stages that need finer
+caching than whole-output (e.g. per-pair model training) return
+``None`` from :meth:`Stage.fingerprint` and talk to ``context.store``
+themselves.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Iterator, Sequence
+
+from ..artifacts import ArtifactKey, ArtifactStore
+
+__all__ = ["Stage", "StageContext", "StageGraph", "StageResult"]
+
+
+class StageContext:
+    """Shared blackboard for one pipeline run.
+
+    Holds the named values stages read and write, the optional artifact
+    store, and the per-stage :class:`StageResult` log.
+    """
+
+    def __init__(
+        self,
+        values: dict[str, Any] | None = None,
+        store: ArtifactStore | None = None,
+    ) -> None:
+        self._values: dict[str, Any] = dict(values or {})
+        self.store = store
+        self.results: list[StageResult] = []
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self._values[key]
+        except KeyError:
+            raise KeyError(f"stage context has no value {key!r}") from None
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._values[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._values.get(key, default)
+
+    def update(self, values: dict[str, Any]) -> None:
+        self._values.update(values)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._values)
+
+
+@dataclass
+class StageResult:
+    """What one stage execution did: cache hit or computed, and how long."""
+
+    stage: str
+    cache_hit: bool
+    seconds: float
+    key: ArtifactKey | None = None
+
+
+class Stage(abc.ABC):
+    """One named, versioned unit of pipeline work.
+
+    Subclasses set ``name`` (also the artifact kind for whole-stage
+    caching), bump ``version`` whenever the computation changes in a
+    way that must invalidate cached artifacts, and declare ``inputs`` /
+    ``outputs`` so :class:`StageGraph` can validate the wiring.
+    """
+
+    name: ClassVar[str]
+    version: ClassVar[str] = "1"
+    inputs: ClassVar[tuple[str, ...]] = ()
+    outputs: ClassVar[tuple[str, ...]] = ()
+
+    def fingerprint(self, context: StageContext) -> str | None:
+        """Digest of this stage's inputs, or ``None`` when not cacheable."""
+        return None
+
+    @abc.abstractmethod
+    def compute(self, context: StageContext) -> dict[str, Any]:
+        """Produce the declared outputs from the context."""
+
+    # ------------------------------------------------------------------
+    def run(self, context: StageContext) -> StageResult:
+        """Execute the stage through the cache and record the outcome."""
+        missing = [key for key in self.inputs if key not in context]
+        if missing:
+            raise KeyError(f"stage {self.name!r} is missing inputs: {missing}")
+        start = time.perf_counter()
+        key: ArtifactKey | None = None
+        produced: dict[str, Any] | None = None
+        cache_hit = False
+        if context.store is not None:
+            digest = self.fingerprint(context)
+            if digest is not None:
+                key = ArtifactKey(self.name, digest)
+                cached = context.store.get(key)
+                if isinstance(cached, dict) and set(cached) == set(self.outputs):
+                    produced = cached
+                    cache_hit = True
+        if produced is None:
+            produced = self.compute(context)
+            unexpected = set(produced) - set(self.outputs)
+            absent = set(self.outputs) - set(produced)
+            if unexpected or absent:
+                raise RuntimeError(
+                    f"stage {self.name!r} produced {sorted(produced)} but "
+                    f"declares outputs {sorted(self.outputs)}"
+                )
+            if key is not None:
+                context.store.save(key, produced)
+        context.update(produced)
+        result = StageResult(
+            stage=self.name,
+            cache_hit=cache_hit,
+            seconds=time.perf_counter() - start,
+            key=key,
+        )
+        context.results.append(result)
+        return result
+
+
+class StageGraph:
+    """An ordered, validated pipeline of stages.
+
+    Construction checks that stage names are unique, that no two stages
+    produce the same context key, and that every stage's inputs are
+    satisfied by the seed keys or an earlier stage's outputs — the
+    stage list is a topological order of the implied dependency DAG.
+    """
+
+    def __init__(self, stages: Sequence[Stage], seeds: Sequence[str] = ()) -> None:
+        self.stages = list(stages)
+        self.seeds = tuple(seeds)
+        available = set(self.seeds)
+        producers: dict[str, str] = {}
+        names: set[str] = set()
+        for stage in self.stages:
+            if stage.name in names:
+                raise ValueError(f"duplicate stage name {stage.name!r}")
+            names.add(stage.name)
+            unsatisfied = [key for key in stage.inputs if key not in available]
+            if unsatisfied:
+                raise ValueError(
+                    f"stage {stage.name!r} consumes {unsatisfied} which no "
+                    "earlier stage produces and the context does not seed"
+                )
+            for key in stage.outputs:
+                if key in producers:
+                    raise ValueError(
+                        f"context key {key!r} produced by both "
+                        f"{producers[key]!r} and {stage.name!r}"
+                    )
+                producers[key] = stage.name
+                available.add(key)
+
+    def run(self, context: StageContext) -> StageContext:
+        """Run every stage in order against ``context``."""
+        missing = [key for key in self.seeds if key not in context]
+        if missing:
+            raise KeyError(f"context is missing seed values: {missing}")
+        for stage in self.stages:
+            stage.run(context)
+        return context

@@ -1,0 +1,64 @@
+"""Language generation as a pipeline stage (Section II-A2)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...lang.corpus import MultiLanguageCorpus
+from ..artifacts import combine_fingerprints, fingerprint_log, fingerprint_obj
+from .base import Stage, StageContext
+
+__all__ = ["CorpusStage"]
+
+
+class CorpusStage(Stage):
+    """Stream the fitted encoders into languages and dev sentences.
+
+    Consumes the :class:`~repro.pipeline.stages.encrypt.EncryptStage`
+    outputs plus the raw logs and the windowing config; produces the
+    training ``corpus`` (one :class:`~repro.lang.SensorLanguage` per
+    surviving sensor, generated lazily sensor-by-sensor rather than in
+    one eager pass) and the per-sensor development ``dev_sentences``.
+    Structural problems — fewer than two usable sensors, or a
+    development log missing sensors — abort the build here, before any
+    pair is scheduled.
+    """
+
+    name = "corpus"
+    version = "1"
+    inputs = ("training_log", "development_log", "language_config", "encoders", "discarded_sensors")
+    outputs = ("corpus", "dev_sentences")
+
+    def fingerprint(self, context: StageContext) -> str:
+        return combine_fingerprints(
+            self.version,
+            fingerprint_log(context["training_log"]),
+            fingerprint_log(context["development_log"]),
+            fingerprint_obj(context["language_config"]),
+        )
+
+    def compute(self, context: StageContext) -> dict[str, Any]:
+        training_log = context["training_log"]
+        development_log = context["development_log"]
+        corpus = MultiLanguageCorpus.from_encoders(
+            context["encoders"],
+            training_log,
+            context["language_config"],
+            context["discarded_sensors"],
+        )
+        sensors = corpus.sensors
+        if len(sensors) < 2:
+            raise ValueError(
+                "need at least two non-constant sensors to build pairwise "
+                f"relationships; got {len(sensors)} after filtering "
+                f"(discarded: {corpus.discarded_sensors})"
+            )
+        dev_sentences = {
+            name: corpus[name].sentences_for(development_log[name])
+            for name in sensors
+            if name in development_log
+        }
+        missing = [name for name in sensors if name not in dev_sentences]
+        if missing:
+            raise KeyError(f"development log is missing sensors: {missing}")
+        return {"corpus": corpus, "dev_sentences": dev_sentences}

@@ -1,0 +1,74 @@
+"""Algorithm 2 as a pipeline stage with memoized detectors and corpora."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...detection.anomaly import AnomalyDetector, DetectionResult
+from ...graph.ranges import ScoreRange
+from ..artifacts import fingerprint_log
+from .base import Stage, StageContext
+
+__all__ = ["DetectStage"]
+
+
+class DetectStage(Stage):
+    """Score test logs against a fitted graph (Algorithm 2).
+
+    The stage is bound to one fitted graph and detection config and is
+    kept alive across ``detect`` calls so that
+
+    - the :class:`~repro.detection.AnomalyDetector` for each score
+      range is built once and memoized, and
+    - the encrypted test corpus (per-sensor sentence lists) is shared
+      across ranges: re-detecting the same test log under a different
+      score range re-encrypts nothing, and a log change is recognised
+      by content fingerprint rather than object identity.
+    """
+
+    name = "detect"
+    version = "1"
+    inputs = ("test_log", "score_range")
+    outputs = ("detection_result",)
+
+    def __init__(self, graph, config) -> None:
+        self.graph = graph
+        self.config = config
+        self._detectors: dict[ScoreRange, AnomalyDetector] = {}
+        self._log_digest: str | None = None
+        self._sentences: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    def detector_for(self, score_range: ScoreRange | None = None) -> AnomalyDetector:
+        """The (memoized) detector for a score range (default: config's)."""
+        key = self.config.detection_range if score_range is None else score_range
+        detector = self._detectors.get(key)
+        if detector is None:
+            detector = AnomalyDetector(
+                self.graph,
+                key,
+                margin=self.config.margin,
+                threshold=self.config.threshold_strategy,
+                quantile=self.config.threshold_quantile,
+            )
+            self._detectors[key] = detector
+        return detector
+
+    def compute(self, context: StageContext) -> dict[str, Any]:
+        test_log = context["test_log"]
+        detector = self.detector_for(context["score_range"])
+        digest = fingerprint_log(test_log)
+        if digest != self._log_digest:
+            self._log_digest = digest
+            self._sentences = {}
+        result = detector.detect(test_log, sentence_cache=self._sentences)
+        return {"detection_result": result}
+
+    # ------------------------------------------------------------------
+    def detect(
+        self, test_log, score_range: ScoreRange | None = None
+    ) -> DetectionResult:
+        """Convenience wrapper: run this stage on a fresh context."""
+        context = StageContext({"test_log": test_log, "score_range": score_range})
+        self.run(context)
+        return context["detection_result"]

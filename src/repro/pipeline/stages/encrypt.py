@@ -1,0 +1,40 @@
+"""Sensor encryption as a pipeline stage (Section II-A1)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...lang.corpus import filter_constant_sensors
+from ...lang.encryption import SensorEncoder
+from ..artifacts import combine_fingerprints, fingerprint_log
+from .base import Stage, StageContext
+
+__all__ = ["EncryptStage"]
+
+
+class EncryptStage(Stage):
+    """Filter constant sensors and fit one state→character codebook each.
+
+    Consumes the raw training log; produces the fitted ``encoders``
+    (sensor → :class:`~repro.lang.encryption.SensorEncoder`, in log
+    order) and the ``discarded_sensors`` list.  The fingerprint covers
+    only the training data, so unchanged logs restore the codebooks
+    from the artifact store.
+    """
+
+    name = "encrypt"
+    version = "1"
+    inputs = ("training_log",)
+    outputs = ("encoders", "discarded_sensors")
+
+    def fingerprint(self, context: StageContext) -> str:
+        return combine_fingerprints(
+            self.version, fingerprint_log(context["training_log"])
+        )
+
+    def compute(self, context: StageContext) -> dict[str, Any]:
+        filtered, discarded = filter_constant_sensors(context["training_log"])
+        encoders = {
+            sequence.sensor: SensorEncoder.fit(sequence) for sequence in filtered
+        }
+        return {"encoders": encoders, "discarded_sensors": discarded}

@@ -1,0 +1,33 @@
+"""Relationship-graph assembly as the terminal fit stage."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .base import Stage, StageContext
+
+__all__ = ["GraphAssembleStage"]
+
+
+class GraphAssembleStage(Stage):
+    """Fold the trained relationships into the relationship graph ``G``.
+
+    Assembly is cheap and the relationship objects are already in
+    memory, so this stage is deliberately uncached; it exists to keep
+    graph construction an explicit, swappable step (later PRs shard or
+    merge graphs here) and to attach the build report.
+    """
+
+    name = "graph-assemble"
+    version = "1"
+    inputs = ("corpus", "relationships", "build_report")
+    outputs = ("graph",)
+
+    def compute(self, context: StageContext) -> dict[str, Any]:
+        from ...graph.mvrg import MultivariateRelationshipGraph
+
+        graph = MultivariateRelationshipGraph(
+            context["corpus"], context["relationships"]
+        )
+        graph.build_report = context["build_report"]
+        return {"graph": graph}

@@ -1,0 +1,34 @@
+"""Neutral structural types shared across the pipeline and graph layers.
+
+This module imports nothing from :mod:`repro.graph` or the rest of
+:mod:`repro.pipeline`, so both sides can import it at module level
+without re-creating the ``pipeline <-> graph`` import cycle that used
+to be papered over with ``TYPE_CHECKING`` guards.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Protocol, runtime_checkable
+
+__all__ = ["PairStore"]
+
+
+@runtime_checkable
+class PairStore(Protocol):
+    """Structural interface of a pair-level checkpoint journal.
+
+    :class:`~repro.pipeline.persistence.PairCheckpointStore` is the
+    canonical implementation; the graph layer and the executor depend
+    only on this protocol.  ``load`` maps ``(source, target)`` pairs to
+    restored :class:`~repro.graph.PairwiseRelationship` objects (typed
+    as ``Any`` here to stay neutral); ``append`` records one completed
+    relationship as it finishes.
+    """
+
+    def exists(self) -> bool: ...
+
+    def clear(self) -> None: ...
+
+    def load(self) -> Mapping[tuple[str, str], Any]: ...
+
+    def append(self, relationship: Any) -> None: ...

@@ -228,6 +228,52 @@ class Seq2SeqTranslator(TranslationModel):
         return self
 
     # ------------------------------------------------------------------
+    # Stable serialization hooks (used by the pipeline artifact store)
+    # ------------------------------------------------------------------
+    _MODULE_NAMES = (
+        "encoder_embedding",
+        "encoder",
+        "decoder_embedding",
+        "decoder",
+        "attention",
+        "projection",
+    )
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat parameter state keyed ``<submodule>.<dotted name>``.
+
+        Keys are stable across processes and library versions (they
+        derive from the fixed submodule layout, not object ids), so the
+        state can be fingerprinted, stored and reloaded independently
+        of pickle.
+        """
+        self._check_fitted()
+        state: dict[str, np.ndarray] = {}
+        for name, module in zip(self._MODULE_NAMES, self._modules()):
+            for key, values in module.state_dict().items():
+                state[f"{name}.{key}"] = values
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters saved by :meth:`state_dict` into a fitted model."""
+        self._check_fitted()
+        for name, module in zip(self._MODULE_NAMES, self._modules()):
+            prefix = f"{name}."
+            module.load_state_dict(
+                {
+                    key[len(prefix):]: values
+                    for key, values in state.items()
+                    if key.startswith(prefix)
+                }
+            )
+
+    def weights_digest(self) -> str:
+        """Deterministic fingerprint of the fitted weights."""
+        from ..nn.serialization import state_digest
+
+        return state_digest(self.state_dict())
+
+    # ------------------------------------------------------------------
     def translate(
         self, source_sentences: Sequence[Sentence], max_length: int | None = None
     ) -> list[Sentence]:

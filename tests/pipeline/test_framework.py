@@ -5,9 +5,33 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.graph import ScoreRange
+from repro.graph import (
+    MultivariateRelationshipGraph,
+    PairwiseRelationship,
+    ScoreRange,
+)
 from repro.lang import LanguageConfig
+from repro.lang.corpus import MultiLanguageCorpus
 from repro.pipeline import AnalyticsFramework, FrameworkConfig
+
+
+def framework_with_scores(scores: dict[tuple[str, str], float]) -> AnalyticsFramework:
+    """A framework around a hand-built graph with the given edge scores."""
+    relationships = {
+        (source, target): PairwiseRelationship(
+            source=source,
+            target=target,
+            model=None,
+            score=score,
+            dev_sentence_scores=np.asarray([score, score]),
+        )
+        for (source, target), score in scores.items()
+    }
+    framework = AnalyticsFramework()
+    framework.graph = MultivariateRelationshipGraph(
+        MultiLanguageCorpus({}, []), relationships
+    )
+    return framework
 
 
 class TestFit:
@@ -59,6 +83,27 @@ class TestKnowledgeDiscovery:
         with pytest.raises(ValueError):
             fitted_plant_framework.clusters(method="kmeans")
 
+    def test_walktrap_on_empty_local_subgraph(self):
+        # Every edge scores 0.0, so the default detection range [80, 90)
+        # yields an empty global (hence local) subgraph.
+        framework = framework_with_scores(
+            {("a", "b"): 0.0, ("b", "a"): 0.0, ("b", "c"): 0.0}
+        )
+        assert framework.local_subgraph().number_of_nodes() == 0
+        assert framework.clusters(method="walktrap") == []
+        assert framework.clusters(method="components") == []
+
+    def test_subgraph_statistics_all_zero_scores(self):
+        framework = framework_with_scores(
+            {("a", "b"): 0.0, ("b", "a"): 0.0, ("b", "c"): 0.0}
+        )
+        stats = framework.subgraph_statistics()
+        # All three edges land in the [0, 60) row; the rest are empty.
+        assert stats[0].relationship_fraction == 1.0
+        assert all(row.relationship_fraction == 0.0 for row in stats[1:])
+        assert all(row.num_sensors == 0 for row in stats[1:])
+        assert all(row.num_popular == 0 for row in stats)
+
     def test_clusters_reflect_plant_components(
         self, fitted_plant_framework, plant_dataset
     ):
@@ -104,6 +149,96 @@ class TestDetectionIntegration:
         diagnosis = fitted_plant_framework.diagnose(plant_detection, 0)
         local_edges = set(fitted_plant_framework.local_subgraph().edges)
         assert set(diagnosis.broken_edges) | set(diagnosis.normal_edges) == local_edges
+
+
+class TestDetectionMemoization:
+    @pytest.fixture(scope="class")
+    def small_framework(self, plant_dataset):
+        train, dev, _ = plant_dataset.split(10, 3)
+        sensors = train.sensors[:4]
+        config = FrameworkConfig(
+            language=LanguageConfig(word_size=6, sentence_length=8, sentence_stride=8),
+            popular_threshold=10,
+        )
+        return AnalyticsFramework(config).fit(
+            train.select(sensors), dev.select(sensors)
+        )
+
+    def test_detector_memoized_per_score_range(self, small_framework, plant_dataset):
+        assert small_framework.detector is small_framework.detector
+        _, _, test = plant_dataset.split(10, 3)
+        test = test.select(small_framework.graph.sensors)
+        full = ScoreRange(0, 100, inclusive_high=True)
+        small_framework.detect(test, full)
+        stage = small_framework._stage()
+        detector = stage.detector_for(full)
+        small_framework.detect(test, full)
+        assert stage.detector_for(full) is detector
+
+    def test_test_corpus_shared_across_ranges(
+        self, small_framework, plant_dataset, monkeypatch
+    ):
+        from repro.lang.corpus import SensorLanguage
+
+        _, _, test = plant_dataset.split(10, 3)
+        # A slice no other test uses, so this test starts cache-cold.
+        test = test.select(small_framework.graph.sensors)
+        test = test.slice(0, test.num_samples - 6)
+        encrypted: list[str] = []
+        original = SensorLanguage.sentences_for
+
+        def counting(self, sequence):
+            encrypted.append(self.sensor)
+            return original(self, sequence)
+
+        monkeypatch.setattr(SensorLanguage, "sentences_for", counting)
+        full = ScoreRange(0, 100, inclusive_high=True)
+        small_framework.detect(test, full)
+        assert encrypted  # the first detection encrypts the test log
+        seen = len(encrypted)
+        # Same log under a different score range: nothing re-encrypts.
+        low = min(s for s in small_framework.graph.scores().values() if s > 0)
+        narrower = ScoreRange(min(low, 99.0), 100.0, inclusive_high=True)
+        small_framework.detect(test, narrower)
+        assert len(encrypted) == seen
+
+    def test_changed_test_log_resets_sentence_cache(
+        self, small_framework, plant_dataset, monkeypatch
+    ):
+        from repro.lang.corpus import SensorLanguage
+
+        _, _, test = plant_dataset.split(10, 3)
+        test = test.select(small_framework.graph.sensors)
+        full = ScoreRange(0, 100, inclusive_high=True)
+        small_framework.detect(test, full)
+        encrypted: list[str] = []
+        original = SensorLanguage.sentences_for
+
+        def counting(self, sequence):
+            encrypted.append(self.sensor)
+            return original(self, sequence)
+
+        monkeypatch.setattr(SensorLanguage, "sentences_for", counting)
+        shorter = test.slice(0, test.num_samples // 2)
+        small_framework.detect(shorter, full)
+        assert encrypted  # a different log is re-encrypted
+
+    def test_pre_stage_pickles_still_detect(
+        self, small_framework, plant_dataset, tmp_path
+    ):
+        """Frameworks saved before the stage refactor lack _detect_stage."""
+        from repro.pipeline import load_framework, save_framework
+
+        path = save_framework(small_framework, tmp_path / "model.pkl")
+        loaded = load_framework(path)
+        loaded.__dict__.pop("_detect_stage", None)
+        _, _, test = plant_dataset.split(10, 3)
+        test = test.select(small_framework.graph.sensors)
+        full = ScoreRange(0, 100, inclusive_high=True)
+        np.testing.assert_array_equal(
+            loaded.detect(test, full).anomaly_scores,
+            small_framework.detect(test, full).anomaly_scores,
+        )
 
 
 class TestConfigPresets:

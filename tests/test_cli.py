@@ -152,6 +152,80 @@ class TestTrainDetectInspect:
         ) == 0
         assert main(["detect", str(plant_dir / "test.csv"), "--model", str(model)]) == 0
 
+    def test_build_alias_with_cache_trains_once(self, csv_logs, tmp_path, capsys):
+        """Two `repro build` runs over one --cache-dir: the second trains 0 pairs."""
+        train, dev, _, _ = csv_logs
+        cache = tmp_path / "cache"
+        base = [
+            str(train), str(dev),
+            "--word-size", "4", "--sentence-length", "5",
+            "--range", "60:100", "--popular-threshold", "10",
+            "--cache-dir", str(cache),
+        ]
+        first_report = tmp_path / "first.json"
+        assert main(
+            ["train", *base, "--model", str(tmp_path / "m1.pkl"),
+             "--report-json", str(first_report)]
+        ) == 0
+        second_report = tmp_path / "second.json"
+        assert main(
+            ["build", *base, "--model", str(tmp_path / "m2.pkl"),
+             "--report-json", str(second_report)]
+        ) == 0
+        first = json.loads(first_report.read_text())
+        second = json.loads(second_report.read_text())
+        assert first["cached"] == 0 and first["trained"] > 0
+        assert second["trained"] == 0
+        assert second["cached"] == first["trained"]
+
+    def test_no_cache_disables_cache_dir(self, csv_logs, tmp_path):
+        train, dev, _, _ = csv_logs
+        cache = tmp_path / "cache"
+        report = tmp_path / "report.json"
+        assert main(
+            [
+                "train", str(train), str(dev),
+                "--model", str(tmp_path / "m.pkl"),
+                "--word-size", "4", "--sentence-length", "5",
+                "--range", "60:100", "--popular-threshold", "10",
+                "--cache-dir", str(cache), "--no-cache",
+                "--report-json", str(report),
+            ]
+        ) == 0
+        assert not cache.exists()
+        assert json.loads(report.read_text())["cached"] == 0
+
+    def test_cache_subcommand_stats_gc_purge(self, csv_logs, tmp_path, capsys):
+        train, dev, _, _ = csv_logs
+        cache = tmp_path / "cache"
+        assert main(
+            [
+                "train", str(train), str(dev),
+                "--model", str(tmp_path / "m.pkl"),
+                "--word-size", "4", "--sentence-length", "5",
+                "--range", "60:100", "--popular-threshold", "10",
+                "--cache-dir", str(cache),
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["cache", str(cache), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["artifacts"] > 0
+        assert {row["kind"] for row in payload["by_kind"]} >= {"pair"}
+
+        assert main(["cache", str(cache), "--gc-days", "30"]) == 0
+        assert "removed 0 artifact(s)" in capsys.readouterr().out
+
+        assert main(["cache", str(cache), "--purge", "--json"]) == 0
+        purged = json.loads(capsys.readouterr().out)
+        assert purged["removed"] == payload["artifacts"]
+        assert purged["artifacts"] == 0
+
+    def test_cache_negative_gc_days_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", str(tmp_path / "cache"), "--gc-days", "-1"])
+
     def test_inspect_with_exports(self, csv_logs, trained_model, capsys):
         _, _, _, root = csv_logs
         json_path = root / "graph.json"
