@@ -62,6 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--sentence-length", type=int, default=20)
     train.add_argument("--sentence-stride", type=int, default=None)
     train.add_argument("--engine", choices=("ngram", "seq2seq"), default="ngram")
+    train.add_argument(
+        "--representation",
+        choices=("codes", "strings"),
+        default="codes",
+        help="sentence representation: packed integer word keys (codes, "
+        "default) or legacy encrypted character strings; scores are "
+        "bit-identical either way",
+    )
     train.add_argument("--popular-threshold", type=int, default=100)
     train.add_argument(
         "--range",
@@ -187,6 +195,7 @@ def _command_train(args: argparse.Namespace) -> int:
             sentence_stride=args.sentence_stride,
         ),
         engine=args.engine,
+        representation=args.representation,
         detection_range=_parse_range(args.range),
         popular_threshold=args.popular_threshold,
         n_jobs=_parse_n_jobs(args.n_jobs),

@@ -1,0 +1,23 @@
+"""Columnar event core: interned integer codes behind every layer.
+
+The paper's input ``{X^k_t}`` is categorical, yet the seed reproduction
+re-handled Python strings at every layer — encryption re-mapped states
+per call, windowing sliced character strings, BLEU hashed string
+n-grams.  This package is the integer-coded data model those layers now
+sit on top of:
+
+- :class:`StateTable` interns one sensor's categorical states *once*
+  (alphanumerically sorted, the paper's order) and maps them to dense
+  ``uint16`` codes;
+- :class:`EventFrame` stacks the per-sensor code rows of an aligned
+  multivariate log into a single ``(num_sensors, num_samples)`` code
+  matrix that windowing and fingerprinting read with zero-copy views.
+
+:mod:`repro.lang` keeps its string-facing constructors and iteration
+APIs as thin shims that decode lazily from this representation.
+"""
+
+from .frame import EventFrame
+from .state_table import UNKNOWN_STATE, StateTable, pack_ngrams
+
+__all__ = ["EventFrame", "StateTable", "UNKNOWN_STATE", "pack_ngrams"]

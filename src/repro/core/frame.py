@@ -1,0 +1,144 @@
+"""The columnar code matrix behind an aligned multivariate event log.
+
+An :class:`EventFrame` stores one aligned log as a single
+``(num_sensors, num_samples)`` ``uint16`` matrix plus one
+:class:`~repro.core.state_table.StateTable` per sensor.  It is built
+once at dataset ingest; every later consumer — windowing, encryption,
+fingerprinting, slicing — reads zero-copy views of the matrix instead
+of re-materialising Python strings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+import numpy as np
+
+from .state_table import CODE_DTYPE, StateTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..lang.events import EventSequence
+
+__all__ = ["EventFrame"]
+
+
+class EventFrame:
+    """Code matrix + per-sensor state tables for one aligned log.
+
+    Parameters
+    ----------
+    sensors:
+        Sensor names, one per matrix row, in order.
+    codes:
+        ``(len(sensors), num_samples)`` ``uint16`` matrix of interned
+        state codes.
+    tables:
+        One fitted :class:`StateTable` per sensor.
+    """
+
+    __slots__ = ("sensors", "codes", "tables")
+
+    def __init__(
+        self,
+        sensors: Iterable[str],
+        codes: np.ndarray,
+        tables: dict[str, StateTable],
+    ) -> None:
+        self.sensors = tuple(sensors)
+        codes = np.asarray(codes, dtype=CODE_DTYPE)
+        if codes.ndim != 2 or codes.shape[0] != len(self.sensors):
+            raise ValueError(
+                f"code matrix shape {codes.shape} does not match "
+                f"{len(self.sensors)} sensors"
+            )
+        missing = [name for name in self.sensors if name not in tables]
+        if missing:
+            raise ValueError(f"missing state tables for sensors: {missing}")
+        self.codes = codes
+        self.tables = {name: tables[name] for name in self.sensors}
+
+    @classmethod
+    def from_sequences(cls, sequences: "Iterable[EventSequence]") -> "EventFrame":
+        """Stack per-sensor code rows into one matrix (the only copy).
+
+        All sequences must have equal length; an empty iterable yields
+        the empty ``(0, 0)`` frame.
+        """
+        sequences = list(sequences)
+        if not sequences:
+            return cls((), np.zeros((0, 0), dtype=CODE_DTYPE), {})
+        matrix = np.vstack([np.asarray(seq.codes, dtype=CODE_DTYPE) for seq in sequences])
+        return cls(
+            (seq.sensor for seq in sequences),
+            matrix,
+            {seq.sensor: seq.table for seq in sequences},
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_sensors(self) -> int:
+        return len(self.sensors)
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.codes.shape[1]) if self.codes.ndim == 2 else 0
+
+    def __contains__(self, sensor: str) -> bool:
+        return sensor in self.tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.sensors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventFrame({self.num_sensors} sensors x {self.num_samples} samples)"
+
+    def row(self, sensor: str) -> np.ndarray:
+        """Zero-copy view of one sensor's code row."""
+        return self.codes[self.sensors.index(sensor)]
+
+    def table(self, sensor: str) -> StateTable:
+        return self.tables[sensor]
+
+    # ------------------------------------------------------------------
+    def slice(self, start: int, stop: int) -> "EventFrame":
+        """Frame restricted to samples ``[start, stop)`` — a pure view."""
+        return EventFrame(self.sensors, self.codes[:, start:stop], self.tables)
+
+    def select(self, sensors: Iterable[str]) -> "EventFrame":
+        """Frame restricted to the named sensors (rows are copied once)."""
+        names = list(sensors)
+        missing = [name for name in names if name not in self.tables]
+        if missing:
+            raise KeyError(f"unknown sensors: {missing}")
+        rows = [self.sensors.index(name) for name in names]
+        return EventFrame(names, self.codes[rows], self.tables)
+
+    # ------------------------------------------------------------------
+    def row_digest(self, sensor: str) -> str:
+        """SHA-256 fingerprint of one sensor's codes and state table.
+
+        Hashes the interned representation directly — the code bytes in
+        fixed little-endian ``uint16`` plus the table's states — rather
+        than re-rendering the row to strings, so fingerprinting stays a
+        single pass over packed memory.
+        """
+        table = self.tables[sensor]
+        hasher = hashlib.sha256()
+        hasher.update(sensor.encode("utf-8"))
+        hasher.update(b"\x00")
+        for state in table.states:
+            hasher.update(state.encode("utf-8"))
+            hasher.update(b"\x1f")
+        hasher.update(b"\x00")
+        row = np.ascontiguousarray(self.row(sensor), dtype="<u2")
+        hasher.update(row.tobytes())
+        return hasher.hexdigest()
+
+    def digest(self) -> str:
+        """Fingerprint of the whole frame (sensor order is significant)."""
+        hasher = hashlib.sha256()
+        for sensor in self.sensors:
+            hasher.update(self.row_digest(sensor).encode("ascii"))
+            hasher.update(b"\x1e")
+        return hasher.hexdigest()

@@ -1,0 +1,171 @@
+"""Per-sensor state interning: categorical states ↔ dense integer codes.
+
+A :class:`StateTable` is fitted once per sensor at dataset ingest.  Its
+states are kept in alphanumeric order — the same sort Section II-A1 of
+the paper uses to assign encryption characters — so a state's code *is*
+its alphabet position: ``SensorEncoder`` renders code ``c`` as
+``ALPHABET[c]`` and every downstream integer representation stays
+bijective with the legacy string one.
+
+Code ``len(states)`` is reserved for states never seen at fit time (the
+paper's unknown character); tables therefore support at most 65534
+distinct states in a ``uint16`` code space, far beyond the paper's
+maximum observed cardinality of 7.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["StateTable", "UNKNOWN_STATE", "pack_ngrams"]
+
+#: Placeholder returned when decoding the reserved unknown code.
+UNKNOWN_STATE = "<unknown>"
+
+#: Code dtype; 65535 values bound the per-sensor cardinality.
+CODE_DTYPE = np.uint16
+
+_MAX_STATES = np.iinfo(CODE_DTYPE).max  # one code is reserved for unknown
+
+
+class StateTable:
+    """An interned, alphanumerically sorted state ↔ code mapping.
+
+    Parameters
+    ----------
+    sensor:
+        Sensor identifier the table belongs to.
+    states:
+        Distinct states in alphanumeric order.  :meth:`from_events`
+        sorts for you; the direct constructor validates the order so a
+        table can never silently disagree with the paper's character
+        assignment.
+    """
+
+    __slots__ = ("sensor", "states", "_index")
+
+    def __init__(self, sensor: str, states: Sequence[str]) -> None:
+        states = tuple(str(state) for state in states)
+        if len(states) > _MAX_STATES:
+            raise ValueError(
+                f"sensor {sensor!r} has {len(states)} distinct states, "
+                f"exceeding the {_MAX_STATES}-state code space"
+            )
+        if any(states[i] >= states[i + 1] for i in range(len(states) - 1)):
+            raise ValueError(
+                f"states for sensor {sensor!r} must be unique and "
+                "alphanumerically sorted"
+            )
+        self.sensor = str(sensor)
+        self.states = states
+        self._index = {state: code for code, state in enumerate(states)}
+
+    @classmethod
+    def from_events(cls, sensor: str, events: Iterable[str]) -> "StateTable":
+        """Intern the distinct states of an event stream."""
+        return cls(sensor, sorted({str(event) for event in events}))
+
+    # ------------------------------------------------------------------
+    @property
+    def cardinality(self) -> int:
+        """Number of interned states."""
+        return len(self.states)
+
+    @property
+    def unknown_code(self) -> int:
+        """The reserved code for states absent from the table."""
+        return len(self.states)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.states)
+
+    def __contains__(self, state: str) -> bool:
+        return state in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StateTable):
+            return NotImplemented
+        return self.sensor == other.sensor and self.states == other.states
+
+    def __hash__(self) -> int:
+        return hash((self.sensor, self.states))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StateTable({self.sensor!r}, {len(self.states)} states)"
+
+    # ------------------------------------------------------------------
+    def code_of(self, state: str) -> int:
+        """The code of ``state``; unseen states get :attr:`unknown_code`."""
+        return self._index.get(str(state), len(self.states))
+
+    def state_of(self, code: int) -> str:
+        """The state interned at ``code`` (:data:`UNKNOWN_STATE` for the
+        reserved unknown code)."""
+        if code == len(self.states):
+            return UNKNOWN_STATE
+        return self.states[code]
+
+    def encode(self, events: Iterable[str]) -> np.ndarray:
+        """Intern an event stream into a ``uint16`` code array."""
+        index = self._index
+        unknown = len(self.states)
+        return np.fromiter(
+            (index.get(str(event), unknown) for event in events),
+            dtype=CODE_DTYPE,
+        )
+
+    def decode(self, codes: Iterable[int]) -> list[str]:
+        """Decode codes back to states (unknown → :data:`UNKNOWN_STATE`)."""
+        lookup = self.states + (UNKNOWN_STATE,)
+        return [lookup[code] for code in np.asarray(codes, dtype=np.int64).tolist()]
+
+    def recode_lookup(self, other: "StateTable") -> np.ndarray:
+        """Translation vector from ``other``'s code space into this one.
+
+        ``lookup[other_code]`` is this table's code for the same state;
+        states this table never interned (including ``other``'s unknown
+        code) map to this table's unknown code.  Applying the vector to
+        a code array re-encodes it in one vectorised gather.
+        """
+        unknown = self.unknown_code
+        # The trailing slot translates ``other``'s own unknown code.
+        return np.asarray(
+            [self._index.get(state, unknown) for state in other.states] + [unknown],
+            dtype=CODE_DTYPE,
+        )
+
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> tuple[str, tuple[str, ...]]:
+        return (self.sensor, self.states)
+
+    def __setstate__(self, state: tuple[str, tuple[str, ...]]) -> None:
+        sensor, states = state
+        self.sensor = sensor
+        self.states = states
+        self._index = {value: code for code, value in enumerate(states)}
+
+
+def pack_ngrams(windows: np.ndarray, base: int) -> np.ndarray | None:
+    """Pack fixed-length integer windows into scalar ``int64`` keys.
+
+    ``windows`` is a ``(count, width)`` array whose entries lie in
+    ``[0, base)``; each row becomes the base-``base`` number with the
+    row's first entry most significant — the same bijection as reading
+    the row as a fixed-width string.  Returns ``None`` when ``base **
+    width`` would overflow a signed 64-bit key, signalling the caller
+    to fall back to tuple keys.
+    """
+    if base < 1:
+        raise ValueError("base must be positive")
+    width = windows.shape[1] if windows.ndim == 2 else 0
+    if width == 0:
+        return np.zeros(len(windows), dtype=np.int64)
+    if base ** width >= 2 ** 63:
+        return None
+    weights = base ** np.arange(width - 1, -1, -1, dtype=np.int64)
+    return windows.astype(np.int64, copy=False) @ weights

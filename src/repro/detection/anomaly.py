@@ -138,9 +138,11 @@ class AnomalyDetector:
     ) -> DetectionResult:
         """Run Algorithm 2 over a testing log.
 
-        Sentences are generated with the *training* languages (fitted
-        encoders handle unseen states via the unknown character), so
-        window ``t`` is time-aligned across sensors.  ``sentence_cache``
+        Sentences are generated with the *training* languages in their
+        native representation — packed integer words on the columnar
+        path, character strings on the legacy path — and fitted
+        encoders handle unseen states via the unknown code/character,
+        so window ``t`` is time-aligned across sensors.  ``sentence_cache``
         (sensor → sentence list) lets callers share the encrypted test
         corpus across detectors for the same log: missing sensors are
         encrypted into the cache, present ones are reused verbatim.

@@ -22,7 +22,6 @@ import numpy as np
 
 from ..graph.mvrg import MultivariateRelationshipGraph
 from ..graph.ranges import DETECTION_RANGE, ScoreRange
-from ..lang.events import EventSequence
 from ..translation.bleu import sentence_bleu
 
 __all__ = ["OnlineAnomalyDetector", "WindowScore"]
@@ -73,7 +72,11 @@ class OnlineAnomalyDetector:
             for pair in self._pairs
         }
         self._sensors = sorted({s for pair in self._pairs for s in pair})
-        self._buffers: dict[str, list[str]] = {name: [] for name in self._sensors}
+        # Samples are interned to encoder codes at push time, so each
+        # buffered sample costs one small int and window scoring never
+        # re-encodes strings.  Unseen states land on the unknown code.
+        self._encoders = {name: graph.corpus[name].encoder for name in self._sensors}
+        self._buffers: dict[str, list[int]] = {name: [] for name in self._sensors}
         self._samples_seen = 0
         self._windows_emitted = 0
         self._trimmed = 0  # samples dropped from the front of the buffers
@@ -103,7 +106,9 @@ class OnlineAnomalyDetector:
         if missing:
             raise KeyError(f"sample is missing monitored sensors: {missing}")
         for name in self._sensors:
-            self._buffers[name].append(str(sample[name]))
+            self._buffers[name].append(
+                self._encoders[name].table.code_of(str(sample[name]))
+            )
         self._samples_seen += 1
 
         emitted: list[WindowScore] = []
@@ -114,11 +119,11 @@ class OnlineAnomalyDetector:
     def _score_window(self) -> WindowScore:
         start = self._next_window_start()
         stop = start + self.window_span
-        sentences: dict[str, tuple[str, ...]] = {}
+        sentences: dict[str, tuple] = {}
         for name in self._sensors:
-            events = self._buffers[name][start - self._trimmed : stop - self._trimmed]
+            codes = self._buffers[name][start - self._trimmed : stop - self._trimmed]
             language = self.graph.corpus[name]
-            window_sentences = language.sentences_for(EventSequence(name, events))
+            window_sentences = language.sentences_from_codes(codes)
             assert window_sentences, "window span guarantees one sentence"
             sentences[name] = window_sentences[0]
 

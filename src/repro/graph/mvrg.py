@@ -100,6 +100,7 @@ class MultivariateRelationshipGraph:
         checkpoint: PairStore | str | None = None,
         retries: int = 1,
         store: "ArtifactStore | str | None" = None,
+        representation: str = "codes",
     ) -> "MultivariateRelationshipGraph":
         """Run Algorithm 1 as a stage graph.
 
@@ -143,6 +144,12 @@ class MultivariateRelationshipGraph:
             whose input fingerprint is already stored are restored
             instead of retrained (``build_report.cached``); a rebuild
             with unchanged logs and config trains zero pairs.
+        representation:
+            Sentence representation of the fitted languages: ``"codes"``
+            (default, packed integer word keys over the interned
+            columnar event core) or ``"strings"`` (legacy encrypted
+            character strings).  Scores are bit-identical either way;
+            codes are faster and smaller.
         """
         from ..pipeline.artifacts import ArtifactStore
         from ..pipeline.persistence import PairCheckpointStore
@@ -170,6 +177,7 @@ class MultivariateRelationshipGraph:
             "training_log": training_log,
             "development_log": development_log,
             "language_config": config,
+            "representation": representation,
             "factory_spec": spec,
             "pairs": pairs,
             "executor_options": {

@@ -7,7 +7,9 @@ sentences; aligned sentence pairs form parallel corpora for the
 translation models.
 """
 
+from ..core import EventFrame, StateTable
 from .corpus import (
+    REPRESENTATIONS,
     LanguageConfig,
     MultiLanguageCorpus,
     ParallelCorpus,
@@ -23,12 +25,21 @@ from .statistics import (
     word_entropy,
 )
 from .vocabulary import BOS, EOS, PAD, UNK, Vocabulary
-from .windows import generate_sentences, generate_words, num_windows, sliding_windows
+from .windows import (
+    ShortSequenceWarning,
+    generate_code_sentences,
+    generate_sentences,
+    generate_word_codes,
+    generate_words,
+    num_windows,
+    sliding_windows,
+)
 
 __all__ = [
     "ALPHABET",
     "BOS",
     "EOS",
+    "EventFrame",
     "EventSequence",
     "LanguageConfig",
     "LanguageStatistics",
@@ -36,13 +47,18 @@ __all__ = [
     "MultivariateEventLog",
     "PAD",
     "ParallelCorpus",
+    "REPRESENTATIONS",
     "SensorEncoder",
     "SensorLanguage",
+    "ShortSequenceWarning",
+    "StateTable",
     "UNK",
     "UNKNOWN_CHAR",
     "Vocabulary",
     "filter_constant_sensors",
+    "generate_code_sentences",
     "generate_sentences",
+    "generate_word_codes",
     "generate_words",
     "language_statistics",
     "num_windows",

@@ -6,26 +6,51 @@ fitted encoder and vocabulary; a :class:`MultiLanguageCorpus` holds one
 language per (non-constant) sensor; a :class:`ParallelCorpus` aligns two
 languages' sentences by time index so an NMT model can be trained on
 (source sentence, target sentence) pairs.
+
+Languages carry a *representation*:
+
+- ``"codes"`` (default) — the columnar path: sentences are tuples of
+  packed integer word keys computed from the interned ``uint16`` code
+  arrays with zero-copy sliding windows.  Word keys are bijective with
+  the legacy word strings, so vocabularies, translation models and
+  BLEU scores are bit-identical to the string path — just faster.
+- ``"strings"`` — the legacy path: sentences are tuples of encrypted
+  character strings.  Kept as the compatibility/benchmark reference.
+
+The two representations must not be mixed within one fitted graph; a
+:class:`ParallelCorpus` refuses to align languages that disagree.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
+
+import numpy as np
 
 from .encryption import SensorEncoder
 from .events import EventSequence, MultivariateEventLog
 from .vocabulary import Vocabulary
-from .windows import generate_sentences, generate_words
+from .windows import (
+    generate_code_sentences,
+    generate_sentences,
+    generate_word_codes,
+    generate_words,
+)
 
 __all__ = [
     "LanguageConfig",
+    "REPRESENTATIONS",
     "SensorLanguage",
     "MultiLanguageCorpus",
     "ParallelCorpus",
     "filter_constant_sensors",
     "iter_languages",
 ]
+
+#: Supported sentence representations.
+REPRESENTATIONS = ("codes", "strings")
 
 
 @dataclass(frozen=True)
@@ -69,6 +94,14 @@ class LanguageConfig:
         return cls(word_size=5, word_stride=1, sentence_length=7, sentence_stride=1)
 
 
+def _check_representation(representation: str) -> str:
+    if representation not in REPRESENTATIONS:
+        raise ValueError(
+            f"unknown representation {representation!r}; choose from {REPRESENTATIONS}"
+        )
+    return representation
+
+
 class SensorLanguage:
     """One sensor's language: encoder, words, sentences and vocabulary."""
 
@@ -76,22 +109,34 @@ class SensorLanguage:
         self,
         encoder: SensorEncoder,
         config: LanguageConfig,
-        sentences: list[tuple[str, ...]],
+        sentences: list[tuple],
         vocabulary: Vocabulary,
+        representation: str = "codes",
     ) -> None:
         self.encoder = encoder
         self.config = config
         self.sentences = sentences
         self.vocabulary = vocabulary
+        self.representation = _check_representation(representation)
+        self._packed_matrix_cache: "np.ndarray | None | bool" = False
 
     @classmethod
-    def fit(cls, sequence: EventSequence, config: LanguageConfig) -> "SensorLanguage":
+    def fit(
+        cls,
+        sequence: EventSequence,
+        config: LanguageConfig,
+        representation: str = "codes",
+    ) -> "SensorLanguage":
         """Fit the encoder on ``sequence`` and build its sentence corpus."""
-        return cls.from_encoder(SensorEncoder.fit(sequence), sequence, config)
+        return cls.from_encoder(SensorEncoder.fit(sequence), sequence, config, representation)
 
     @classmethod
     def from_encoder(
-        cls, encoder: SensorEncoder, sequence: EventSequence, config: LanguageConfig
+        cls,
+        encoder: SensorEncoder,
+        sequence: EventSequence,
+        config: LanguageConfig,
+        representation: str = "codes",
     ) -> "SensorLanguage":
         """Build a language from an already fitted encoder.
 
@@ -99,7 +144,7 @@ class SensorLanguage:
         language generation; the result is identical to :meth:`fit` on
         the same sequence.
         """
-        language = cls(encoder, config, [], Vocabulary())
+        language = cls(encoder, config, [], Vocabulary(), representation)
         language.sentences = language.sentences_for(sequence)
         language.vocabulary = Vocabulary.from_sentences(language.sentences)
         return language
@@ -114,28 +159,130 @@ class SensorLanguage:
         """Distinct content words (Figure 3b's "vocabulary size")."""
         return self.vocabulary.content_size
 
+    def sentences_for(self, sequence: EventSequence) -> list[tuple]:
+        """Encode a sequence and produce its sentences (native
+        representation).
+
+        Unknown states encode to the unknown code/character, so
+        test-time sequences with unseen states still produce sentences;
+        their novel words map to ``<unk>`` at vocabulary-encoding time.
+        """
+        if self.representation == "codes":
+            return self.code_sentences_for(sequence)
+        return self.string_sentences_for(sequence)
+
+    # ------------------------------------------------------------------
+    # Columnar path
+    # ------------------------------------------------------------------
+    def word_codes_for(self, sequence: EventSequence):
+        """Re-encode a sequence and window it into integer word keys."""
+        codes = self.encoder.encode_codes(sequence)
+        return generate_word_codes(
+            codes, self.config.word_size, self.config.word_stride, self.encoder.word_base
+        )
+
+    def code_sentences_for(self, sequence: EventSequence) -> list[tuple]:
+        """Sentences of packed integer word keys for a sequence."""
+        words = self.word_codes_for(sequence)
+        return generate_code_sentences(
+            words, self.config.sentence_length, self.config.effective_sentence_stride
+        )
+
+    def packed_sentence_matrix(self) -> "np.ndarray | None":
+        """Fitted corpus as an ``(num_sentences, length)`` int64 matrix.
+
+        Only available on the codes representation when every sentence
+        is a uniform-length tuple of packed integer word keys (the
+        normal fixed-window case); returns ``None`` otherwise.  Built
+        lazily and cached — consumers that flatten the corpus
+        repeatedly (one n-gram fit per directed pair) reuse it instead
+        of re-converting the sentence tuples each time.  The cache
+        assumes :attr:`sentences` is not mutated after first access.
+        """
+        cached = getattr(self, "_packed_matrix_cache", False)
+        if cached is False:
+            cached = self._build_packed_matrix()
+            self._packed_matrix_cache = cached
+        return cached
+
+    def _build_packed_matrix(self) -> "np.ndarray | None":
+        if self.representation != "codes" or not self.sentences:
+            return None
+        length = len(self.sentences[0])
+        if length == 0:
+            return None
+        first = self.sentences[0][0]
+        if not isinstance(first, (int, np.integer)):
+            return None  # tuple-key fallback words (packed space overflow)
+        if any(len(sentence) != length for sentence in self.sentences):
+            return None
+        try:
+            flat = np.fromiter(
+                itertools.chain.from_iterable(self.sentences),
+                np.int64,
+                len(self.sentences) * length,
+            )
+        except (TypeError, ValueError):
+            return None
+        return flat.reshape(len(self.sentences), length)
+
+    def sentences_from_codes(self, codes) -> list[tuple]:
+        """Sentences for an already encoder-coded ``uint16`` window.
+
+        The online detector's sliding buffer accumulates encoder codes
+        directly; this windows them into native-representation
+        sentences without round-tripping through strings or
+        re-encoding events.
+        """
+        codes = np.asarray(codes, dtype=np.uint16)
+        if self.representation == "codes":
+            words = generate_word_codes(
+                codes, self.config.word_size, self.config.word_stride, self.encoder.word_base
+            )
+            return generate_code_sentences(
+                words, self.config.sentence_length, self.config.effective_sentence_stride
+            )
+        encoded = "".join(self.encoder.char_of_code(code) for code in codes.tolist())
+        words = generate_words(encoded, self.config.word_size, self.config.word_stride)
+        return generate_sentences(
+            words, self.config.sentence_length, self.config.effective_sentence_stride
+        )
+
+    # ------------------------------------------------------------------
+    # Legacy string path (compatibility shim)
+    # ------------------------------------------------------------------
     def words_for(self, sequence: EventSequence) -> list[str]:
         """Encode a (possibly new) sequence and slice it into words."""
-        encoded = self.encoder.encode(sequence.events)
+        encoded = self.encoder.encode(sequence)
         return generate_words(encoded, self.config.word_size, self.config.word_stride)
 
-    def sentences_for(self, sequence: EventSequence) -> list[tuple[str, ...]]:
-        """Encode a sequence and produce its sentences.
-
-        Unknown states encode to the unknown character, so test-time
-        sequences with unseen states still produce sentences; their
-        novel words map to ``<unk>`` at vocabulary-encoding time.
-        """
+    def string_sentences_for(self, sequence: EventSequence) -> list[tuple[str, ...]]:
+        """Encode a sequence and produce its character-string sentences."""
         words = self.words_for(sequence)
         return generate_sentences(
             words, self.config.sentence_length, self.config.effective_sentence_stride
         )
+
+    def decode_word(self, word) -> str:
+        """Render one native word key as its encrypted character string."""
+        if isinstance(word, str):
+            return word
+        return self.encoder.decode_word(word, self.config.word_size)
+
+    def decode_sentence(self, sentence) -> tuple[str, ...]:
+        """Render one native sentence as character-string words."""
+        return tuple(self.decode_word(word) for word in sentence)
+
+    def decoded_sentences(self) -> list[tuple[str, ...]]:
+        """The fitted corpus rendered as string sentences (lazy shim)."""
+        return [self.decode_sentence(sentence) for sentence in self.sentences]
 
 
 def iter_languages(
     encoders: dict[str, SensorEncoder],
     log: MultivariateEventLog,
     config: LanguageConfig,
+    representation: str = "codes",
 ) -> Iterator[tuple[str, SensorLanguage]]:
     """Lazily yield ``(sensor, language)`` for each fitted encoder.
 
@@ -145,7 +292,7 @@ def iter_languages(
     word list in memory.
     """
     for name, encoder in encoders.items():
-        yield name, SensorLanguage.from_encoder(encoder, log[name], config)
+        yield name, SensorLanguage.from_encoder(encoder, log[name], config, representation)
 
 
 def filter_constant_sensors(
@@ -169,13 +316,18 @@ class MultiLanguageCorpus:
         self.discarded_sensors = discarded
 
     @classmethod
-    def fit(cls, log: MultivariateEventLog, config: LanguageConfig) -> "MultiLanguageCorpus":
+    def fit(
+        cls,
+        log: MultivariateEventLog,
+        config: LanguageConfig,
+        representation: str = "codes",
+    ) -> "MultiLanguageCorpus":
         """Filter constant sensors and fit one language per survivor."""
         filtered, discarded = filter_constant_sensors(log)
         encoders = {
             sequence.sensor: SensorEncoder.fit(sequence) for sequence in filtered
         }
-        return cls.from_encoders(encoders, log, config, discarded)
+        return cls.from_encoders(encoders, log, config, discarded, representation)
 
     @classmethod
     def from_encoders(
@@ -184,6 +336,7 @@ class MultiLanguageCorpus:
         log: MultivariateEventLog,
         config: LanguageConfig,
         discarded: list[str] | None = None,
+        representation: str = "codes",
     ) -> "MultiLanguageCorpus":
         """Generate languages from pre-fitted encoders, one sensor at a time.
 
@@ -192,13 +345,20 @@ class MultiLanguageCorpus:
         streams through the log instead of materialising every
         sensor's words before building the first vocabulary.
         """
-        languages = dict(iter_languages(encoders, log, config))
+        languages = dict(iter_languages(encoders, log, config, representation))
         return cls(languages, list(discarded or []))
 
     # ------------------------------------------------------------------
     @property
     def sensors(self) -> list[str]:
         return list(self.languages)
+
+    @property
+    def representation(self) -> str:
+        """The shared sentence representation of the member languages."""
+        for language in self.languages.values():
+            return language.representation
+        return "codes"
 
     def __len__(self) -> int:
         return len(self.languages)
@@ -230,7 +390,12 @@ class ParallelCorpus:
 
     source_sensor: str
     target_sensor: str
-    pairs: list[tuple[tuple[str, ...], tuple[str, ...]]]
+    pairs: list[tuple[tuple, tuple]]
+    #: Set by :meth:`from_languages`; lets integer-corpus consumers
+    #: reuse each language's cached packed-word matrix instead of
+    #: re-flattening the shared sentence tuples for every pair.
+    source_language: "SensorLanguage | None" = None
+    target_language: "SensorLanguage | None" = None
 
     @classmethod
     def from_languages(
@@ -238,17 +403,22 @@ class ParallelCorpus:
     ) -> "ParallelCorpus":
         if source.config != target.config:
             raise ValueError("parallel corpus requires identical language configs")
+        if source.representation != target.representation:
+            raise ValueError(
+                "parallel corpus requires identical sentence representations; got "
+                f"{source.representation!r} vs {target.representation!r}"
+            )
         count = min(len(source.sentences), len(target.sentences))
         pairs = list(zip(source.sentences[:count], target.sentences[:count]))
-        return cls(source.sensor, target.sensor, pairs)
+        return cls(source.sensor, target.sensor, pairs, source, target)
 
     @classmethod
     def from_sentences(
         cls,
         source_sensor: str,
         target_sensor: str,
-        source_sentences: Sequence[tuple[str, ...]],
-        target_sentences: Sequence[tuple[str, ...]],
+        source_sentences: Sequence[tuple],
+        target_sentences: Sequence[tuple],
     ) -> "ParallelCorpus":
         """Align pre-generated sentence lists (used at test time)."""
         count = min(len(source_sentences), len(target_sentences))
@@ -258,13 +428,13 @@ class ParallelCorpus:
     def __len__(self) -> int:
         return len(self.pairs)
 
-    def __iter__(self) -> Iterator[tuple[tuple[str, ...], tuple[str, ...]]]:
+    def __iter__(self) -> Iterator[tuple[tuple, tuple]]:
         return iter(self.pairs)
 
     @property
-    def source_sentences(self) -> list[tuple[str, ...]]:
+    def source_sentences(self) -> list[tuple]:
         return [src for src, _ in self.pairs]
 
     @property
-    def target_sentences(self) -> list[tuple[str, ...]]:
+    def target_sentences(self) -> list[tuple]:
         return [tgt for _, tgt in self.pairs]

@@ -3,14 +3,26 @@
 Section II-A1 of the paper: each sequence's unique event records are
 sorted in alphanumeric order and assigned letters; a special character
 is reserved for unknown states that may appear during online testing.
+
+On the columnar path the encoder is a view over the training
+:class:`~repro.core.StateTable`: because both sort states
+alphanumerically, a state's interned code *is* its alphabet position
+(``char == ALPHABET[code]``), so encoding a code array is a single
+vectorised gather (:meth:`SensorEncoder.encode_codes`) and the packed
+integer words downstream stay bijective with the legacy character
+strings.  The string-facing :meth:`encode`/:meth:`decode` remain as
+compatibility shims.
 """
 
 from __future__ import annotations
 
 import string
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Iterable
 
+import numpy as np
+
+from ..core import StateTable
 from .events import EventSequence
 
 __all__ = ["SensorEncoder", "UNKNOWN_CHAR", "ALPHABET"]
@@ -31,11 +43,14 @@ class SensorEncoder:
 
     Use :meth:`fit` to build an encoder from training events; encoding
     then maps each event to its character, with unseen states mapping
-    to :data:`UNKNOWN_CHAR`.
+    to :data:`UNKNOWN_CHAR`.  The underlying :class:`StateTable` also
+    gives every state an integer code (its alphabet position); code
+    ``cardinality`` is the unknown code, and :attr:`word_base` is the
+    positional base packed integer words use.
     """
 
     sensor: str
-    state_to_char: dict[str, str]
+    table: StateTable
 
     @classmethod
     def fit(cls, sequence: EventSequence) -> "SensorEncoder":
@@ -50,25 +65,98 @@ class SensorEncoder:
                 f"sensor {sequence.sensor!r} has cardinality {len(states)} "
                 f"which exceeds the {len(ALPHABET)}-symbol alphabet"
             )
-        mapping = {state: ALPHABET[index] for index, state in enumerate(states)}
-        return cls(sensor=sequence.sensor, state_to_char=mapping)
+        return cls(sensor=sequence.sensor, table=StateTable(sequence.sensor, states))
+
+    @classmethod
+    def from_table(cls, table: StateTable) -> "SensorEncoder":
+        """Wrap an already interned state table as an encoder."""
+        if len(table.states) > len(ALPHABET):
+            raise ValueError(
+                f"sensor {table.sensor!r} has cardinality {len(table.states)} "
+                f"which exceeds the {len(ALPHABET)}-symbol alphabet"
+            )
+        return cls(sensor=table.sensor, table=table)
 
     # ------------------------------------------------------------------
     @property
+    def state_to_char(self) -> dict[str, str]:
+        """The state→character codebook (kept for compatibility)."""
+        return {state: ALPHABET[code] for code, state in enumerate(self.table.states)}
+
+    @property
     def char_to_state(self) -> dict[str, str]:
         """Inverse codebook (unknown char is not invertible)."""
-        return {char: state for state, char in self.state_to_char.items()}
+        return {ALPHABET[code]: state for code, state in enumerate(self.table.states)}
 
     @property
     def cardinality(self) -> int:
-        return len(self.state_to_char)
+        return len(self.table.states)
 
+    @property
+    def unknown_code(self) -> int:
+        """Integer code of the unknown state (= :attr:`cardinality`)."""
+        return self.table.unknown_code
+
+    @property
+    def word_base(self) -> int:
+        """Positional base of packed word keys: one digit per code,
+        including the unknown code."""
+        return self.cardinality + 1
+
+    # ------------------------------------------------------------------
+    # Columnar path
+    # ------------------------------------------------------------------
+    def encode_codes(self, sequence: EventSequence) -> np.ndarray:
+        """Re-encode a sequence's interned codes into *this* encoder's
+        code space in one vectorised gather.
+
+        When the sequence was interned by the encoder's own table (the
+        training sequence) the gather is an identity lookup; test-time
+        sequences with novel states land on the unknown code, exactly
+        mirroring :data:`UNKNOWN_CHAR` on the string path.
+        """
+        if sequence.table is self.table or sequence.table == self.table:
+            return sequence.codes
+        lookup = self.table.recode_lookup(sequence.table)
+        return lookup[sequence.codes]
+
+    def char_of_code(self, code: int) -> str:
+        """Render one encoder code as its encryption character."""
+        if code >= self.cardinality:
+            return UNKNOWN_CHAR
+        return ALPHABET[code]
+
+    def decode_word(self, word: "int | tuple[int, ...]", word_size: int) -> str:
+        """Render a packed (or tuple) word key as its character string.
+
+        The inverse of the word packing performed by
+        :func:`repro.lang.windows.generate_word_codes`; used by
+        diagnostics and reports to show operators the familiar
+        encrypted words.
+        """
+        if isinstance(word, tuple):
+            return "".join(self.char_of_code(code) for code in word)
+        base = self.word_base
+        chars = []
+        value = int(word)
+        for _ in range(word_size):
+            value, code = divmod(value, base)
+            chars.append(self.char_of_code(code))
+        return "".join(reversed(chars))
+
+    # ------------------------------------------------------------------
+    # Legacy string path (compatibility shim)
+    # ------------------------------------------------------------------
     def encode_event(self, event: str) -> str:
         """Encode one event; unseen states become :data:`UNKNOWN_CHAR`."""
-        return self.state_to_char.get(str(event), UNKNOWN_CHAR)
+        return self.char_of_code(self.table.code_of(event))
 
     def encode(self, events: Iterable[str]) -> str:
         """Encode a sequence of events into a character string."""
+        if isinstance(events, EventSequence):
+            codes = self.encode_codes(events)
+            alphabet = ALPHABET[: self.cardinality] + UNKNOWN_CHAR
+            return "".join(alphabet[code] for code in codes.tolist())
         return "".join(self.encode_event(event) for event in events)
 
     def decode(self, chars: str) -> list[str]:

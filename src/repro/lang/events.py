@@ -4,19 +4,29 @@ The paper's input is ``{X^k_t, k in [1..N], t in [1..T]}`` — evenly
 sampled categorical records from ``N`` sensors.  :class:`EventSequence`
 holds one sensor's record stream and :class:`MultivariateEventLog`
 aligns many of them on a shared clock.
+
+Since the columnar-core refactor both classes are thin views over
+:mod:`repro.core`: states are interned exactly once into a
+:class:`~repro.core.StateTable` and stored as ``uint16`` codes (the
+log stacks them into an :class:`~repro.core.EventFrame` matrix), while
+the original string-facing constructors, ``events`` tuples and
+iteration APIs remain as compatibility shims that decode lazily.
 """
 
 from __future__ import annotations
 
 import csv
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..core import EventFrame, StateTable
+from ..core.state_table import CODE_DTYPE
 
 __all__ = ["EventSequence", "MultivariateEventLog"]
 
 
-@dataclass(frozen=True)
 class EventSequence:
     """An evenly sampled categorical event sequence from one sensor.
 
@@ -26,65 +36,168 @@ class EventSequence:
         Sensor identifier (e.g. ``"s4"``).
     events:
         The recorded categorical states, one per sampling interval.
-        States are kept as strings; numeric states should be rendered
-        to strings by the caller (the paper's discretization step does
-        this for the Backblaze features).
+        Numeric states should be rendered to strings by the caller (the
+        paper's discretization step does this for the Backblaze
+        features).  States are interned once into a
+        :class:`~repro.core.StateTable`; the sequence stores ``uint16``
+        codes and decodes back to strings lazily.
     """
 
-    sensor: str
-    events: tuple[str, ...]
+    __slots__ = ("sensor", "_codes", "_table", "_events", "_unique")
 
     def __init__(self, sensor: str, events: Iterable[str]) -> None:
-        object.__setattr__(self, "sensor", str(sensor))
-        object.__setattr__(self, "events", tuple(str(event) for event in events))
+        events = tuple(str(event) for event in events)
+        table = StateTable.from_events(sensor, events)
+        self.sensor = str(sensor)
+        self._table = table
+        self._codes = table.encode(events)
+        self._events: tuple[str, ...] | None = events
+        self._unique: tuple[str, ...] | None = table.states
+
+    @classmethod
+    def from_codes(
+        cls,
+        sensor: str,
+        codes: np.ndarray,
+        table: StateTable,
+        _events: tuple[str, ...] | None = None,
+    ) -> "EventSequence":
+        """Zero-copy constructor over an existing code array + table."""
+        sequence = cls.__new__(cls)
+        sequence.sensor = str(sensor)
+        sequence._table = table
+        sequence._codes = np.asarray(codes, dtype=CODE_DTYPE)
+        sequence._events = _events
+        sequence._unique = None
+        return sequence
+
+    # ------------------------------------------------------------------
+    @property
+    def codes(self) -> np.ndarray:
+        """The interned ``uint16`` code array (do not mutate)."""
+        return self._codes
+
+    @property
+    def table(self) -> StateTable:
+        """The sensor's interned state table."""
+        return self._table
+
+    @property
+    def events(self) -> tuple[str, ...]:
+        """The states as strings — decoded lazily, then cached."""
+        if self._events is None:
+            self._events = tuple(self._table.decode(self._codes))
+        return self._events
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._codes)
 
     def __iter__(self) -> Iterator[str]:
         return iter(self.events)
 
     def __getitem__(self, index: int | slice) -> "str | EventSequence":
         if isinstance(index, slice):
-            return EventSequence(self.sensor, self.events[index])
-        return self.events[index]
+            return EventSequence.from_codes(self.sensor, self._codes[index], self._table)
+        return self._table.state_of(int(self._codes[index]))
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventSequence):
+            return NotImplemented
+        if self.sensor != other.sensor:
+            return False
+        if self._table == other._table:
+            return bool(np.array_equal(self._codes, other._codes))
+        return self.events == other.events
+
+    def __hash__(self) -> int:
+        return hash((self.sensor, self.events))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventSequence({self.sensor!r}, {len(self)} events)"
+
+    # ------------------------------------------------------------------
     @property
     def unique_states(self) -> tuple[str, ...]:
-        """Distinct states in alphanumeric order (the paper's sort)."""
-        return tuple(sorted(set(self.events)))
+        """Distinct states in alphanumeric order (the paper's sort).
+
+        Computed once and cached — for an interning constructor it *is*
+        the state table; slices recompute from their code view.
+        """
+        if self._unique is None:
+            present = np.unique(self._codes)
+            self._unique = tuple(self._table.decode(present))
+        return self._unique
 
     @property
     def cardinality(self) -> int:
         """Number of distinct states recorded by this sensor."""
-        return len(set(self.events))
+        return len(self.unique_states)
 
     def is_constant(self) -> bool:
         """True when every event is identical (filtered by the paper)."""
         return self.cardinality <= 1
 
     def slice(self, start: int, stop: int) -> "EventSequence":
-        """Return the subsequence for samples ``[start, stop)``."""
-        return EventSequence(self.sensor, self.events[start:stop])
+        """Return the subsequence for samples ``[start, stop)`` (a view)."""
+        return EventSequence.from_codes(self.sensor, self._codes[start:stop], self._table)
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return (self.sensor, np.ascontiguousarray(self._codes), self._table)
+
+    def __setstate__(self, state) -> None:
+        sensor, codes, table = state
+        self.sensor = sensor
+        self._codes = codes
+        self._table = table
+        self._events = None
+        self._unique = None
 
 
 class MultivariateEventLog:
     """A time-aligned collection of :class:`EventSequence` objects.
 
     All member sequences must have the same length (the paper assumes
-    evenly sampled, aligned sensor outputs).
+    evenly sampled, aligned sensor outputs).  At construction the
+    per-sensor code rows are stacked once into an
+    :class:`~repro.core.EventFrame`; member sequences are zero-copy
+    views of its rows, and :meth:`slice` / :meth:`select` operate on
+    the matrix without re-interning anything.
     """
 
     def __init__(self, sequences: Iterable[EventSequence]) -> None:
-        self._sequences: dict[str, EventSequence] = {}
+        ordered: list[EventSequence] = []
+        seen: set[str] = set()
         for sequence in sequences:
-            if sequence.sensor in self._sequences:
+            if sequence.sensor in seen:
                 raise ValueError(f"duplicate sensor name: {sequence.sensor!r}")
-            self._sequences[sequence.sensor] = sequence
-        lengths = {len(seq) for seq in self._sequences.values()}
+            seen.add(sequence.sensor)
+            ordered.append(sequence)
+        lengths = {len(seq) for seq in ordered}
         if len(lengths) > 1:
             raise ValueError(f"sequences are not aligned; lengths={sorted(lengths)}")
-        self._length = lengths.pop() if lengths else 0
+        self._init_from_frame(EventFrame.from_sequences(ordered), ordered)
+
+    def _init_from_frame(
+        self, frame: EventFrame, originals: Sequence[EventSequence] | None = None
+    ) -> None:
+        self._frame = frame
+        self._sequences = {
+            name: EventSequence.from_codes(
+                name,
+                frame.row(name),
+                frame.table(name),
+                _events=originals[row]._events if originals is not None else None,
+            )
+            for row, name in enumerate(frame.sensors)
+        }
+        self._length = frame.num_samples
+
+    @classmethod
+    def _from_frame(cls, frame: EventFrame) -> "MultivariateEventLog":
+        log = cls.__new__(cls)
+        log._init_from_frame(frame)
+        return log
 
     # ------------------------------------------------------------------
     @classmethod
@@ -112,14 +225,20 @@ class MultivariateEventLog:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         names = self.sensors
+        columns = [self._sequences[name].events for name in names]
         with path.open("w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(names)
             for t in range(self._length):
-                writer.writerow([self._sequences[name].events[t] for name in names])
+                writer.writerow([column[t] for column in columns])
         return path
 
     # ------------------------------------------------------------------
+    @property
+    def frame(self) -> EventFrame:
+        """The columnar code matrix this log views."""
+        return self._frame
+
     @property
     def sensors(self) -> list[str]:
         """Sensor names in insertion order."""
@@ -148,8 +267,8 @@ class MultivariateEventLog:
 
     # ------------------------------------------------------------------
     def slice(self, start: int, stop: int) -> "MultivariateEventLog":
-        """Return the log restricted to samples ``[start, stop)``."""
-        return MultivariateEventLog(seq.slice(start, stop) for seq in self)
+        """Return the log restricted to samples ``[start, stop)`` (views)."""
+        return MultivariateEventLog._from_frame(self._frame.slice(start, stop))
 
     def select(self, sensors: Iterable[str]) -> "MultivariateEventLog":
         """Return the log restricted to the named sensors."""
@@ -157,8 +276,15 @@ class MultivariateEventLog:
         missing = [name for name in names if name not in self._sequences]
         if missing:
             raise KeyError(f"unknown sensors: {missing}")
-        return MultivariateEventLog(self._sequences[name] for name in names)
+        return MultivariateEventLog._from_frame(self._frame.select(names))
 
     def cardinalities(self) -> dict[str, int]:
         """Map each sensor to its event cardinality (used for Fig 3a)."""
         return {name: seq.cardinality for name, seq in self._sequences.items()}
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {"frame": self._frame}
+
+    def __setstate__(self, state) -> None:
+        self._init_from_frame(state["frame"])

@@ -19,7 +19,7 @@ from .corpus import SensorLanguage
 __all__ = ["LanguageStatistics", "word_entropy", "type_token_ratio", "language_statistics"]
 
 
-def word_entropy(words: Sequence[str]) -> float:
+def word_entropy(words: Sequence) -> float:
     """Shannon entropy (bits) of the empirical word distribution."""
     if not words:
         return 0.0
@@ -30,7 +30,7 @@ def word_entropy(words: Sequence[str]) -> float:
     )
 
 
-def type_token_ratio(words: Sequence[str]) -> float:
+def type_token_ratio(words: Sequence) -> float:
     """Distinct words / total words — a classic lexical-diversity measure."""
     if not words:
         return 0.0
@@ -61,6 +61,9 @@ def language_statistics(language: SensorLanguage) -> LanguageStatistics:
     counts = Counter(words)
     if counts:
         top_word, top_count = counts.most_common(1)[0]
+        # Integer word keys (the columnar representation) are decoded
+        # so the statistics stay human-readable.
+        top_word = language.decode_word(top_word)
         top_fraction = top_count / len(words)
     else:
         top_word, top_fraction = "", 0.0

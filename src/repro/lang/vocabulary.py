@@ -3,6 +3,11 @@
 Each sensor's distinct word set is its vocabulary (Section II-A2).
 Special tokens for padding, sentence boundaries and unknown words are
 reserved at fixed low ids so that all models share conventions.
+
+Words are opaque hashable tokens: character strings on the legacy
+path, packed integer keys on the columnar path.  Content ids are
+assigned in first-seen order either way, so a corpus and its decoded
+string twin produce vocabularies with identical id assignments.
 """
 
 from __future__ import annotations

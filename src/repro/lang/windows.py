@@ -5,15 +5,65 @@ stride, and words into fixed-length *sentences* with a word stride.
 The paper's plant settings are word size 10 / stride 1 and sentence
 length 20 words / stride 20 (no sentence overlap); the Backblaze
 settings are word size 5 / sentence length 7 with both strides 1.
+
+Two parallel implementations live here.  The legacy string helpers
+(:func:`generate_words`, :func:`generate_sentences`) slice Python
+strings and remain the compatibility path.  The columnar helpers
+(:func:`generate_word_codes`, :func:`generate_code_sentences`) window
+interned ``uint16`` code arrays with
+:func:`numpy.lib.stride_tricks.sliding_window_view` — zero-copy views
+— and pack each word into a single integer key, bijective with the
+word string.
+
+A sequence too short to fill one window yields an *empty* result with
+a :class:`ShortSequenceWarning`; no helper raises from the stride
+computation.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence, TypeVar
 
-__all__ = ["sliding_windows", "generate_words", "generate_sentences", "num_windows"]
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..core.state_table import pack_ngrams
+
+__all__ = [
+    "ShortSequenceWarning",
+    "sliding_windows",
+    "generate_words",
+    "generate_sentences",
+    "generate_word_codes",
+    "generate_code_sentences",
+    "num_windows",
+]
 
 ItemT = TypeVar("ItemT")
+
+#: Word key type on the columnar path: a packed ``int`` for word sizes
+#: whose key space fits 63 bits, else a tuple of character codes.
+WordKey = "int | tuple[int, ...]"
+
+
+class ShortSequenceWarning(UserWarning):
+    """A sequence was too short to fill a single window.
+
+    Emitted (instead of raising, and instead of silently returning
+    nothing) when ``word_size`` or the sentence span exceeds the input
+    length, so an operator sees *why* a corpus came out empty.
+    """
+
+
+def _warn_short(kind: str, length: int, window: int) -> None:
+    warnings.warn(
+        f"sequence of {length} {kind} is shorter than the "
+        f"{window}-{kind.rstrip('s')} window; no complete window fits, "
+        "returning an empty corpus",
+        ShortSequenceWarning,
+        stacklevel=3,
+    )
 
 
 def num_windows(length: int, window: int, stride: int) -> int:
@@ -35,6 +85,9 @@ def sliding_windows(items: Sequence[ItemT], window: int, stride: int) -> list[Se
     return [items[i * stride : i * stride + window] for i in range(count)]
 
 
+# ----------------------------------------------------------------------
+# Legacy string path (compatibility shim)
+# ----------------------------------------------------------------------
 def generate_words(encoded: str, word_size: int, stride: int = 1) -> list[str]:
     """Slice an encoded character string into words.
 
@@ -49,6 +102,9 @@ def generate_words(encoded: str, word_size: int, stride: int = 1) -> list[str]:
         Characters advanced between consecutive words (the paper's
         ``j``); ``stride=1`` gives maximum overlap.
     """
+    if 0 < len(encoded) < word_size:
+        _warn_short("characters", len(encoded), word_size)
+        return []
     return [str(window) for window in sliding_windows(encoded, word_size, stride)]
 
 
@@ -69,4 +125,70 @@ def generate_sentences(
         sentences, the plant-dataset setting.
     """
     stride = sentence_length if stride is None else stride
+    if 0 < len(words) < sentence_length:
+        _warn_short("words", len(words), sentence_length)
+        return []
+    return [tuple(window) for window in sliding_windows(words, sentence_length, stride)]
+
+
+# ----------------------------------------------------------------------
+# Columnar path: zero-copy code windows, packed word keys
+# ----------------------------------------------------------------------
+def generate_word_codes(
+    codes: np.ndarray, word_size: int, stride: int, base: int
+) -> "np.ndarray | list[tuple[int, ...]]":
+    """Window a code array into integer word keys, without copying.
+
+    ``codes`` is one sensor's interned (or encoder-recoded) ``uint16``
+    array and ``base`` the encoder's code base (cardinality + 1 for the
+    unknown code).  Each length-``word_size`` window is packed into the
+    base-``base`` integer whose digits are the window's codes — the
+    exact bijection of reading the window as an encrypted string — so
+    word keys compare, hash and count like the legacy word strings but
+    at integer speed.  Falls back to tuple-of-code keys for word sizes
+    whose packed space would overflow 63 bits.
+
+    Sequences shorter than ``word_size`` produce an empty result with a
+    :class:`ShortSequenceWarning` rather than raising from the stride
+    computation.
+    """
+    if word_size <= 0 or stride <= 0:
+        raise ValueError("word_size and stride must be positive")
+    codes = np.asarray(codes)
+    if len(codes) < word_size:
+        if len(codes) > 0:
+            _warn_short("characters", len(codes), word_size)
+        return np.empty(0, dtype=np.int64)
+    windows = sliding_window_view(codes, word_size)[::stride]
+    packed = pack_ngrams(windows, base)
+    if packed is None:
+        return [tuple(row) for row in windows.tolist()]
+    return packed
+
+
+def generate_code_sentences(
+    words: "np.ndarray | Sequence[tuple[int, ...]]",
+    sentence_length: int,
+    stride: int | None = None,
+) -> "list[tuple[int, ...]] | list[tuple[tuple[int, ...], ...]]":
+    """Group integer word keys into fixed-length sentences.
+
+    The packed-word fast path windows the word array with another
+    zero-copy :func:`sliding_window_view` and materialises plain-int
+    tuples in one bulk ``tolist`` pass; tuple-key words fall back to
+    the generic slicing helper.  Mirrors :func:`generate_sentences`,
+    including the empty-result warning for word streams shorter than
+    one sentence.
+    """
+    stride = sentence_length if stride is None else stride
+    if sentence_length <= 0 or stride <= 0:
+        raise ValueError("sentence_length and stride must be positive")
+    if 0 < len(words) < sentence_length:
+        _warn_short("words", len(words), sentence_length)
+        return []
+    if isinstance(words, np.ndarray):
+        if len(words) < sentence_length:
+            return []
+        rows = sliding_window_view(words, sentence_length)[::stride]
+        return [tuple(row) for row in rows.tolist()]
     return [tuple(window) for window in sliding_windows(words, sentence_length, stride)]

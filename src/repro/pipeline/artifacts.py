@@ -78,18 +78,33 @@ def fingerprint_obj(obj: Any) -> str:
 
 
 def fingerprint_sequence(sequence: "EventSequence") -> str:
-    """Fingerprint one sensor's event data (name and states)."""
+    """Fingerprint one sensor's event data (name, states and codes).
+
+    Hashes the interned columnar representation — the sorted state
+    table plus the raw ``uint16`` code bytes — in the exact layout of
+    :meth:`repro.core.EventFrame.row_digest`, so a sequence and the
+    frame row it views produce the same digest in one pass over packed
+    memory instead of re-rendering every event string.
+    """
+    import numpy as np
+
     hasher = hashlib.sha256()
     hasher.update(sequence.sensor.encode("utf-8"))
     hasher.update(b"\x00")
-    for event in sequence.events:
-        hasher.update(event.encode("utf-8"))
+    for state in sequence.table.states:
+        hasher.update(state.encode("utf-8"))
         hasher.update(b"\x1f")
+    hasher.update(b"\x00")
+    hasher.update(np.ascontiguousarray(sequence.codes, dtype="<u2").tobytes())
     return hasher.hexdigest()
 
 
 def fingerprint_log(log: "MultivariateEventLog") -> str:
-    """Fingerprint a whole event log (sensor order is significant)."""
+    """Fingerprint a whole event log (sensor order is significant).
+
+    Equal to ``log.frame.digest()`` — the per-row digests are folded
+    with the same separator :func:`combine_fingerprints` uses.
+    """
     return combine_fingerprints(*(fingerprint_sequence(seq) for seq in log))
 
 

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 from ..graph.ranges import DEFAULT_RANGES, DETECTION_RANGE, ScoreRange
 from ..graph.subgraphs import POPULAR_IN_DEGREE
-from ..lang.corpus import LanguageConfig
+from ..lang.corpus import REPRESENTATIONS, LanguageConfig
 from ..translation.seq2seq import NMTConfig
 from .executor import BACKENDS as EXECUTOR_BACKENDS
 
@@ -20,6 +20,10 @@ class FrameworkConfig:
     Defaults are the paper's plant settings with the fast n-gram
     engine; pass ``engine="seq2seq"`` (and optionally a small
     :class:`NMTConfig`) for the faithful neural pipeline.
+    ``representation`` picks the sentence encoding: ``"codes"``
+    (default; packed integer word keys over the columnar event core)
+    or ``"strings"`` (legacy encrypted characters) — scores are
+    bit-identical either way.
     ``n_jobs``/``executor_backend`` parallelise the Algorithm 1 pair
     loop (see :class:`~repro.pipeline.executor.PairExecutor`); results
     are bit-identical to the serial build.  ``cache_dir`` names a
@@ -29,6 +33,7 @@ class FrameworkConfig:
     """
 
     language: LanguageConfig = field(default_factory=LanguageConfig)
+    representation: str = "codes"
     engine: str = "ngram"
     nmt: NMTConfig | None = None
     detection_range: ScoreRange = DETECTION_RANGE
@@ -42,6 +47,11 @@ class FrameworkConfig:
     cache_dir: str | None = None
 
     def __post_init__(self) -> None:
+        if self.representation not in REPRESENTATIONS:
+            raise ValueError(
+                f"unknown representation {self.representation!r}; "
+                f"choose from {REPRESENTATIONS}"
+            )
         if self.margin < 0:
             raise ValueError("margin must be non-negative")
         if self.popular_threshold < 1:

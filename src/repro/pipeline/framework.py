@@ -83,6 +83,7 @@ class AnalyticsFramework:
             backend=self.config.executor_backend if backend is None else backend,
             checkpoint=checkpoint,
             store=self._resolve_store(cache_dir),
+            representation=getattr(self.config, "representation", "codes"),
         )
         self._detect_stage = DetectStage(self.graph, self.config)
         return self

@@ -89,6 +89,11 @@ class Stage(abc.ABC):
     version: ClassVar[str] = "1"
     inputs: ClassVar[tuple[str, ...]] = ()
     outputs: ClassVar[tuple[str, ...]] = ()
+    #: Inputs that fall back to a fixed value when neither seeded nor
+    #: produced upstream; they participate in fingerprints like any
+    #: other input, so changing a default's seeded value re-keys the
+    #: stage while old pipelines keep wiring unchanged.
+    defaults: ClassVar[dict[str, Any]] = {}
 
     def fingerprint(self, context: StageContext) -> str | None:
         """Digest of this stage's inputs, or ``None`` when not cacheable."""
@@ -101,9 +106,16 @@ class Stage(abc.ABC):
     # ------------------------------------------------------------------
     def run(self, context: StageContext) -> StageResult:
         """Execute the stage through the cache and record the outcome."""
-        missing = [key for key in self.inputs if key not in context]
+        missing = [
+            key
+            for key in self.inputs
+            if key not in context and key not in self.defaults
+        ]
         if missing:
             raise KeyError(f"stage {self.name!r} is missing inputs: {missing}")
+        for key, value in self.defaults.items():
+            if key not in context:
+                context[key] = value
         start = time.perf_counter()
         key: ArtifactKey | None = None
         produced: dict[str, Any] | None = None
@@ -157,7 +169,11 @@ class StageGraph:
             if stage.name in names:
                 raise ValueError(f"duplicate stage name {stage.name!r}")
             names.add(stage.name)
-            unsatisfied = [key for key in stage.inputs if key not in available]
+            unsatisfied = [
+                key
+                for key in stage.inputs
+                if key not in available and key not in stage.defaults
+            ]
             if unsatisfied:
                 raise ValueError(
                     f"stage {stage.name!r} consumes {unsatisfied} which no "

@@ -25,9 +25,20 @@ class CorpusStage(Stage):
     """
 
     name = "corpus"
-    version = "1"
-    inputs = ("training_log", "development_log", "language_config", "encoders", "discarded_sensors")
+    # 2: sentences default to packed integer word keys; the sentence
+    # representation is part of the fingerprint so "codes" and
+    # "strings" corpora never alias in the store.
+    version = "2"
+    inputs = (
+        "training_log",
+        "development_log",
+        "language_config",
+        "representation",
+        "encoders",
+        "discarded_sensors",
+    )
     outputs = ("corpus", "dev_sentences")
+    defaults = {"representation": "codes"}
 
     def fingerprint(self, context: StageContext) -> str:
         return combine_fingerprints(
@@ -35,6 +46,7 @@ class CorpusStage(Stage):
             fingerprint_log(context["training_log"]),
             fingerprint_log(context["development_log"]),
             fingerprint_obj(context["language_config"]),
+            context["representation"],
         )
 
     def compute(self, context: StageContext) -> dict[str, Any]:
@@ -45,6 +57,7 @@ class CorpusStage(Stage):
             training_log,
             context["language_config"],
             context["discarded_sensors"],
+            context["representation"],
         )
         sensors = corpus.sensors
         if len(sensors) < 2:

@@ -23,7 +23,9 @@ class EncryptStage(Stage):
     """
 
     name = "encrypt"
-    version = "1"
+    # 2: fingerprints hash the interned columnar codes (same codebooks,
+    # new digests), so caches written by version 1 are never reused.
+    version = "2"
     inputs = ("training_log",)
     outputs = ("encoders", "discarded_sensors")
 

@@ -49,11 +49,14 @@ class PairTrainStage(Stage):
     """
 
     name = "pair-train"
-    version = "1"
+    # 2: pair fingerprints hash interned code matrices and cover the
+    # sentence representation, invalidating version-1 pair artifacts.
+    version = "2"
     inputs = (
         "training_log",
         "development_log",
         "language_config",
+        "representation",
         "corpus",
         "dev_sentences",
         "factory_spec",
@@ -61,6 +64,7 @@ class PairTrainStage(Stage):
         "executor_options",
     )
     outputs = ("relationships", "build_report")
+    defaults = {"representation": "codes"}
 
     def pair_key(
         self,
@@ -133,7 +137,9 @@ class PairTrainStage(Stage):
         if store is not None and spec_digest is not None:
             training_log = context["training_log"]
             development_log = context["development_log"]
-            config_digest = fingerprint_obj(context["language_config"])
+            config_digest = fingerprint_obj(
+                [context["language_config"], context["representation"]]
+            )
             involved = sorted({name for pair in pair_list for name in pair})
             train_digests = {
                 name: fingerprint_sequence(training_log[name]) for name in involved

@@ -10,7 +10,9 @@ from .bleu import corpus_bleu
 
 __all__ = ["TranslationModel"]
 
-Sentence = tuple[str, ...]
+#: A sentence is a tuple of opaque word tokens — character strings on
+#: the legacy path, packed integer keys on the columnar path.
+Sentence = tuple
 
 
 class TranslationModel(abc.ABC):

@@ -5,13 +5,25 @@ The paper uses BLEU on a 0–100 scale as the translation score
 module implements corpus-level BLEU with modified n-gram precision and
 the brevity penalty, plus a smoothed sentence-level variant (Lin & Och
 smoothing: add-one on higher-order precisions) for short sentences.
+
+Sentences are sequences of opaque hashable tokens.  The legacy path
+counts n-grams with :class:`collections.Counter`; integer-coded corpora
+(the columnar representation, where each word is a packed ``int`` key)
+additionally get a vectorised path that flattens the corpus into one
+``int64`` token array, packs every n-gram into a scalar key and counts
+matches with ``np.unique``/``np.intersect1d``.  Both paths produce the
+same integer ``(matched, total)`` statistics, so scores are
+bit-identical regardless of the path taken.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
 from collections import Counter
 from typing import Iterable, Sequence
+
+import numpy as np
 
 __all__ = [
     "corpus_bleu",
@@ -22,7 +34,12 @@ __all__ = [
     "bleu_breakdown",
 ]
 
-Sentence = Sequence[str]
+Sentence = Sequence
+
+#: Below this many total candidate tokens the Counter path wins on
+#: constant factors (e.g. the per-window ``sentence_bleu`` of
+#: Algorithm 2); above it the vectorised integer path takes over.
+_VECTOR_MIN_TOKENS = 96
 
 
 def _ngrams(sentence: Sentence, order: int) -> Counter:
@@ -31,14 +48,9 @@ def _ngrams(sentence: Sentence, order: int) -> Counter:
     )
 
 
-def modified_precision(
+def _counter_precision(
     candidates: Sequence[Sentence], references: Sequence[Sentence], order: int
 ) -> tuple[int, int]:
-    """Clipped n-gram matches and totals across a corpus.
-
-    Returns ``(matched, total)`` for n-grams of size ``order``; the
-    modified precision is ``matched / total``.
-    """
     matched = 0
     total = 0
     for candidate, reference in zip(candidates, references):
@@ -49,6 +61,189 @@ def modified_precision(
             min(count, reference_counts[gram]) for gram, count in candidate_counts.items()
         )
     return matched, total
+
+
+# ----------------------------------------------------------------------
+# Vectorised integer-corpus path
+# ----------------------------------------------------------------------
+def _flatten_int_corpus(
+    sentences: Sequence[Sentence],
+) -> "tuple[np.ndarray, np.ndarray] | None":
+    """Flatten a corpus of int-token sentences to ``(tokens, ends)``.
+
+    Returns ``None`` when tokens are not integers, signalling the
+    caller to use the Counter path.  ``ends`` holds the cumulative end
+    offset of each sentence inside ``tokens``.
+    """
+    for sentence in sentences:
+        if len(sentence) == 0:
+            continue
+        # np.fromiter would happily coerce digit-strings, so the token
+        # type is checked explicitly before flattening.
+        if not isinstance(sentence[0], (int, np.integer)):
+            return None
+        break
+    lengths = np.fromiter((len(s) for s in sentences), dtype=np.int64, count=len(sentences))
+    total = int(lengths.sum())
+    try:
+        tokens = np.fromiter(
+            itertools.chain.from_iterable(sentences), dtype=np.int64, count=total
+        )
+    except (TypeError, ValueError):
+        return None
+    return tokens, np.cumsum(lengths)
+
+
+def _all_gram_keys(
+    ends: np.ndarray, ids: np.ndarray, base: int, max_order: int
+) -> "dict[int, np.ndarray] | None":
+    """Per-window ``sentence * base^order + gram`` keys, all orders.
+
+    ``ids`` are the corpus's compact token ids; windows crossing a
+    sentence boundary are masked out.  Order ``o`` packed values build
+    incrementally from order ``o - 1`` (one multiply-add per order), so
+    the whole family costs a single ``searchsorted`` pass.  Returns
+    ``None`` on (improbable) 64-bit overflow of any order's key space.
+    """
+    positions = np.arange(len(ids), dtype=np.int64)
+    sentence = np.searchsorted(ends, positions, side="right")
+    limits = ends[sentence] if len(ends) else positions
+    keys: dict[int, np.ndarray] = {}
+    packed = ids.astype(np.int64, copy=False)
+    for order in range(1, max_order + 1):
+        span = base ** order if base > 0 else 0
+        if span <= 0 or span >= 2 ** 62 or len(ends) * span >= 2 ** 62:
+            return None
+        if order > 1:
+            packed = packed[:-1] * base + ids[order - 1 :]
+        count = len(packed)
+        valid = positions[:count] + order <= limits[:count]
+        keys[order] = sentence[:count][valid] * span + packed[valid]
+    return keys
+
+
+def _int_corpus_stats(
+    candidates: Sequence[Sentence],
+    references: Sequence[Sentence],
+    max_order: int,
+) -> "dict[int, tuple[int, int]] | None":
+    """All-order ``(matched, total)`` stats via the vectorised path.
+
+    Produces exactly the statistics of the Counter path — clipped
+    per-sentence n-gram matches are integers either way — or ``None``
+    when the corpus is not integer-coded (or would overflow packing).
+    """
+    cand = _flatten_int_corpus(candidates)
+    if cand is None:
+        return None
+    ref = _flatten_int_corpus(references)
+    if ref is None:
+        return None
+    cand_tokens, cand_ends = cand
+    ref_tokens, ref_ends = ref
+    vocabulary = np.unique(np.concatenate((cand_tokens, ref_tokens)))
+    base = len(vocabulary)
+    cand_ids = np.searchsorted(vocabulary, cand_tokens)
+    ref_ids = np.searchsorted(vocabulary, ref_tokens)
+
+    cand_by_order = _all_gram_keys(cand_ends, cand_ids, base, max_order)
+    ref_by_order = _all_gram_keys(ref_ends, ref_ids, base, max_order)
+    if cand_by_order is None or ref_by_order is None:
+        # Key-space overflow (enormous vocabulary): count with Counters
+        # instead — identical statistics, just slower.
+        return {
+            order: _counter_precision(candidates, references, order)
+            for order in range(1, max_order + 1)
+        }
+    per_order = [
+        (order, cand_by_order[order], ref_by_order[order])
+        for order in range(1, max_order + 1)
+    ]
+
+    # Offset every order's key space into a disjoint range so one
+    # unique/count pass per side covers all orders at once — the keys
+    # are small arrays, so per-call numpy overhead dominates and
+    # fusing the orders roughly quarters it.
+    offsets: list[int] = []
+    offset = 0
+    sentences = max(len(cand_ends), len(ref_ends))
+    for order, _, _ in per_order:
+        offsets.append(offset)
+        offset += sentences * (base ** order)
+        if offset >= 2 ** 62:
+            break
+    else:
+        return _fused_order_stats(per_order, offsets)
+
+    # Fallback: the fused key space overflowed 63 bits; intersect each
+    # order separately.
+    stats: dict[int, tuple[int, int]] = {}
+    for order, cand_keys, ref_keys in per_order:
+        total = int(len(cand_keys))
+        cand_unique, cand_counts = np.unique(cand_keys, return_counts=True)
+        ref_unique, ref_counts = np.unique(ref_keys, return_counts=True)
+        _, cand_idx, ref_idx = np.intersect1d(
+            cand_unique, ref_unique, assume_unique=True, return_indices=True
+        )
+        matched = int(np.minimum(cand_counts[cand_idx], ref_counts[ref_idx]).sum())
+        stats[order] = (matched, total)
+    return stats
+
+
+def _fused_order_stats(
+    per_order: Sequence[tuple[int, np.ndarray, np.ndarray]],
+    offsets: Sequence[int],
+) -> dict[int, tuple[int, int]]:
+    """Clipped match counts for all orders in one unique pass per side."""
+    cand_all = np.concatenate(
+        [keys + off for (_, keys, _), off in zip(per_order, offsets)]
+    )
+    ref_all = np.concatenate(
+        [keys + off for (_, _, keys), off in zip(per_order, offsets)]
+    )
+    matched_per_order = np.zeros(len(per_order), dtype=np.int64)
+    if len(cand_all) and len(ref_all):
+        cand_unique, cand_counts = np.unique(cand_all, return_counts=True)
+        ref_unique, ref_counts = np.unique(ref_all, return_counts=True)
+        positions = np.searchsorted(ref_unique, cand_unique)
+        positions_safe = np.minimum(positions, len(ref_unique) - 1)
+        shared = ref_unique[positions_safe] == cand_unique
+        clipped = np.minimum(cand_counts[shared], ref_counts[positions_safe[shared]])
+        # Recover each shared key's order from its offset range.
+        bounds = np.asarray(offsets[1:], dtype=np.int64)
+        order_index = np.searchsorted(bounds, cand_unique[shared], side="right")
+        np.add.at(matched_per_order, order_index, clipped)
+    return {
+        order: (int(matched_per_order[i]), int(len(keys)))
+        for i, (order, keys, _) in enumerate(per_order)
+    }
+
+
+def _corpus_stats(
+    candidates: Sequence[Sentence],
+    references: Sequence[Sentence],
+    max_order: int,
+) -> dict[int, tuple[int, int]]:
+    """Per-order ``(matched, total)``, dispatching to the fastest path."""
+    if sum(len(c) for c in candidates) >= _VECTOR_MIN_TOKENS:
+        stats = _int_corpus_stats(candidates, references, max_order)
+        if stats is not None:
+            return stats
+    return {
+        order: _counter_precision(candidates, references, order)
+        for order in range(1, max_order + 1)
+    }
+
+
+def modified_precision(
+    candidates: Sequence[Sentence], references: Sequence[Sentence], order: int
+) -> tuple[int, int]:
+    """Clipped n-gram matches and totals across a corpus.
+
+    Returns ``(matched, total)`` for n-grams of size ``order``; the
+    modified precision is ``matched / total``.
+    """
+    return _counter_precision(candidates, references, order)
 
 
 def brevity_penalty(candidate_length: int, reference_length: int) -> float:
@@ -90,11 +285,12 @@ def corpus_bleu(
     # Only orders for which at least one candidate n-gram exists are
     # feasible; short sentences are scored over their feasible orders
     # with uniform weights (the effective-order convention).
-    stats: list[tuple[int, int, int]] = []
-    for order in range(1, max_order + 1):
-        matched, total = modified_precision(candidates, references, order)
-        if total > 0:
-            stats.append((order, matched, total))
+    all_stats = _corpus_stats(candidates, references, max_order)
+    stats: list[tuple[int, int, int]] = [
+        (order, matched, total)
+        for order, (matched, total) in sorted(all_stats.items())
+        if total > 0
+    ]
     if not stats:
         return 0.0
 
@@ -158,8 +354,7 @@ def bleu_breakdown(
 ) -> BleuBreakdown:
     """Per-order modified precisions, brevity penalty and the score."""
     precisions: dict[int, float] = {}
-    for order in range(1, max_order + 1):
-        matched, total = modified_precision(candidates, references, order)
+    for order, (matched, total) in sorted(_corpus_stats(candidates, references, max_order).items()):
         if total > 0:
             precisions[order] = matched / total
     candidate_length = sum(len(c) for c in candidates)

@@ -16,8 +16,11 @@ only property Algorithm 1/2 consume.
 
 from __future__ import annotations
 
+import itertools
 from collections import Counter, defaultdict
-from typing import Sequence
+from typing import Hashable, Sequence
+
+import numpy as np
 
 from ..lang.corpus import ParallelCorpus
 from ..lang.vocabulary import BOS
@@ -25,9 +28,159 @@ from .base import Sentence, TranslationModel
 
 __all__ = ["NGramTranslator"]
 
+Word = Hashable
+
+#: Stand-in for :data:`BOS` in the vectorised integer fit.  Packed word
+#: keys are non-negative, so -1 can never collide with a real word.
+_BOS_CODE = -1
+
+
+def _argmax(counter: Counter) -> Word:
+    """The word ``Counter.most_common(1)`` would return.
+
+    ``most_common`` resolves count ties by insertion order (first seen
+    wins); the strict ``>`` below preserves exactly that, so the cached
+    argmaxes decode identically to the per-call scan.
+    """
+    best_word: Word = None
+    best_count = -1
+    for word, count in counter.items():
+        if count > best_count:
+            best_word, best_count = word, count
+    return best_word
+
+
+def _flatten_from_languages(
+    corpus: ParallelCorpus,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray] | None":
+    """Zero-conversion flatten via the languages' packed matrices.
+
+    When the corpus was built :meth:`ParallelCorpus.from_languages`,
+    both sides expose a cached ``(num_sentences, length)`` int64 word
+    matrix; the aligned streams are then just row-truncated ``reshape``
+    views, skipping the per-pair tuple walk entirely.  The streams are
+    identical to the generic flatten: uniform sentence length means
+    every pair contributes exactly ``length`` aligned positions.
+    """
+    source_language = getattr(corpus, "source_language", None)
+    target_language = getattr(corpus, "target_language", None)
+    if source_language is None or target_language is None:
+        return None
+    source_matrix = source_language.packed_sentence_matrix()
+    target_matrix = target_language.packed_sentence_matrix()
+    if source_matrix is None or target_matrix is None:
+        return None
+    count = len(corpus)
+    if count == 0:
+        return (
+            np.empty(0, np.int64),
+            np.empty(0, np.int64),
+            np.empty(0, np.int64),
+        )
+    if source_matrix.shape[1] != target_matrix.shape[1]:
+        return None
+    if count > len(source_matrix) or count > len(target_matrix):
+        return None  # pairs not drawn from these matrices; play safe
+    length = source_matrix.shape[1]
+    source_all = source_matrix[:count].reshape(-1)
+    target_all = target_matrix[:count].reshape(-1)
+    previous_all = np.empty_like(target_all)
+    previous_all[1:] = target_all[:-1]
+    previous_all[::length] = _BOS_CODE
+    return source_all, target_all, previous_all
+
+
+def _flatten_int_pairs(
+    corpus: ParallelCorpus,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray] | None":
+    """Flatten aligned (source, target, previous-target) word streams.
+
+    Returns ``None`` for non-integer (or negative) words, signalling
+    the Counter fit.  Positions follow the exact ``zip`` order of the
+    legacy loop, so first-occurrence indices reproduce Counter
+    insertion order.
+    """
+    fast = _flatten_from_languages(corpus)
+    if fast is not None:
+        return fast
+    aligned: list[tuple] = []
+    counts: list[int] = []
+    for source, target in corpus:
+        count = min(len(source), len(target))
+        if count == 0:
+            continue
+        # np.fromiter would happily coerce digit-strings, so token
+        # types are checked before the bulk conversion below.
+        if not isinstance(source[0], (int, np.integer)) or not isinstance(
+            target[0], (int, np.integer)
+        ):
+            return None
+        aligned.append((source, target))
+        counts.append(count)
+    if not aligned:
+        return (
+            np.empty(0, np.int64),
+            np.empty(0, np.int64),
+            np.empty(0, np.int64),
+        )
+    counts_arr = np.asarray(counts, dtype=np.int64)
+    total = int(counts_arr.sum())
+    # One chained fromiter per stream: far cheaper than a per-pair
+    # array when the corpus holds thousands of short sentences.
+    chain = itertools.chain.from_iterable
+    source_all = np.fromiter(
+        chain(s[:c] for (s, _), c in zip(aligned, counts)), np.int64, total
+    )
+    target_all = np.fromiter(
+        chain(t[:c] for (_, t), c in zip(aligned, counts)), np.int64, total
+    )
+    if source_all.min() < 0 or target_all.min() < 0:
+        return None
+    previous_all = np.empty(total, np.int64)
+    previous_all[1:] = target_all[:-1]
+    # The shift leaks each pair's last target into the next pair's
+    # first slot; every pair start is then reset to the BOS sentinel.
+    starts = np.zeros(len(counts_arr), dtype=np.int64)
+    np.cumsum(counts_arr[:-1], out=starts[1:])
+    previous_all[starts] = _BOS_CODE
+    return source_all, target_all, previous_all
+
+
+def _grouped_argmax(
+    group_ids: np.ndarray, target_ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-group argmax target with Counter tie-breaking.
+
+    For every distinct group id, pick the target id with the highest
+    count; ties go to the pair whose *first occurrence* comes earliest
+    in the stream — exactly ``Counter.most_common(1)`` on a Counter
+    filled in stream order.  Returns (sorted distinct groups, best
+    target per group).
+    """
+    num_targets = int(target_ids.max()) + 1 if len(target_ids) else 1
+    combined = group_ids * num_targets + target_ids
+    pairs, first_index, counts = np.unique(
+        combined, return_index=True, return_counts=True
+    )
+    groups = pairs // num_targets
+    # Sort by (group, count desc, first occurrence asc); the first row
+    # of each group segment is its argmax.
+    order = np.lexsort((first_index, -counts, groups))
+    sorted_groups = groups[order]
+    segment_starts = np.flatnonzero(
+        np.r_[True, sorted_groups[1:] != sorted_groups[:-1]]
+    )
+    chosen = order[segment_starts]
+    return groups[chosen], pairs[chosen] % num_targets
+
 
 class NGramTranslator(TranslationModel):
     """Positionally aligned conditional-frequency translator.
+
+    Words are opaque hashable tokens — character strings on the legacy
+    path, packed integer keys on the columnar path.  The backoff
+    argmaxes are precomputed once at fit time, so translation is a
+    couple of dict lookups per word instead of a ``most_common`` scan.
 
     Parameters
     ----------
@@ -40,9 +193,13 @@ class NGramTranslator(TranslationModel):
     def __init__(self, use_target_history: bool = True) -> None:
         super().__init__()
         self.use_target_history = use_target_history
-        self._joint: dict[tuple[str, str], Counter] = defaultdict(Counter)
-        self._conditional: dict[str, Counter] = defaultdict(Counter)
+        self._joint: dict[tuple[Word, Word], Counter] = defaultdict(Counter)
+        self._conditional: dict[Word, Counter] = defaultdict(Counter)
         self._marginal: Counter = Counter()
+        self._joint_best: dict[tuple[Word, Word], Word] = {}
+        self._conditional_best: dict[Word, Word] = {}
+        self._marginal_best: Word = None
+        self._vector_tables: "tuple | None" = None
 
     def fit(self, corpus: ParallelCorpus) -> "NGramTranslator":
         if len(corpus) == 0:
@@ -52,36 +209,218 @@ class NGramTranslator(TranslationModel):
         self._joint.clear()
         self._conditional.clear()
         self._marginal.clear()
-        for source, target in corpus:
-            previous = BOS
-            for source_word, target_word in zip(source, target):
-                self._joint[(source_word, previous)][target_word] += 1
-                self._conditional[source_word][target_word] += 1
-                self._marginal[target_word] += 1
-                previous = target_word
+        self._vector_tables = None
+        flattened = _flatten_int_pairs(corpus)
+        if flattened is not None:
+            self._fit_vectorised(*flattened)
+        else:
+            for source, target in corpus:
+                previous: Word = BOS
+                for source_word, target_word in zip(source, target):
+                    self._joint[(source_word, previous)][target_word] += 1
+                    self._conditional[source_word][target_word] += 1
+                    self._marginal[target_word] += 1
+                    previous = target_word
+            self._build_argmax()
         self.fitted = True
         return self
 
-    def _predict_word(self, source_word: str, previous: str) -> str:
+    def _fit_vectorised(
+        self, sources: np.ndarray, targets: np.ndarray, previous: np.ndarray
+    ) -> None:
+        """Build the backoff argmax tables by counting integer streams.
+
+        Produces exactly the predictions of the Counter loop — counts
+        and first-occurrence tie-breaks are computed per conditioning
+        context (see :func:`_grouped_argmax`) — without materialising
+        the per-context Counters, which stay empty on this path.  Also
+        keeps the compact-id tables around so :meth:`translate` can
+        decode whole corpora with array lookups.
+        """
+        self._joint_best = {}
+        self._conditional_best = {}
+        self._marginal_best = None
+        self._vector_tables = None
+        if len(targets) == 0:
+            return
+        target_values, target_ids = np.unique(targets, return_inverse=True)
+        source_values, source_ids = np.unique(sources, return_inverse=True)
+        source_ids = source_ids.astype(np.int64, copy=False)
+
+        counts = np.bincount(target_ids)
+        best = np.flatnonzero(counts == counts.max())
+        if len(best) > 1:
+            # Tie: the target whose first occurrence comes earliest.
+            earliest = min(best, key=lambda tid: int(np.argmax(target_ids == tid)))
+            marginal_id = int(earliest)
+        else:
+            marginal_id = int(best[0])
+        self._marginal_best = int(target_values[marginal_id])
+
+        groups, best_targets = _grouped_argmax(source_ids, target_ids)
+        # Every source id occurs in the stream, so this table is total.
+        conditional_table = np.empty(len(source_values), dtype=np.int64)
+        conditional_table[groups] = best_targets
+        self._conditional_best = dict(
+            zip(
+                source_values[groups].tolist(),
+                target_values[best_targets].tolist(),
+            )
+        )
+
+        joint_keys = joint_targets = None
+        num_previous = len(target_values) + 1
         if self.use_target_history:
-            joint = self._joint.get((source_word, previous))
-            if joint:
-                return joint.most_common(1)[0][0]
-        conditional = self._conditional.get(source_word)
-        if conditional:
-            return conditional.most_common(1)[0][0]
-        if not self._marginal:
+            # Previous-word ids derive from the target ids: id 0 is
+            # BOS, id t+1 is target id t of the preceding position —
+            # no second unique pass over the shifted stream needed.
+            previous_ids = np.empty_like(target_ids)
+            previous_ids[0] = 0
+            previous_ids[1:] = target_ids[:-1] + 1
+            previous_ids[previous == _BOS_CODE] = 0
+            context_ids = source_ids * num_previous + previous_ids
+            joint_keys, joint_targets = _grouped_argmax(context_ids, target_ids)
+            previous_of = joint_keys % num_previous
+            source_of = source_values[joint_keys // num_previous]
+            best_of = target_values[joint_targets]
+            self._joint_best = {
+                (
+                    int(source_word),
+                    BOS if previous_id == 0 else int(target_values[previous_id - 1]),
+                ): int(target_word)
+                for source_word, previous_id, target_word in zip(
+                    source_of.tolist(), previous_of.tolist(), best_of.tolist()
+                )
+            }
+        self._vector_tables = (
+            source_values,
+            target_values,
+            conditional_table,
+            joint_keys,
+            joint_targets,
+            marginal_id,
+            num_previous,
+        )
+
+    def _build_argmax(self) -> None:
+        self._joint_best = {key: _argmax(c) for key, c in self._joint.items()}
+        self._conditional_best = {key: _argmax(c) for key, c in self._conditional.items()}
+        self._marginal_best = _argmax(self._marginal) if self._marginal else None
+
+    def _ensure_argmax(self) -> None:
+        # Models unpickled from before the argmax cache existed carry
+        # only the raw counters; rebuild lazily.
+        if not getattr(self, "_conditional_best", None) and self._conditional:
+            self._joint_best = {}
+            self._conditional_best = {}
+            self._build_argmax()
+
+    def _predict_word(self, source_word: Word, previous: Word) -> Word:
+        if self.use_target_history:
+            predicted = self._joint_best.get((source_word, previous))
+            if predicted is not None:
+                return predicted
+        predicted = self._conditional_best.get(source_word)
+        if predicted is not None:
+            return predicted
+        if self._marginal_best is None:
             raise RuntimeError("model has no statistics; was fit() called?")
-        return self._marginal.most_common(1)[0][0]
+        return self._marginal_best
+
+    def _translate_vectorised(
+        self, source_sentences: Sequence[Sentence]
+    ) -> "list[Sentence] | None":
+        """Decode a uniform-length integer corpus with array lookups.
+
+        Walks sentence positions in lockstep — one vector step per
+        position instead of one dict lookup per word — replaying the
+        exact joint → conditional → marginal backoff of
+        :meth:`_predict_word`.  Returns ``None`` (caller falls back to
+        the scalar loop) for ragged, empty or non-integer input.
+        """
+        tables = getattr(self, "_vector_tables", None)
+        if tables is None or not source_sentences:
+            return None
+        (
+            source_values,
+            target_values,
+            conditional_table,
+            joint_keys,
+            joint_targets,
+            marginal_id,
+            num_previous,
+        ) = tables
+        length = len(source_sentences[0])
+        if length == 0:
+            return None
+        for sentence in source_sentences:
+            # np.fromiter would coerce digit-strings, so token types
+            # are checked per sentence before the bulk conversion.
+            if len(sentence) != length or not isinstance(
+                sentence[0], (int, np.integer)
+            ):
+                return None
+        count = len(source_sentences)
+        try:
+            matrix = np.fromiter(
+                itertools.chain.from_iterable(source_sentences),
+                np.int64,
+                count * length,
+            ).reshape(count, length)
+        except (TypeError, ValueError):
+            return None
+
+        use_joint = self.use_target_history and joint_keys is not None and len(joint_keys)
+        output_ids = np.empty((count, length), dtype=np.int64)
+        previous_ids = np.zeros(count, dtype=np.int64)  # BOS
+        for position in range(length):
+            column = matrix[:, position]
+            source_pos = np.searchsorted(source_values, column)
+            source_safe = np.minimum(source_pos, len(source_values) - 1)
+            known = source_values[source_safe] == column
+            predicted = np.full(count, -1, dtype=np.int64)
+            if use_joint:
+                context = source_safe * num_previous + previous_ids
+                joint_pos = np.searchsorted(joint_keys, context)
+                joint_safe = np.minimum(joint_pos, len(joint_keys) - 1)
+                hit = known & (joint_keys[joint_safe] == context)
+                predicted[hit] = joint_targets[joint_safe[hit]]
+            miss = predicted < 0
+            conditional_hit = miss & known
+            predicted[conditional_hit] = conditional_table[source_safe[conditional_hit]]
+            predicted[predicted < 0] = marginal_id
+            output_ids[:, position] = predicted
+            previous_ids = predicted + 1
+        decoded = target_values[output_ids]
+        return [tuple(row) for row in decoded.tolist()]
 
     def translate(self, source_sentences: Sequence[Sentence]) -> list[Sentence]:
         self._check_fitted()
+        self._ensure_argmax()
+        vectorised = self._translate_vectorised(source_sentences)
+        if vectorised is not None:
+            return vectorised
+        # Bound lookups hoisted out of the per-word loop; the body
+        # mirrors _predict_word exactly.
+        joint_get = self._joint_best.get if self.use_target_history else None
+        conditional_get = self._conditional_best.get
+        marginal = self._marginal_best
         translations: list[Sentence] = []
         for sentence in source_sentences:
-            previous = BOS
-            output: list[str] = []
+            previous: Word = BOS
+            output: list[Word] = []
             for source_word in sentence:
-                predicted = self._predict_word(source_word, previous)
+                predicted = (
+                    joint_get((source_word, previous)) if joint_get is not None else None
+                )
+                if predicted is None:
+                    predicted = conditional_get(source_word)
+                    if predicted is None:
+                        if marginal is None:
+                            raise RuntimeError(
+                                "model has no statistics; was fit() called?"
+                            )
+                        predicted = marginal
                 output.append(predicted)
                 previous = predicted
             translations.append(tuple(output))

@@ -292,7 +292,9 @@ class Seq2SeqTranslator(TranslationModel):
             batch = source_ids.shape[0]
             tokens = np.full(batch, vocab.bos_id, dtype=np.int64)
             finished = np.zeros(batch, dtype=bool)
-            outputs: list[list[str]] = [[] for _ in range(batch)]
+            # Emitted words carry the corpus representation: strings on
+            # the legacy path, packed integer keys on the columnar path.
+            outputs: list[list] = [[] for _ in range(batch)]
             for _ in range(max_length):
                 logits, state = self._decode_step(tokens, state, encoder_outputs, source_mask)
                 tokens = logits.data.argmax(axis=1)

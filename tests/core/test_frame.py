@@ -1,0 +1,86 @@
+"""Unit tests for the columnar event frame."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import EventFrame
+from repro.lang import EventSequence, MultivariateEventLog
+
+
+def small_log() -> MultivariateEventLog:
+    return MultivariateEventLog.from_mapping(
+        {
+            "sA": ["on", "off", "on", "on", "off", "on"],
+            "sB": ["x", "x", "y", "x", "y", "y"],
+        }
+    )
+
+
+class TestEventFrame:
+    def test_built_once_at_ingest(self):
+        log = small_log()
+        frame = log.frame
+        assert isinstance(frame, EventFrame)
+        assert frame.sensors == ("sA", "sB")
+        assert frame.codes.shape == (2, 6)
+        assert frame.codes.dtype == np.uint16
+
+    def test_sequences_view_frame_rows(self):
+        log = small_log()
+        for name in log.sensors:
+            assert np.shares_memory(log[name].codes, log.frame.codes)
+
+    def test_row_matches_sequence_codes(self):
+        log = small_log()
+        assert np.array_equal(log.frame.row("sA"), log["sA"].codes)
+
+    def test_slice_is_a_view(self):
+        log = small_log()
+        window = log.frame.slice(1, 4)
+        assert window.num_samples == 3
+        assert np.shares_memory(window.codes, log.frame.codes)
+
+    def test_select_restricts_sensors(self):
+        frame = small_log().frame.select(["sB"])
+        assert frame.sensors == ("sB",)
+        assert frame.codes.shape == (1, 6)
+        with pytest.raises(KeyError):
+            small_log().frame.select(["nope"])
+
+    def test_mismatched_shape_rejected(self):
+        frame = small_log().frame
+        with pytest.raises(ValueError):
+            EventFrame(("sA",), frame.codes, frame.tables)
+
+    def test_row_digest_changes_with_data(self):
+        log = small_log()
+        other = MultivariateEventLog.from_mapping(
+            {
+                "sA": ["on", "off", "on", "on", "off", "off"],
+                "sB": ["x", "x", "y", "x", "y", "y"],
+            }
+        )
+        assert log.frame.row_digest("sB") == other.frame.row_digest("sB")
+        assert log.frame.row_digest("sA") != other.frame.row_digest("sA")
+        assert log.frame.digest() != other.frame.digest()
+
+    def test_log_pickle_roundtrips_through_frame(self):
+        log = small_log()
+        clone = pickle.loads(pickle.dumps(log))
+        assert clone.sensors == log.sensors
+        assert list(clone["sA"]) == list(log["sA"])
+        assert clone.frame.digest() == log.frame.digest()
+
+    def test_sequence_getitem_decodes_lazily(self):
+        log = small_log()
+        seq = log["sA"]
+        assert seq[0] == "on"
+        assert seq[1] == "off"
+        window = seq[1:4]
+        assert isinstance(window, EventSequence)
+        assert list(window) == ["off", "on", "on"]
+        assert np.shares_memory(window.codes, seq.codes)

@@ -1,0 +1,90 @@
+"""Unit tests for the interned state table and word packing."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import UNKNOWN_STATE, StateTable, pack_ngrams
+
+
+class TestStateTable:
+    def test_from_events_sorts_and_dedupes(self):
+        table = StateTable.from_events("s1", ["on", "off", "on", "idle", "off"])
+        assert table.states == ("idle", "off", "on")
+        assert table.cardinality == 3
+        assert table.unknown_code == 3
+
+    def test_codes_follow_alphanumeric_order(self):
+        table = StateTable.from_events("s1", ["b", "a", "c"])
+        assert [table.code_of(s) for s in ("a", "b", "c")] == [0, 1, 2]
+
+    def test_unknown_state_gets_unknown_code(self):
+        table = StateTable.from_events("s1", ["a", "b"])
+        assert table.code_of("zzz") == table.unknown_code
+        assert table.state_of(table.unknown_code) == UNKNOWN_STATE
+
+    def test_encode_decode_roundtrip(self):
+        events = ["on", "off", "on", "on", "idle"]
+        table = StateTable.from_events("s1", events)
+        codes = table.encode(events)
+        assert codes.dtype == np.uint16
+        assert table.decode(codes) == events
+
+    def test_unsorted_states_rejected(self):
+        with pytest.raises(ValueError):
+            StateTable("s1", ("b", "a"))
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ValueError):
+            StateTable("s1", ("a", "a"))
+
+    def test_recode_lookup_translates_between_tables(self):
+        train = StateTable.from_events("s1", ["a", "b", "c"])
+        test = StateTable.from_events("s1", ["b", "zzz"])
+        lookup = train.recode_lookup(test)
+        # test codes: b=0, zzz=1, unknown=2
+        assert lookup[0] == train.code_of("b")
+        assert lookup[1] == train.unknown_code  # novel state
+        assert lookup[2] == train.unknown_code  # the other table's unknown
+
+    def test_equality_and_hash(self):
+        one = StateTable.from_events("s1", ["a", "b"])
+        two = StateTable.from_events("s1", ["b", "a"])
+        other = StateTable.from_events("s2", ["a", "b"])
+        assert one == two
+        assert hash(one) == hash(two)
+        assert one != other
+
+    def test_pickle_roundtrip(self):
+        table = StateTable.from_events("s1", ["on", "off"])
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone == table
+        assert clone.code_of("on") == table.code_of("on")
+
+
+class TestPackNgrams:
+    def test_packing_is_positional_most_significant_first(self):
+        windows = np.array([[1, 0, 2]], dtype=np.int64)
+        packed = pack_ngrams(windows, base=3)
+        assert packed.tolist() == [1 * 9 + 0 * 3 + 2]
+
+    def test_packing_is_injective(self):
+        base = 4
+        rng = np.random.default_rng(0)
+        windows = rng.integers(0, base, size=(500, 5))
+        packed = pack_ngrams(windows, base)
+        seen = {}
+        for row, key in zip(windows.tolist(), packed.tolist()):
+            assert seen.setdefault(key, row) == row
+        assert len(set(packed.tolist())) == len({tuple(r) for r in windows.tolist()})
+
+    def test_overflow_returns_none(self):
+        windows = np.zeros((1, 64), dtype=np.int64)
+        assert pack_ngrams(windows, base=10) is None
+
+    def test_empty_windows(self):
+        windows = np.zeros((0, 4), dtype=np.int64)
+        assert pack_ngrams(windows, base=3).shape == (0,)
