@@ -34,12 +34,41 @@ from .graph.export import save_graph_json, save_graphml
 from .graph.ranges import ScoreRange
 from .lang.corpus import LanguageConfig
 from .lang.events import MultivariateEventLog
+from .obs import configure_logging
 from .pipeline.config import FrameworkConfig
 from .pipeline.framework import AnalyticsFramework
 from .pipeline.persistence import PairCheckpointStore, load_framework, save_framework
 from .report.tables import ascii_table
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """Logging/metrics flags shared by the train and detect subcommands."""
+    parser.add_argument(
+        "--log-level",
+        type=str,
+        default=None,
+        metavar="LEVEL",
+        help="enable structured logging on the 'repro' logger hierarchy at "
+        "this level (DEBUG, INFO, WARNING, ...); unset leaves logging "
+        "unconfigured",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as JSON lines (implies --log-level INFO "
+        "unless --log-level is given)",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics snapshot (stage timings, cache "
+        "hit/miss counts, pair-training and detection counters) as JSON "
+        "to this path",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,12 +143,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the build report (trained/cached/resumed/skipped pairs) "
         "as JSON to this path",
     )
+    _add_observability_arguments(train)
 
     detect = sub.add_parser("detect", help="score a testing log (Algorithm 2)")
     detect.add_argument("testing_csv", type=Path)
     detect.add_argument("--model", type=Path, required=True)
     detect.add_argument("--threshold", type=float, default=0.5, help="alarm threshold")
     detect.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    _add_observability_arguments(detect)
 
     inspect = sub.add_parser("inspect", help="summarise a trained model")
     inspect.add_argument("--model", type=Path, required=True)
@@ -184,7 +215,24 @@ def _parse_n_jobs(text: str) -> int | str:
     return n_jobs
 
 
+def _setup_observability(args: argparse.Namespace) -> None:
+    """Apply ``--log-level`` / ``--log-json``; no flags leaves logging alone."""
+    if args.log_level is not None or args.log_json:
+        try:
+            configure_logging(args.log_level or "INFO", json_mode=args.log_json)
+        except ValueError as error:
+            raise SystemExit(str(error)) from error
+
+
+def _write_metrics(framework: AnalyticsFramework, args: argparse.Namespace) -> None:
+    if args.metrics_json is not None:
+        path = framework.metrics.write_json(args.metrics_json)
+        # stderr so `detect --json` stdout stays machine-parseable.
+        print(f"metrics snapshot written to {path}", file=sys.stderr)
+
+
 def _command_train(args: argparse.Namespace) -> int:
+    _setup_observability(args)
     training = MultivariateEventLog.from_csv(args.training_csv)
     development = MultivariateEventLog.from_csv(args.development_csv)
     config = FrameworkConfig(
@@ -242,13 +290,16 @@ def _command_train(args: argparse.Namespace) -> int:
                 f"warning: {len(report.skipped)} pair(s) skipped after retries",
                 file=sys.stderr,
             )
+    _write_metrics(fitted, args)
     return 0
 
 
 def _command_detect(args: argparse.Namespace) -> int:
+    _setup_observability(args)
     framework = load_framework(args.model)
     testing = MultivariateEventLog.from_csv(args.testing_csv)
     result = framework.detect(testing)
+    _write_metrics(framework, args)
     if args.json:
         payload = {
             "anomaly_scores": [float(s) for s in result.anomaly_scores],

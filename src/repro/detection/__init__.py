@@ -7,6 +7,7 @@ from .drift import DriftReport, PairDrift, assess_drift
 from .episodes import AlarmEpisode, extract_episodes
 from .evaluation import DayLevelEvaluation, evaluate_days, threshold_sweep
 from .online import OnlineAnomalyDetector, WindowScore
+from .validity import valid_detection_pairs
 from .disk import (
     DEFAULT_JUMP,
     DiskEvaluation,
@@ -40,4 +41,5 @@ __all__ = [
     "extract_episodes",
     "sharp_increases",
     "threshold_sweep",
+    "valid_detection_pairs",
 ]

@@ -17,9 +17,17 @@ import numpy as np
 from ..graph.mvrg import MultivariateRelationshipGraph
 from ..graph.ranges import DETECTION_RANGE, ScoreRange
 from ..lang.events import MultivariateEventLog
+from ..obs import MetricsRegistry, Stopwatch, get_logger
 from ..translation.bleu import sentence_bleu
+from .validity import valid_detection_pairs
 
-__all__ = ["AnomalyDetector", "DetectionResult"]
+__all__ = ["AnomalyDetector", "DetectionResult", "SENTENCE_CACHE_KEY"]
+
+logger = get_logger(__name__)
+
+#: Reserved ``sentence_cache`` key holding the fingerprint of the test
+#: log the cached sentences were generated from.
+SENTENCE_CACHE_KEY = "__log_fingerprint__"
 
 
 @dataclass
@@ -88,6 +96,11 @@ class AnomalyDetector:
         :meth:`repro.graph.PairwiseRelationship.threshold`).
     quantile:
         The quantile used by ``"dev-quantile"``.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` the detector
+        records into (windows scored, pairs evaluated, broken-pair
+        counts, scoring latency); a private registry is created when
+        omitted.  Always available as :attr:`metrics`.
     """
 
     def __init__(
@@ -97,6 +110,7 @@ class AnomalyDetector:
         margin: float = 0.0,
         threshold: str = "dev-quantile",
         quantile: float = 0.05,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if margin < 0:
             raise ValueError("margin must be non-negative")
@@ -109,27 +123,27 @@ class AnomalyDetector:
         self.margin = margin
         self.threshold = threshold
         self.quantile = quantile
+        if metrics is not None:
+            self._metrics = metrics
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry detection metrics land in (created lazily, so
+        detectors unpickled from pre-observability saves work too)."""
+        registry = self.__dict__.get("_metrics")
+        if registry is None:
+            registry = MetricsRegistry()
+            self._metrics = registry
+        return registry
 
     def valid_pairs(self, sensors: Sequence[str] | None = None) -> list[tuple[str, str]]:
         """Directed pairs whose training score lies in the range.
 
-        A pair whose dev BLEU is exactly ``0.0`` (e.g. an empty or
-        degenerate development corpus) carries no relationship signal:
-        its threshold is 0 so it can never break, and counting it in
-        Algorithm 2's broken-pair ratio only dilutes ``a_t``.  Such
-        pairs are never valid edges, even when the score range starts
-        at 0.
+        Delegates to :func:`~repro.detection.validity.valid_detection_pairs`
+        — the shared definition both the batch and online detectors use,
+        including the dev-BLEU-0.0 exclusion.
         """
-        available = set(sensors) if sensors is not None else None
-        pairs = []
-        for (source, target), rel in self.graph.relationships.items():
-            if available is not None and (source not in available or target not in available):
-                continue
-            if rel.score == 0.0:
-                continue
-            if self.score_range.contains(rel.score):
-                pairs.append((source, target))
-        return pairs
+        return valid_detection_pairs(self.graph, self.score_range, sensors)
 
     def detect(
         self,
@@ -145,8 +159,15 @@ class AnomalyDetector:
         so window ``t`` is time-aligned across sensors.  ``sentence_cache``
         (sensor → sentence list) lets callers share the encrypted test
         corpus across detectors for the same log: missing sensors are
-        encrypted into the cache, present ones are reused verbatim.
+        encrypted into the cache, present ones are reused.  The cache is
+        stamped with the test log's content fingerprint (under
+        :data:`SENTENCE_CACHE_KEY`); passing a cache built from a
+        *different* log raises ``ValueError`` instead of silently
+        scoring stale windows.
         """
+        from ..pipeline.artifacts import fingerprint_log
+
+        watch = Stopwatch()
         pairs = self.valid_pairs(test_log.sensors)
         if not pairs:
             raise ValueError(
@@ -156,6 +177,17 @@ class AnomalyDetector:
         corpus = self.graph.corpus
         involved = sorted({sensor for pair in pairs for sensor in pair})
         sentences = {} if sentence_cache is None else sentence_cache
+        digest = fingerprint_log(test_log)
+        cached_digest = sentences.get(SENTENCE_CACHE_KEY)
+        if cached_digest is None:
+            sentences[SENTENCE_CACHE_KEY] = digest
+        elif cached_digest != digest:
+            raise ValueError(
+                "sentence_cache was built from a different test log "
+                f"(fingerprint {cached_digest[:12]}… != {digest[:12]}…); "
+                "reusing it would silently score stale windows — pass a "
+                "fresh cache dict per test log"
+            )
         for name in involved:
             if name not in sentences:
                 sentences[name] = corpus[name].sentences_for(test_log[name])
@@ -165,21 +197,48 @@ class AnomalyDetector:
                 "testing log is too short to produce a single sentence window"
             )
 
+        metrics = self.metrics
         test_scores = np.zeros((window_count, len(pairs)))
         training_scores = np.zeros(len(pairs))
         thresholds = np.zeros(len(pairs))
+        pair_seconds = metrics.histogram("detect.pair_seconds")
         for column, (source, target) in enumerate(pairs):
-            rel = self.graph[(source, target)]
-            training_scores[column] = rel.score
-            thresholds[column] = rel.threshold(self.threshold, self.quantile)
-            translations = rel.model.translate(sentences[source][:window_count])
-            for window in range(window_count):
-                test_scores[window, column] = sentence_bleu(
-                    translations[window], sentences[target][window]
-                )
+            with pair_seconds.time():
+                rel = self.graph[(source, target)]
+                training_scores[column] = rel.score
+                thresholds[column] = rel.threshold(self.threshold, self.quantile)
+                translations = rel.model.translate(sentences[source][:window_count])
+                for window in range(window_count):
+                    test_scores[window, column] = sentence_bleu(
+                        translations[window], sentences[target][window]
+                    )
 
         alerts = test_scores < (thresholds[None, :] - self.margin)
         anomaly_scores = alerts.mean(axis=1)
+
+        seconds = watch.elapsed
+        metrics.counter("detect.runs").inc()
+        metrics.counter("detect.windows_scored").inc(window_count)
+        metrics.counter("detect.pairs_evaluated").inc(len(pairs))
+        metrics.counter("detect.pair_windows_broken").inc(int(alerts.sum()))
+        metrics.gauge("detect.valid_pairs").set(len(pairs))
+        metrics.gauge("detect.broken_pair_rate").set(float(alerts.mean()))
+        metrics.histogram("detect.seconds").observe(seconds)
+        metrics.gauge("detect.seconds_per_window").set(seconds / window_count)
+        logger.debug(
+            "scored %d windows over %d valid pairs in %.3fs "
+            "(broken-pair rate %.4f)",
+            window_count,
+            len(pairs),
+            seconds,
+            float(alerts.mean()),
+            extra={
+                "windows": window_count,
+                "valid_pairs": len(pairs),
+                "seconds": seconds,
+                "broken_pair_rate": float(alerts.mean()),
+            },
+        )
         return DetectionResult(
             valid_pairs=pairs,
             anomaly_scores=anomaly_scores,

@@ -22,9 +22,13 @@ import numpy as np
 
 from ..graph.mvrg import MultivariateRelationshipGraph
 from ..graph.ranges import DETECTION_RANGE, ScoreRange
+from ..obs import MetricsRegistry, Stopwatch, get_logger
 from ..translation.bleu import sentence_bleu
+from .validity import valid_detection_pairs
 
 __all__ = ["OnlineAnomalyDetector", "WindowScore"]
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -46,6 +50,18 @@ class OnlineAnomalyDetector:
         Trained relationship graph (Algorithm 1 output).
     score_range, threshold, quantile, margin:
         As in :class:`~repro.detection.anomaly.AnomalyDetector`.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` the detector
+        records into (samples ingested, windows scored, broken pairs,
+        per-window scoring latency — the serving hot path); a private
+        registry is created when omitted.
+
+    The valid-pair set is the shared
+    :func:`~repro.detection.validity.valid_detection_pairs` definition,
+    so the streaming path counts exactly the pairs the batch
+    :class:`~repro.detection.anomaly.AnomalyDetector` counts —
+    including the dev-BLEU-0.0 exclusion (a never-breakable pair would
+    otherwise dilute ``a_t`` relative to batch).
     """
 
     def __init__(
@@ -55,16 +71,12 @@ class OnlineAnomalyDetector:
         threshold: str = "dev-quantile",
         quantile: float = 0.05,
         margin: float = 0.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.graph = graph
         self.score_range = score_range
-        config = graph.corpus[graph.sensors[0]].config
-        self._config = config
-        self._pairs = [
-            pair
-            for pair, rel in graph.relationships.items()
-            if score_range.contains(rel.score)
-        ]
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._pairs = valid_detection_pairs(graph, score_range)
         if not self._pairs:
             raise ValueError(f"no valid pair models in range {score_range}")
         self._thresholds = {
@@ -72,6 +84,20 @@ class OnlineAnomalyDetector:
             for pair in self._pairs
         }
         self._sensors = sorted({s for pair in self._pairs for s in pair})
+        # The sliding buffers assume every monitored sensor shares one
+        # windowing config; divergent per-sensor configs would let the
+        # buffers desynchronise silently, so they are rejected here.
+        configs = {name: graph.corpus[name].config for name in self._sensors}
+        reference = configs[self._sensors[0]]
+        divergent = [name for name, c in configs.items() if c != reference]
+        if divergent:
+            raise ValueError(
+                "monitored sensors carry divergent language configs; the "
+                "online sliding buffers require a single config "
+                f"(sensor {self._sensors[0]!r} has {reference!r}, but "
+                f"{divergent} disagree)"
+            )
+        self._config = reference
         # Samples are interned to encoder codes at push time, so each
         # buffered sample costs one small int and window scoring never
         # re-encodes strings.  Unseen states land on the unknown code.
@@ -80,6 +106,14 @@ class OnlineAnomalyDetector:
         self._samples_seen = 0
         self._windows_emitted = 0
         self._trimmed = 0  # samples dropped from the front of the buffers
+        self.metrics.gauge("online.valid_pairs").set(len(self._pairs))
+        for name in (
+            "online.samples_ingested",
+            "online.windows_scored",
+            "online.pairs_evaluated",
+            "online.pairs_broken",
+        ):
+            self.metrics.counter(name)
 
     # ------------------------------------------------------------------
     @property
@@ -110,6 +144,7 @@ class OnlineAnomalyDetector:
                 self._encoders[name].table.code_of(str(sample[name]))
             )
         self._samples_seen += 1
+        self.metrics.counter("online.samples_ingested").inc()
 
         emitted: list[WindowScore] = []
         while self._next_window_start() + self.window_span <= self._samples_seen:
@@ -117,6 +152,7 @@ class OnlineAnomalyDetector:
         return emitted
 
     def _score_window(self) -> WindowScore:
+        watch = Stopwatch()
         start = self._next_window_start()
         stop = start + self.window_span
         sentences: dict[str, tuple] = {}
@@ -143,6 +179,28 @@ class OnlineAnomalyDetector:
         )
         self._windows_emitted += 1
         self._trim_buffers()
+        seconds = watch.elapsed
+        self.metrics.counter("online.windows_scored").inc()
+        self.metrics.counter("online.pairs_evaluated").inc(len(self._pairs))
+        self.metrics.counter("online.pairs_broken").inc(len(broken))
+        # The serving hot path: one observation per emitted window.
+        self.metrics.histogram("online.window_seconds").observe(seconds)
+        logger.debug(
+            "window %d (start sample %d): a_t=%.4f, %d/%d pairs broken "
+            "in %.4fs",
+            window.window_index,
+            window.start_sample,
+            window.anomaly_score,
+            len(broken),
+            len(self._pairs),
+            seconds,
+            extra={
+                "window_index": window.window_index,
+                "anomaly_score": window.anomaly_score,
+                "broken_pairs": len(broken),
+                "seconds": seconds,
+            },
+        )
         return window
 
     def _trim_buffers(self) -> None:

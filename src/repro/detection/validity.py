@@ -1,0 +1,52 @@
+"""The single definition of Algorithm 2's *valid pair* set.
+
+Both detection paths — batch :class:`~repro.detection.anomaly.
+AnomalyDetector` and streaming :class:`~repro.detection.online.
+OnlineAnomalyDetector` — must agree on which trained pairs participate
+in the broken-pair ratio ``a_t``; any divergence silently skews the
+anomaly scores between serving modes (the online path historically
+counted dev-BLEU-0.0 pairs the batch path excluded, diluting ``a_t``).
+They therefore both call :func:`valid_detection_pairs`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.mvrg import MultivariateRelationshipGraph
+    from ..graph.ranges import ScoreRange
+
+__all__ = ["valid_detection_pairs"]
+
+
+def valid_detection_pairs(
+    graph: "MultivariateRelationshipGraph",
+    score_range: "ScoreRange",
+    sensors: Iterable[str] | None = None,
+) -> list[tuple[str, str]]:
+    """Directed pairs whose training score lies in ``score_range``.
+
+    A pair whose dev BLEU is exactly ``0.0`` (e.g. an empty or
+    degenerate development corpus) carries no relationship signal: its
+    threshold is 0 so it can never break, and counting it in Algorithm
+    2's broken-pair ratio only dilutes ``a_t``.  Such pairs are never
+    valid edges, even when the score range starts at 0.
+
+    ``sensors`` optionally restricts the result to pairs whose both
+    endpoints are available (the batch detector passes the test log's
+    sensors); pair order follows the graph's relationship order, so the
+    batch and online paths enumerate identically.
+    """
+    available = None if sensors is None else set(sensors)
+    pairs: list[tuple[str, str]] = []
+    for (source, target), rel in graph.relationships.items():
+        if available is not None and (
+            source not in available or target not in available
+        ):
+            continue
+        if rel.score == 0.0:
+            continue
+        if score_range.contains(rel.score):
+            pairs.append((source, target))
+    return pairs

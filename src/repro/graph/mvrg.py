@@ -41,6 +41,12 @@ class PairwiseRelationship:
         normal-operation score distribution.
     runtime_seconds:
         Wall-clock train+score time (data behind Figure 4a).
+    train_seconds, eval_seconds:
+        The fit and dev-scoring phases of ``runtime_seconds``,
+        measured in the worker that trained the pair and merged into
+        the build's metrics registry (``pair_train.train_seconds`` /
+        ``pair_train.eval_seconds``).  Zero on relationships restored
+        from pre-observability checkpoints.
     """
 
     source: str
@@ -49,6 +55,8 @@ class PairwiseRelationship:
     score: float
     dev_sentence_scores: np.ndarray | None = None
     runtime_seconds: float = 0.0
+    train_seconds: float = 0.0
+    eval_seconds: float = 0.0
 
     def threshold(self, strategy: str = "train", quantile: float = 0.1) -> float:
         """The break threshold ``T(i, j)`` under a strategy.
@@ -101,6 +109,7 @@ class MultivariateRelationshipGraph:
         retries: int = 1,
         store: "ArtifactStore | str | None" = None,
         representation: str = "codes",
+        metrics: "MetricsRegistry | None" = None,
     ) -> "MultivariateRelationshipGraph":
         """Run Algorithm 1 as a stage graph.
 
@@ -150,6 +159,11 @@ class MultivariateRelationshipGraph:
             columnar event core) or ``"strings"`` (legacy encrypted
             character strings).  Scores are bit-identical either way;
             codes are faster and smaller.
+        metrics:
+            Optional :class:`~repro.obs.MetricsRegistry` receiving
+            stage timings, cache hit/miss counts and pair-training
+            counters for this build; a run-private registry is created
+            when omitted.
         """
         from ..pipeline.artifacts import ArtifactStore
         from ..pipeline.persistence import PairCheckpointStore
@@ -192,7 +206,7 @@ class MultivariateRelationshipGraph:
             [EncryptStage(), CorpusStage(), PairTrainStage(), GraphAssembleStage()],
             seeds=tuple(seeds),
         )
-        context = pipeline.run(StageContext(seeds, store=store))
+        context = pipeline.run(StageContext(seeds, store=store, metrics=metrics))
         return context["graph"]
 
     # ------------------------------------------------------------------

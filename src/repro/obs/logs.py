@@ -1,0 +1,116 @@
+"""Structured logging for the ``repro`` logger hierarchy.
+
+Every module logs through a child of the ``repro`` root logger
+(``repro.pipeline.executor``, ``repro.detection.online``, ...), which
+carries a :class:`logging.NullHandler` by default: with logging left
+unconfigured the library emits nothing and behaves exactly as before.
+
+:func:`configure_logging` is the single opt-in entry point (the CLI's
+``--log-level``/``--log-json`` flags call it): it installs one stream
+handler on the ``repro`` root — human-readable lines, or one JSON
+object per line in ``json_mode`` — and is idempotent, replacing the
+handler it previously installed rather than stacking duplicates.
+
+JSON records carry ``ts``/``level``/``logger``/``message`` plus any
+structured fields passed via ``extra={...}`` at the call site.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import IO, Any
+
+__all__ = ["ROOT_LOGGER", "JsonFormatter", "configure_logging", "get_logger"]
+
+#: Name of the hierarchy root every library logger descends from.
+ROOT_LOGGER = "repro"
+
+#: Default human-readable line format.
+TEXT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+# Library default: silent unless the application configures logging.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+#: Attributes every LogRecord carries; anything else is a structured
+#: field supplied via ``extra`` and is surfaced in JSON output.
+_RESERVED = frozenset(
+    vars(
+        logging.LogRecord("", 0, "", 0, "", (), None)
+    )
+) | {"message", "asctime", "taskName"}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger in the ``repro`` hierarchy.
+
+    ``get_logger()`` returns the root; ``get_logger("pipeline.executor")``
+    and ``get_logger("repro.pipeline.executor")`` both return the same
+    child.  Modules typically call ``get_logger(__name__)``.
+    """
+    if not name or name == ROOT_LOGGER:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, sort_keys=True)
+
+
+def configure_logging(
+    level: int | str = "INFO",
+    json_mode: bool = False,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root logger.
+
+    Parameters
+    ----------
+    level:
+        Threshold for the whole hierarchy — a :mod:`logging` level name
+        (``"DEBUG"``, ``"info"``, ...) or numeric value.
+    json_mode:
+        When true, emit one JSON object per line (:class:`JsonFormatter`)
+        instead of human-readable text.
+    stream:
+        Destination (default ``sys.stderr``), so stdout stays reserved
+        for command output.
+
+    Calling again reconfigures: the previously installed handler is
+    replaced, never stacked, so repeated CLI invocations or tests can
+    flip level/format freely.  Returns the configured root logger.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    handler.setFormatter(
+        JsonFormatter() if json_mode else logging.Formatter(TEXT_FORMAT)
+    )
+    root.addHandler(handler)
+    root.setLevel(level)
+    return root

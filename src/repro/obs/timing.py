@@ -1,0 +1,124 @@
+"""Span-style timing: stopwatches, context managers and decorators.
+
+These replace the ad-hoc ``time.perf_counter()`` bookkeeping that used
+to be sprinkled through the trainer and pipeline: a timed block either
+uses :class:`Stopwatch` (when the caller needs the number itself, e.g.
+to build a :class:`~repro.translation.trainer.TrainingRecord`) or
+:func:`span` (when the duration should land in a
+:class:`~repro.obs.metrics.MetricsRegistry` histogram and/or a DEBUG
+log line).  :func:`timed` wraps a whole function or method the same
+way.
+"""
+
+from __future__ import annotations
+
+import functools
+import logging
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, TypeVar
+
+from .logs import get_logger
+from .metrics import MetricsRegistry
+
+__all__ = ["Stopwatch", "span", "timed"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class Stopwatch:
+    """A restartable wall-clock timer over ``time.perf_counter``.
+
+    Usable as a context manager (``with Stopwatch() as watch: ...``) or
+    imperatively (``watch = Stopwatch(); ...; watch.split()``).
+    ``elapsed`` reads without stopping; ``split()`` returns the time
+    since the last split (or start), for train/eval phase accounting.
+    """
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+        self._last_split = self._start
+
+    def restart(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        self._last_split = self._start
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since start (or the last :meth:`restart`)."""
+        return time.perf_counter() - self._start
+
+    def split(self) -> float:
+        """Seconds since the previous split (or start); advances the split."""
+        now = time.perf_counter()
+        seconds = now - self._last_split
+        self._last_split = now
+        return seconds
+
+    def __enter__(self) -> "Stopwatch":
+        return self.restart()
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+@contextmanager
+def span(
+    name: str,
+    metrics: MetricsRegistry | None = None,
+    logger: logging.Logger | None = None,
+    level: int = logging.DEBUG,
+    **fields: Any,
+) -> Iterator[Stopwatch]:
+    """Time a block; record it as a histogram observation and a log line.
+
+    ``name`` is both the histogram name (when ``metrics`` is given) and
+    the ``span`` field of the emitted record; extra keyword ``fields``
+    travel as structured logging fields.  The duration is recorded even
+    when the block raises, so failed work still shows up in timings.
+    """
+    watch = Stopwatch()
+    try:
+        yield watch
+    finally:
+        seconds = watch.elapsed
+        if metrics is not None:
+            metrics.histogram(name).observe(seconds)
+        if logger is not None and logger.isEnabledFor(level):
+            logger.log(
+                level,
+                "%s took %.6fs",
+                name,
+                seconds,
+                extra={"span": name, "seconds": seconds, **fields},
+            )
+
+
+def timed(
+    name: str,
+    metrics: "MetricsRegistry | str | None" = None,
+    logger: "logging.Logger | str | None" = None,
+    level: int = logging.DEBUG,
+) -> Callable[[F], F]:
+    """Decorator form of :func:`span`.
+
+    ``metrics`` may be a registry, or the name of an attribute holding
+    one on the first positional argument (``"metrics"`` on a method's
+    ``self``); ``logger`` may be a logger or a hierarchy name for
+    :func:`~repro.obs.logs.get_logger`.
+    """
+    resolved_logger = get_logger(logger) if isinstance(logger, str) else logger
+
+    def decorate(function: F) -> F:
+        @functools.wraps(function)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            registry = metrics
+            if isinstance(registry, str):
+                registry = getattr(args[0], registry, None) if args else None
+            with span(name, metrics=registry, logger=resolved_logger, level=level):
+                return function(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

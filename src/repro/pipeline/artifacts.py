@@ -30,8 +30,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator, TYPE_CHECKING
 
+from ..obs import get_logger
+
 if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime import
     from ..lang.events import EventSequence, MultivariateEventLog
+    from ..obs import MetricsRegistry
+
+logger = get_logger(__name__)
 
 __all__ = [
     "ArtifactKey",
@@ -167,10 +172,22 @@ class ArtifactStore:
     between kinds is detected on load.  Writes go through a temp file
     and ``os.replace`` so a crashed writer can never leave a truncated
     artifact behind.
+
+    When :attr:`metrics` is set (the pipeline points a store at its
+    run's registry automatically), :meth:`get` counts ``store.hits``,
+    ``store.misses`` and ``store.stale`` (present but corrupt/foreign —
+    also logged as a warning) and :meth:`save` counts ``store.writes``.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self, root: str | Path, metrics: "MetricsRegistry | None" = None
+    ) -> None:
         self.root = Path(root)
+        self.metrics = metrics
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ArtifactStore({str(self.root)!r})"
@@ -205,6 +222,7 @@ class ArtifactStore:
             except OSError:
                 pass
             raise
+        self._count("store.writes")
         return path
 
     def load(self, key: ArtifactKey) -> Any:
@@ -233,9 +251,18 @@ class ArtifactStore:
     def get(self, key: ArtifactKey, default: Any = None) -> Any:
         """Like :meth:`load` but treats missing/corrupt artifacts as a miss."""
         try:
-            return self.load(key)
-        except (KeyError, ValueError):
+            payload = self.load(key)
+        except KeyError:
+            self._count("store.misses")
             return default
+        except ValueError as error:
+            # Present but unreadable or written for another key: a
+            # *stale* entry, distinct from a plain miss.
+            self._count("store.stale")
+            logger.warning("stale artifact for %s: %s", key, error)
+            return default
+        self._count("store.hits")
+        return payload
 
     def delete(self, key: ArtifactKey) -> bool:
         path = self.path_for(key)

@@ -26,7 +26,10 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..obs import MetricsRegistry, Stopwatch, get_logger
 from .types import PairStore
+
+logger = get_logger(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover - heavy imports deferred to workers
     from ..graph.mvrg import PairwiseRelationship
@@ -145,13 +148,20 @@ def _resolve_factory(spec: FactorySpec) -> Callable[[], "TranslationModel"]:
 
 
 def train_pair(task: PairTask, spec: FactorySpec) -> "PairwiseRelationship":
-    """Train and score one directional pair (runs inside a worker)."""
+    """Train and score one directional pair (runs inside a worker).
+
+    The train and dev-evaluation phases are timed separately inside the
+    worker; the caller merges them into the build's metrics registry,
+    so per-pair timings survive the process-pool boundary through the
+    returned relationship.
+    """
     from ..graph.mvrg import PairwiseRelationship
     from ..translation.bleu import corpus_bleu, sentence_bleu
 
-    start = time.perf_counter()
+    watch = Stopwatch()
     model = _resolve_factory(spec)()
     model.fit(task.corpus)
+    train_seconds = watch.split()
     translations = model.translate(task.dev_source)
     score = corpus_bleu(translations, task.dev_target, smooth=True)
     sentence_scores = np.asarray(
@@ -160,13 +170,16 @@ def train_pair(task: PairTask, spec: FactorySpec) -> "PairwiseRelationship":
             for candidate, reference in zip(translations, task.dev_target)
         ]
     )
+    eval_seconds = watch.split()
     return PairwiseRelationship(
         source=task.source,
         target=task.target,
         model=model,
         score=score,
         dev_sentence_scores=sentence_scores,
-        runtime_seconds=time.perf_counter() - start,
+        runtime_seconds=watch.elapsed,
+        train_seconds=train_seconds,
+        eval_seconds=eval_seconds,
     )
 
 
@@ -192,6 +205,12 @@ class PairExecutor:
         Optional :class:`PairCheckpointStore`; previously completed
         pairs are restored instead of retrained and new completions
         are appended as they finish.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`.  Each ``run``
+        records into a private run-local registry — trained/resumed/
+        skipped counts, retry attempts, and per-pair train/eval seconds
+        measured inside the workers — and merges it into ``metrics`` on
+        completion, so concurrent runs never interleave partial counts.
     """
 
     def __init__(
@@ -201,6 +220,7 @@ class PairExecutor:
         retries: int = 1,
         progress: Callable[[str, str, float], None] | None = None,
         checkpoint: PairStore | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if n_jobs == "auto":
             n_jobs = os.cpu_count() or 1
@@ -215,6 +235,7 @@ class PairExecutor:
         self.retries = retries
         self.progress = progress
         self.checkpoint = checkpoint
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     def resolve_backend(self, spec: FactorySpec) -> str:
@@ -240,6 +261,20 @@ class PairExecutor:
         start = time.perf_counter()
         results: dict[tuple[str, str], "PairwiseRelationship"] = {}
 
+        # Run-local registry: counters exist (at zero) even on an
+        # all-cached build, and the merge into self.metrics at the end
+        # is one atomic step per run.
+        local = MetricsRegistry()
+        for name in (
+            "pair_train.trained",
+            "pair_train.resumed",
+            "pair_train.retries",
+            "pair_train.skipped",
+        ):
+            local.counter(name)
+        train_hist = local.histogram("pair_train.train_seconds")
+        eval_hist = local.histogram("pair_train.eval_seconds")
+
         pending = list(tasks)
         if self.checkpoint is not None:
             restored = self.checkpoint.load()
@@ -251,22 +286,46 @@ class PairExecutor:
                 else:
                     results[task.pair] = relationship
                     report.resumed.append(task.pair)
+                    local.counter("pair_train.resumed").inc()
             pending = remaining
 
         def record(relationship: "PairwiseRelationship") -> None:
             pair = (relationship.source, relationship.target)
             results[pair] = relationship
             report.completed.append(pair)
+            local.counter("pair_train.trained").inc()
+            # Worker-side timings; pre-observability checkpoints and
+            # custom factories may lack the split fields.
+            train_seconds = getattr(relationship, "train_seconds", 0.0)
+            eval_seconds = getattr(relationship, "eval_seconds", 0.0)
+            if train_seconds or eval_seconds:
+                train_hist.observe(train_seconds)
+                eval_hist.observe(eval_seconds)
             if self.checkpoint is not None:
                 self.checkpoint.append(relationship)
             if self.progress is not None:
                 self.progress(relationship.source, relationship.target, relationship.score)
 
         if backend == "serial":
-            self._run_serial(pending, spec, record, report)
+            self._run_serial(pending, spec, record, report, local)
         else:
-            self._run_pool(pending, spec, record, report, backend)
+            self._run_pool(pending, spec, record, report, backend, local)
         report.wall_seconds = time.perf_counter() - start
+        local.histogram("pair_train.wall_seconds").observe(report.wall_seconds)
+        if self.metrics is not None:
+            self.metrics.merge(local)
+        logger.debug(
+            "pair executor finished: %s",
+            report.summary().splitlines()[0],
+            extra={
+                "trained": len(report.completed),
+                "resumed": len(report.resumed),
+                "skipped": len(report.skipped),
+                "backend": backend,
+                "n_jobs": self.n_jobs,
+                "wall_seconds": report.wall_seconds,
+            },
+        )
         return results, report
 
     # ------------------------------------------------------------------
@@ -276,6 +335,7 @@ class PairExecutor:
         spec: FactorySpec,
         record: Callable[["PairwiseRelationship"], None],
         report: BuildReport,
+        metrics: MetricsRegistry,
     ) -> None:
         for task in pending:
             for attempt in range(1, self.retries + 2):
@@ -283,9 +343,9 @@ class PairExecutor:
                     record(train_pair(task, spec))
                 except Exception as error:  # noqa: BLE001 - degrade to a skipped edge
                     if attempt > self.retries:
-                        report.skipped.append(
-                            SkippedPair(task.source, task.target, str(error), attempt)
-                        )
+                        self._record_skip(task, error, attempt, report, metrics)
+                    else:
+                        self._record_retry(task, error, attempt, metrics)
                 else:
                     break
 
@@ -296,6 +356,7 @@ class PairExecutor:
         record: Callable[["PairwiseRelationship"], None],
         report: BuildReport,
         backend: str,
+        metrics: MetricsRegistry,
     ) -> None:
         if not pending:
             return
@@ -312,14 +373,13 @@ class PairExecutor:
                             relationship = future.result()
                         except Exception as error:  # noqa: BLE001 - retry, then skip
                             if attempt <= self.retries:
+                                self._record_retry(task, error, attempt, metrics)
                                 futures[pool.submit(train_pair, task, spec)] = (
                                     task,
                                     attempt + 1,
                                 )
                             else:
-                                report.skipped.append(
-                                    SkippedPair(task.source, task.target, str(error), attempt)
-                                )
+                                self._record_skip(task, error, attempt, report, metrics)
                         else:
                             record(relationship)
             except BaseException:
@@ -328,3 +388,37 @@ class PairExecutor:
                 for future in futures:
                     future.cancel()
                 raise
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record_retry(
+        task: PairTask, error: Exception, attempt: int, metrics: MetricsRegistry
+    ) -> None:
+        metrics.counter("pair_train.retries").inc()
+        logger.warning(
+            "pair %s->%s failed attempt %d, retrying: %s",
+            task.source,
+            task.target,
+            attempt,
+            error,
+            extra={"source": task.source, "target": task.target, "attempt": attempt},
+        )
+
+    @staticmethod
+    def _record_skip(
+        task: PairTask,
+        error: Exception,
+        attempt: int,
+        report: BuildReport,
+        metrics: MetricsRegistry,
+    ) -> None:
+        report.skipped.append(SkippedPair(task.source, task.target, str(error), attempt))
+        metrics.counter("pair_train.skipped").inc()
+        logger.warning(
+            "pair %s->%s skipped after %d attempt(s): %s",
+            task.source,
+            task.target,
+            attempt,
+            error,
+            extra={"source": task.source, "target": task.target, "attempt": attempt},
+        )

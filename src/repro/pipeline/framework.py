@@ -31,6 +31,7 @@ from ..graph.subgraphs import (
 )
 from ..lang.events import MultivariateEventLog
 from ..lang.windows import num_windows
+from ..obs import MetricsRegistry
 from .artifacts import ArtifactStore
 from .config import FrameworkConfig
 from .stages.detect import DetectStage
@@ -46,6 +47,25 @@ class AnalyticsFramework:
         self.config = config or FrameworkConfig()
         self.graph: MultivariateRelationshipGraph | None = None
         self._detect_stage: DetectStage | None = None
+        self._metrics = MetricsRegistry()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The framework's metrics registry.
+
+        Every ``fit`` and ``detect`` through this framework reports
+        into the same registry — stage timings, cache hit/miss counts,
+        pair-training counters and detection gauges — so one
+        ``metrics.snapshot()`` (or ``metrics.write_json(path)``)
+        describes the whole run.  Created lazily so frameworks pickled
+        before the observability layer keep working after
+        :func:`~repro.pipeline.persistence.load_framework`.
+        """
+        registry = self.__dict__.get("_metrics")
+        if registry is None:
+            registry = MetricsRegistry()
+            self._metrics = registry
+        return registry
 
     # ------------------------------------------------------------------
     # Training (Algorithm 1)
@@ -84,8 +104,9 @@ class AnalyticsFramework:
             checkpoint=checkpoint,
             store=self._resolve_store(cache_dir),
             representation=getattr(self.config, "representation", "codes"),
+            metrics=self.metrics,
         )
-        self._detect_stage = DetectStage(self.graph, self.config)
+        self._detect_stage = DetectStage(self.graph, self.config, metrics=self.metrics)
         return self
 
     def _resolve_store(
@@ -115,7 +136,7 @@ class AnalyticsFramework:
         """
         stage = getattr(self, "_detect_stage", None)
         if stage is None:
-            stage = DetectStage(self._require_graph(), self.config)
+            stage = DetectStage(self._require_graph(), self.config, metrics=self.metrics)
             self._detect_stage = stage
         return stage
 

@@ -23,25 +23,37 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, ClassVar, Iterator, Sequence
 
+from ...obs import MetricsRegistry, get_logger
 from ..artifacts import ArtifactKey, ArtifactStore
 
 __all__ = ["Stage", "StageContext", "StageGraph", "StageResult"]
+
+logger = get_logger(__name__)
 
 
 class StageContext:
     """Shared blackboard for one pipeline run.
 
     Holds the named values stages read and write, the optional artifact
-    store, and the per-stage :class:`StageResult` log.
+    store, the run's :class:`~repro.obs.MetricsRegistry` (every stage
+    reports its wall time and cache outcome there; a fresh registry is
+    created when none is passed) and the per-stage :class:`StageResult`
+    log.  A store without a registry of its own is pointed at the
+    context's, so artifact hit/miss/stale counts land in the same
+    snapshot as the stage timings.
     """
 
     def __init__(
         self,
         values: dict[str, Any] | None = None,
         store: ArtifactStore | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._values: dict[str, Any] = dict(values or {})
         self.store = store
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if store is not None and store.metrics is None:
+            store.metrics = self.metrics
         self.results: list[StageResult] = []
 
     def __contains__(self, key: str) -> bool:
@@ -147,6 +159,23 @@ class Stage(abc.ABC):
             key=key,
         )
         context.results.append(result)
+        metrics = context.metrics
+        metrics.counter(f"stage.{self.name}.runs").inc()
+        metrics.histogram(f"stage.{self.name}.seconds").observe(result.seconds)
+        if key is not None:
+            outcome = "cache_hits" if cache_hit else "cache_misses"
+            metrics.counter(f"stage.{self.name}.{outcome}").inc()
+        logger.debug(
+            "stage %s %s in %.4fs",
+            self.name,
+            "restored from cache" if cache_hit else "computed",
+            result.seconds,
+            extra={
+                "stage": self.name,
+                "cache_hit": cache_hit,
+                "seconds": result.seconds,
+            },
+        )
         return result
 
 

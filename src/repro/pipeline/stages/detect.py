@@ -6,6 +6,7 @@ from typing import Any
 
 from ...detection.anomaly import AnomalyDetector, DetectionResult
 from ...graph.ranges import ScoreRange
+from ...obs import MetricsRegistry
 from ..artifacts import fingerprint_log
 from .base import Stage, StageContext
 
@@ -31,9 +32,12 @@ class DetectStage(Stage):
     inputs = ("test_log", "score_range")
     outputs = ("detection_result",)
 
-    def __init__(self, graph, config) -> None:
+    def __init__(
+        self, graph, config, metrics: MetricsRegistry | None = None
+    ) -> None:
         self.graph = graph
         self.config = config
+        self.metrics = metrics
         self._detectors: dict[ScoreRange, AnomalyDetector] = {}
         self._log_digest: str | None = None
         self._sentences: dict[str, list] = {}
@@ -50,6 +54,7 @@ class DetectStage(Stage):
                 margin=self.config.margin,
                 threshold=self.config.threshold_strategy,
                 quantile=self.config.threshold_quantile,
+                metrics=getattr(self, "metrics", None),
             )
             self._detectors[key] = detector
         return detector
@@ -69,6 +74,9 @@ class DetectStage(Stage):
         self, test_log, score_range: ScoreRange | None = None
     ) -> DetectionResult:
         """Convenience wrapper: run this stage on a fresh context."""
-        context = StageContext({"test_log": test_log, "score_range": score_range})
+        context = StageContext(
+            {"test_log": test_log, "score_range": score_range},
+            metrics=getattr(self, "metrics", None),
+        )
         self.run(context)
         return context["detection_result"]

@@ -172,9 +172,11 @@ class PairTrainStage(Stage):
             retries=options.get("retries", 1),
             progress=progress,
             checkpoint=options.get("checkpoint"),
+            metrics=context.metrics,
         )
         results, report = executor.run(pending, spec)
         report.cached = [task.pair for task in tasks if task.pair in cached]
+        context.metrics.counter("pair_train.cached").inc(len(report.cached))
         if store is not None:
             for pair in report.completed:
                 key = keys.get(pair)

@@ -15,11 +15,14 @@ from typing import Callable
 import numpy as np
 
 from ..lang.corpus import ParallelCorpus
+from ..obs import Stopwatch, get_logger
 from .base import TranslationModel
 from .bleu import corpus_bleu
 from .seq2seq import NMTConfig, Seq2SeqTranslator
 
 __all__ = ["TrainingRecord", "PairTrainer", "train_with_early_stopping"]
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -51,13 +54,12 @@ class PairTrainer:
     ) -> tuple[TranslationModel, TrainingRecord]:
         """Train on ``train_corpus`` and score on ``dev_corpus``."""
         model = self.model_factory()
-        start = time.perf_counter()
+        watch = Stopwatch()
         model.fit(train_corpus)
-        train_seconds = time.perf_counter() - start
+        train_seconds = watch.split()
 
-        start = time.perf_counter()
         dev_bleu = model.score(dev_corpus)
-        eval_seconds = time.perf_counter() - start
+        eval_seconds = watch.split()
 
         record = TrainingRecord(
             source=train_corpus.source_sensor,
@@ -66,6 +68,21 @@ class PairTrainer:
             eval_seconds=eval_seconds,
             dev_bleu=dev_bleu,
             loss_history=list(getattr(model, "loss_history", [])),
+        )
+        logger.debug(
+            "pair %s->%s fitted: dev BLEU %.2f in %.2fs train + %.2fs eval",
+            record.source,
+            record.target,
+            dev_bleu,
+            train_seconds,
+            eval_seconds,
+            extra={
+                "source": record.source,
+                "target": record.target,
+                "dev_bleu": dev_bleu,
+                "train_seconds": train_seconds,
+                "eval_seconds": eval_seconds,
+            },
         )
         return model, record
 
@@ -129,6 +146,21 @@ def train_with_early_stopping(
         dev_bleu = model.score(dev_corpus)
         eval_seconds += time.perf_counter() - eval_start
         eval_history.append((steps_done, dev_bleu))
+        logger.debug(
+            "pair %s->%s step %d: loss %.4f, dev BLEU %.2f",
+            train_corpus.source_sensor,
+            train_corpus.target_sensor,
+            steps_done,
+            loss_history[-1] if loss_history else float("nan"),
+            dev_bleu,
+            extra={
+                "source": train_corpus.source_sensor,
+                "target": train_corpus.target_sensor,
+                "step": steps_done,
+                "loss": loss_history[-1] if loss_history else None,
+                "dev_bleu": dev_bleu,
+            },
+        )
         if dev_bleu > best_bleu + min_improvement:
             best_bleu = dev_bleu
             stale = 0

@@ -1,0 +1,174 @@
+"""Batch/online detection parity regression suite.
+
+The streaming :class:`OnlineAnomalyDetector` must be a faithful
+incremental rendering of the batch :class:`AnomalyDetector`: same valid
+pairs, same window indices, same broken-pair sets, same scores.  These
+tests pin that contract, including the historical divergence — the
+online path used to count dev-BLEU-0.0 pairs the batch path excluded,
+silently diluting ``a_t``.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.detection import AnomalyDetector, OnlineAnomalyDetector, valid_detection_pairs
+from repro.graph import MultivariateRelationshipGraph, ScoreRange
+from repro.lang import LanguageConfig
+
+
+#: Accepts every trained pair, so the dev-BLEU-0.0 exclusion is the
+#: only filter in play (the range alone would admit a 0.0 score).
+FULL_RANGE = ScoreRange(0.0, 100.0, inclusive_high=True)
+
+
+@pytest.fixture(scope="module")
+def parity_setup(fitted_plant_framework, plant_dataset):
+    graph = fitted_plant_framework.graph
+    _, _, test = plant_dataset.split(10, 3)
+    return graph, test
+
+
+def _zeroed_graph(graph: MultivariateRelationshipGraph):
+    """A copy of ``graph`` with one relationship's dev BLEU forced to 0.0."""
+    zeroed_pair = next(iter(graph.relationships))
+    relationships = dict(graph.relationships)
+    relationships[zeroed_pair] = dataclasses.replace(
+        relationships[zeroed_pair], score=0.0
+    )
+    return MultivariateRelationshipGraph(graph.corpus, relationships), zeroed_pair
+
+
+def _stream(detector: OnlineAnomalyDetector, test, limit: int):
+    emitted = []
+    for t in range(limit):
+        sample = {name: test[name].events[t] for name in test.sensors}
+        emitted.extend(detector.push(sample))
+    return emitted
+
+
+class TestValidPairParity:
+    def test_batch_and_online_agree_on_valid_pairs(self, parity_setup):
+        graph, _ = parity_setup
+        batch = AnomalyDetector(graph, FULL_RANGE)
+        online = OnlineAnomalyDetector(graph, FULL_RANGE)
+        assert online._pairs == batch.valid_pairs()
+
+    def test_zero_score_pair_excluded_on_both_paths(self, parity_setup):
+        graph, _ = parity_setup
+        zeroed, zeroed_pair = _zeroed_graph(graph)
+        shared = valid_detection_pairs(zeroed, FULL_RANGE)
+        assert zeroed_pair not in shared
+        assert AnomalyDetector(zeroed, FULL_RANGE).valid_pairs() == shared
+        assert OnlineAnomalyDetector(zeroed, FULL_RANGE)._pairs == shared
+
+    def test_zero_score_pair_excluded_even_from_zero_based_range(self, parity_setup):
+        """``contains(0.0)`` being true must not resurrect the pair."""
+        graph, _ = parity_setup
+        zeroed, zeroed_pair = _zeroed_graph(graph)
+        assert FULL_RANGE.contains(0.0)
+        assert zeroed_pair not in valid_detection_pairs(zeroed, FULL_RANGE)
+
+    def test_sensor_restriction_preserves_graph_order(self, parity_setup):
+        graph, _ = parity_setup
+        all_pairs = valid_detection_pairs(graph, FULL_RANGE)
+        kept_sensors = {s for pair in all_pairs[: len(all_pairs) // 2] for s in pair}
+        restricted = valid_detection_pairs(graph, FULL_RANGE, kept_sensors)
+        assert restricted == [
+            pair
+            for pair in all_pairs
+            if pair[0] in kept_sensors and pair[1] in kept_sensors
+        ]
+
+
+class TestScoreParity:
+    def test_sample_by_sample_matches_batch(self, parity_setup):
+        graph, test = parity_setup
+        batch = AnomalyDetector(graph, FULL_RANGE).detect(test)
+        online = OnlineAnomalyDetector(graph, FULL_RANGE)
+        limit = online.window_span + 12 * online.window_stride
+        emitted = _stream(online, test, limit)
+
+        assert len(emitted) >= 10
+        assert [w.window_index for w in emitted] == list(range(len(emitted)))
+        for window in emitted:
+            np.testing.assert_allclose(
+                window.anomaly_score,
+                batch.anomaly_scores[window.window_index],
+                atol=1e-12,
+            )
+            assert set(window.broken_pairs) == set(
+                batch.broken_pairs(window.window_index)
+            )
+
+    def test_parity_holds_with_a_dev_bleu_zero_pair(self, parity_setup):
+        """The regression: a never-breakable 0.0 pair must not dilute the
+        online ``a_t`` relative to batch."""
+        graph, test = parity_setup
+        zeroed, _ = _zeroed_graph(graph)
+        batch = AnomalyDetector(zeroed, FULL_RANGE).detect(test)
+        online = OnlineAnomalyDetector(zeroed, FULL_RANGE)
+        limit = online.window_span + 8 * online.window_stride
+        emitted = _stream(online, test, limit)
+
+        assert emitted
+        for window in emitted:
+            np.testing.assert_allclose(
+                window.anomaly_score,
+                batch.anomaly_scores[window.window_index],
+                atol=1e-12,
+            )
+            assert set(window.broken_pairs) == set(
+                batch.broken_pairs(window.window_index)
+            )
+
+
+class TestSentenceCacheValidation:
+    def test_cache_stamped_with_log_fingerprint(self, parity_setup):
+        from repro.detection.anomaly import SENTENCE_CACHE_KEY
+
+        graph, test = parity_setup
+        cache: dict[str, list] = {}
+        AnomalyDetector(graph, FULL_RANGE).detect(test, sentence_cache=cache)
+        assert SENTENCE_CACHE_KEY in cache
+
+    def test_cache_reuse_for_same_log_allowed(self, parity_setup):
+        graph, test = parity_setup
+        detector = AnomalyDetector(graph, FULL_RANGE)
+        cache: dict[str, list] = {}
+        first = detector.detect(test, sentence_cache=cache)
+        second = detector.detect(test, sentence_cache=cache)
+        np.testing.assert_array_equal(first.anomaly_scores, second.anomaly_scores)
+
+    def test_cache_from_different_log_rejected(self, parity_setup, plant_dataset):
+        graph, test = parity_setup
+        detector = AnomalyDetector(graph, FULL_RANGE)
+        cache: dict[str, list] = {}
+        detector.detect(test, sentence_cache=cache)
+        other = test.slice(0, len(test[test.sensors[0]].events) // 2)
+        with pytest.raises(ValueError, match="different test log"):
+            detector.detect(other, sentence_cache=cache)
+
+
+class TestOnlineConfigValidation:
+    def test_divergent_sensor_configs_rejected_at_construction(self, parity_setup):
+        graph, _ = parity_setup
+        monitored = sorted(
+            {s for pair in valid_detection_pairs(graph, FULL_RANGE) for s in pair}
+        )
+        victim = monitored[-1]
+        languages = dict(graph.corpus.languages)
+        divergent_language = copy.copy(languages[victim])
+        divergent_language.config = LanguageConfig(
+            word_size=3, word_stride=1, sentence_length=4, sentence_stride=4
+        )
+        languages[victim] = divergent_language
+        corpus = copy.copy(graph.corpus)
+        corpus.languages = languages
+        broken_graph = MultivariateRelationshipGraph(corpus, graph.relationships)
+        with pytest.raises(ValueError, match="divergent language configs"):
+            OnlineAnomalyDetector(broken_graph, FULL_RANGE)

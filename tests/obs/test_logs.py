@@ -1,0 +1,100 @@
+"""Tests for the structured logging layer."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import ROOT_LOGGER, configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logging():
+    """Restore the library's silent default after every test."""
+    root = logging.getLogger(ROOT_LOGGER)
+    before_handlers = list(root.handlers)
+    before_level = root.level
+    yield
+    for handler in list(root.handlers):
+        if handler not in before_handlers:
+            root.removeHandler(handler)
+    root.setLevel(before_level)
+
+
+class TestGetLogger:
+    def test_root(self):
+        assert get_logger().name == ROOT_LOGGER
+        assert get_logger(ROOT_LOGGER).name == ROOT_LOGGER
+
+    def test_prefixes_hierarchy(self):
+        assert get_logger("pipeline.executor").name == "repro.pipeline.executor"
+
+    def test_already_prefixed_unchanged(self):
+        assert get_logger("repro.detection.online").name == "repro.detection.online"
+
+    def test_unconfigured_library_is_silent(self):
+        """The NullHandler default: no 'No handlers' warnings, no output."""
+        root = logging.getLogger(ROOT_LOGGER)
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestConfigureLogging:
+    def test_text_mode_emits_formatted_lines(self):
+        stream = io.StringIO()
+        configure_logging("INFO", stream=stream)
+        get_logger("test.child").info("hello %s", "world")
+        line = stream.getvalue()
+        assert "hello world" in line
+        assert "repro.test.child" in line
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging("WARNING", stream=stream)
+        get_logger("test").info("quiet")
+        get_logger("test").warning("loud")
+        output = stream.getvalue()
+        assert "quiet" not in output
+        assert "loud" in output
+
+    def test_json_mode_emits_parseable_records_with_extras(self):
+        stream = io.StringIO()
+        configure_logging("DEBUG", json_mode=True, stream=stream)
+        get_logger("test").debug(
+            "scored %d windows", 5, extra={"windows": 5, "seconds": 0.25}
+        )
+        record = json.loads(stream.getvalue())
+        assert record["message"] == "scored 5 windows"
+        assert record["level"] == "DEBUG"
+        assert record["logger"] == "repro.test"
+        assert record["windows"] == 5
+        assert record["seconds"] == 0.25
+        assert "ts" in record
+
+    def test_reconfigure_replaces_handler(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging("INFO", stream=first)
+        configure_logging("INFO", stream=second)
+        get_logger("test").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+    def test_lowercase_level_accepted(self):
+        root = configure_logging("debug", stream=io.StringIO())
+        assert root.level == logging.DEBUG
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("CHATTY")
+
+    def test_exception_info_in_json(self):
+        stream = io.StringIO()
+        configure_logging("ERROR", json_mode=True, stream=stream)
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            get_logger("test").exception("failed")
+        record = json.loads(stream.getvalue())
+        assert "boom" in record["exc_info"]

@@ -1,0 +1,119 @@
+"""Tests for stopwatches, spans and the timed decorator."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, Stopwatch, configure_logging, get_logger, span, timed
+
+
+class TestStopwatch:
+    def test_elapsed_is_monotonic(self):
+        watch = Stopwatch()
+        first = watch.elapsed
+        second = watch.elapsed
+        assert 0.0 <= first <= second
+
+    def test_split_partitions_elapsed(self):
+        watch = Stopwatch()
+        a = watch.split()
+        b = watch.split()
+        assert a >= 0.0 and b >= 0.0
+        assert watch.elapsed >= a + b
+
+    def test_restart_resets(self):
+        watch = Stopwatch()
+        watch.split()
+        watch.restart()
+        assert watch.elapsed < 10.0  # fresh start, not accumulated
+
+    def test_context_manager_restarts(self):
+        watch = Stopwatch()
+        with watch as inner:
+            assert inner is watch
+
+
+class TestSpan:
+    def test_records_histogram(self):
+        registry = MetricsRegistry()
+        with span("work.seconds", metrics=registry):
+            pass
+        assert registry.histogram("work.seconds").count == 1
+
+    def test_records_even_on_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with span("work.seconds", metrics=registry):
+                raise RuntimeError("boom")
+        assert registry.histogram("work.seconds").count == 1
+
+    def test_logs_structured_fields(self, _capture_json_logs):
+        stream = _capture_json_logs
+        with span("work.seconds", logger=get_logger("test"), stage="corpus"):
+            pass
+        record = json.loads(stream.getvalue())
+        assert record["span"] == "work.seconds"
+        assert record["stage"] == "corpus"
+        assert record["seconds"] >= 0.0
+
+
+@pytest.fixture
+def _capture_json_logs():
+    import logging
+
+    from repro.obs import ROOT_LOGGER
+
+    root = logging.getLogger(ROOT_LOGGER)
+    before = list(root.handlers)
+    before_level = root.level
+    stream = io.StringIO()
+    configure_logging("DEBUG", json_mode=True, stream=stream)
+    yield stream
+    for handler in list(root.handlers):
+        if handler not in before:
+            root.removeHandler(handler)
+    root.setLevel(before_level)
+
+
+class TestTimed:
+    def test_with_registry(self):
+        registry = MetricsRegistry()
+
+        @timed("f.seconds", metrics=registry)
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+        assert registry.histogram("f.seconds").count == 1
+
+    def test_with_attribute_name_resolves_on_self(self):
+        class Service:
+            def __init__(self):
+                self.metrics = MetricsRegistry()
+
+            @timed("service.seconds", metrics="metrics")
+            def work(self):
+                return "done"
+
+        service = Service()
+        assert service.work() == "done"
+        assert service.metrics.histogram("service.seconds").count == 1
+
+    def test_missing_attribute_is_noop(self):
+        class Bare:
+            @timed("bare.seconds", metrics="metrics")
+            def work(self):
+                return 42
+
+        assert Bare().work() == 42
+
+    def test_preserves_function_metadata(self):
+        @timed("g.seconds")
+        def g():
+            """docstring"""
+
+        assert g.__name__ == "g"
+        assert g.__doc__ == "docstring"

@@ -257,3 +257,110 @@ class TestTrainDetectInspect:
         content = report_path.read_text()
         assert content.startswith("# Relationship-graph report")
         assert "## Strongest relationships" in content
+
+
+class TestObservabilityFlags:
+    BASE = [
+        "--word-size", "4", "--sentence-length", "5",
+        "--range", "60:100", "--popular-threshold", "10",
+    ]
+
+    def test_train_writes_metrics_snapshot(self, csv_logs, tmp_path):
+        from repro.obs import SNAPSHOT_SCHEMA
+
+        train, dev, _, _ = csv_logs
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            [
+                "train", str(train), str(dev),
+                "--model", str(tmp_path / "m.pkl"), *self.BASE,
+                "--cache-dir", str(tmp_path / "cache"),
+                "--metrics-json", str(metrics_path),
+            ]
+        ) == 0
+        payload = json.loads(metrics_path.read_text())
+        assert payload["schema"] == SNAPSHOT_SCHEMA
+        metrics = payload["metrics"]
+        # Stage timings, cache counters and per-pair training seconds
+        # all land in one snapshot.
+        assert metrics["stage.pair-train.seconds"]["count"] == 1
+        assert metrics["stage.corpus.cache_misses"]["value"] == 1
+        assert metrics["pair_train.trained"]["value"] == 6
+        assert metrics["pair_train.train_seconds"]["count"] == 6
+        assert metrics["pair_train.retries"]["value"] == 0
+        assert metrics["pair_train.skipped"]["value"] == 0
+        assert metrics["store.misses"]["value"] > 0
+
+    def test_warm_rebuild_metrics_show_zero_trained(self, csv_logs, tmp_path):
+        train, dev, _, _ = csv_logs
+        cache = tmp_path / "cache"
+        base = [
+            "train", str(train), str(dev), *self.BASE,
+            "--cache-dir", str(cache),
+        ]
+        assert main([*base, "--model", str(tmp_path / "m1.pkl")]) == 0
+        warm_metrics = tmp_path / "warm.json"
+        assert main(
+            [*base, "--model", str(tmp_path / "m2.pkl"),
+             "--metrics-json", str(warm_metrics)]
+        ) == 0
+        metrics = json.loads(warm_metrics.read_text())["metrics"]
+        assert metrics["pair_train.trained"]["value"] == 0
+        assert metrics["pair_train.cached"]["value"] == 6
+        assert metrics["store.hits"]["value"] >= 6
+
+    def test_detect_metrics_json_keeps_stdout_parseable(
+        self, csv_logs, trained_model, tmp_path, capsys
+    ):
+        _, _, test, _ = csv_logs
+        metrics_path = tmp_path / "detect-metrics.json"
+        assert main(
+            [
+                "detect", str(test), "--model", str(trained_model),
+                "--json", "--metrics-json", str(metrics_path),
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # stdout is pure JSON
+        assert "anomaly_scores" in payload
+        assert "metrics snapshot written" in captured.err
+        metrics = json.loads(metrics_path.read_text())["metrics"]
+        assert metrics["detect.runs"]["value"] == 1
+        assert metrics["detect.windows_scored"]["value"] == len(
+            payload["anomaly_scores"]
+        )
+
+    def test_log_json_emits_json_lines_to_stderr(self, csv_logs, trained_model, capsys):
+        import logging
+
+        from repro.obs import ROOT_LOGGER
+
+        _, _, test, _ = csv_logs
+        root = logging.getLogger(ROOT_LOGGER)
+        try:
+            assert main(
+                [
+                    "detect", str(test), "--model", str(trained_model),
+                    "--log-level", "DEBUG", "--log-json",
+                ]
+            ) == 0
+            err_lines = [
+                line for line in capsys.readouterr().err.splitlines() if line
+            ]
+            records = [json.loads(line) for line in err_lines]
+            assert records, "expected at least one JSON log record"
+            assert all(r["logger"].startswith("repro") for r in records)
+            assert any(r["logger"] == "repro.detection.anomaly" for r in records)
+        finally:
+            for handler in list(root.handlers):
+                if getattr(handler, "_repro_obs_handler", False):
+                    root.removeHandler(handler)
+            root.setLevel(logging.NOTSET)
+
+    def test_invalid_log_level_rejected(self, csv_logs, trained_model):
+        _, _, test, _ = csv_logs
+        with pytest.raises(SystemExit):
+            main(
+                ["detect", str(test), "--model", str(trained_model),
+                 "--log-level", "LOUD"]
+            )
