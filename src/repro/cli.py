@@ -34,11 +34,20 @@ from .graph.export import save_graph_json, save_graphml
 from .graph.ranges import ScoreRange
 from .lang.corpus import LanguageConfig
 from .lang.events import MultivariateEventLog
-from .obs import configure_logging
+from .obs import MetricsRegistry, configure_logging
 from .pipeline.config import FrameworkConfig
 from .pipeline.framework import AnalyticsFramework
 from .pipeline.persistence import PairCheckpointStore, load_framework, save_framework
 from .report.tables import ascii_table
+from .scenarios import (
+    DEFAULT_DETECTORS,
+    TIERS,
+    generate_scenario,
+    run_scenario,
+    scenario_names,
+)
+from .scenarios.generators import SCENARIOS
+from .scenarios.harness import append_bench_record
 
 __all__ = ["main", "build_parser"]
 
@@ -172,6 +181,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--purge", action="store_true", help="delete every artifact in the cache"
     )
     cache.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="generate and evaluate labeled fault scenarios",
+        description="Fault-scenario suite: 'list' the registered "
+        "generators, 'run' the evaluation harness (framework + baselines, "
+        "event-level scoring, benchmark records), or print deterministic "
+        "frame 'digest's for drift checks.",
+    )
+    scenarios.add_argument(
+        "action",
+        choices=("list", "run", "digest"),
+        help="list scenarios, run the harness, or print frame digests",
+    )
+    scenarios.add_argument(
+        "names",
+        nargs="*",
+        help="scenario names (see 'scenarios list'); empty with --all "
+        "means every scenario",
+    )
+    scenarios.add_argument("--all", action="store_true", help="select every scenario")
+    scenarios.add_argument(
+        "--tier",
+        choices=tuple(sorted(TIERS)),
+        default="tiny",
+        help="scenario size tier (default tiny)",
+    )
+    scenarios.add_argument("--seed", type=int, default=11)
+    scenarios.add_argument(
+        "--detectors",
+        type=str,
+        default=",".join(DEFAULT_DETECTORS),
+        help="comma-separated detectors to run "
+        f"(default {','.join(DEFAULT_DETECTORS)})",
+    )
+    scenarios.add_argument(
+        "--bench",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append repro-scenarios-v1 records to this benchmark JSON "
+        "(one record per scenario, keyed on scenario/tier/seed)",
+    )
+    scenarios.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+    _add_observability_arguments(scenarios)
 
     simulate = sub.add_parser(
         "simulate", help="generate a synthetic dataset to files"
@@ -376,6 +432,95 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_selection(args: argparse.Namespace) -> list[str]:
+    if args.all:
+        if args.names:
+            raise SystemExit("give scenario names or --all, not both")
+        return scenario_names()
+    if not args.names:
+        raise SystemExit(
+            "no scenarios selected; name some (see 'scenarios list') or pass --all"
+        )
+    unknown = [name for name in args.names if name not in SCENARIOS]
+    if unknown:
+        raise SystemExit(
+            f"unknown scenario(s) {unknown}; choose from {scenario_names()}"
+        )
+    return list(args.names)
+
+
+def _command_scenarios(args: argparse.Namespace) -> int:
+    _setup_observability(args)
+
+    if args.action == "list":
+        rows = [
+            {
+                "scenario": name,
+                "kind": (SCENARIOS[name].__doc__ or "").strip().splitlines()[0],
+            }
+            for name in scenario_names()
+        ]
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(ascii_table(rows, title="Registered fault scenarios"))
+        return 0
+
+    names = _scenario_selection(args)
+
+    if args.action == "digest":
+        payload = {}
+        for name in names:
+            data = generate_scenario(name, seed=args.seed, tier=args.tier)
+            payload[name] = data.digest
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            for name, digest in payload.items():
+                print(f"{name} {digest}")
+        return 0
+
+    detectors = tuple(d for d in args.detectors.split(",") if d)
+    metrics = MetricsRegistry()
+    reports = []
+    for name in names:
+        data = generate_scenario(name, seed=args.seed, tier=args.tier)
+        try:
+            report = run_scenario(
+                data, detectors=detectors, tier=args.tier, metrics=metrics
+            )
+        except KeyError as error:
+            raise SystemExit(str(error)) from error
+        reports.append(report)
+        if args.bench is not None:
+            append_bench_record(report.to_dict(), args.bench)
+
+    if args.metrics_json is not None:
+        path = metrics.write_json(args.metrics_json)
+        print(f"metrics snapshot written to {path}", file=sys.stderr)
+
+    if args.json:
+        print(json.dumps([report.to_dict() for report in reports], indent=2))
+        return 0
+    rows = [
+        {
+            "scenario": report.scenario,
+            "detector": outcome.detector,
+            "precision": f"{outcome.evaluation.precision:.2f}",
+            "recall": f"{outcome.evaluation.recall:.2f}",
+            "f1": f"{outcome.evaluation.f1:.2f}",
+            "episodes": len(outcome.evaluation.predicted_episodes),
+            "events": len(outcome.evaluation.true_events),
+        }
+        for report in reports
+        for outcome in report.outcomes
+    ]
+    print(ascii_table(rows, title=f"Scenario suite ({args.tier}, seed {args.seed})"))
+    if args.bench is not None:
+        print(f"benchmark records appended to {args.bench}")
+    return 0
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     from .datasets import (
         BackblazeConfig,
@@ -438,6 +583,7 @@ def main(argv: list[str] | None = None) -> int:
         "detect": _command_detect,
         "inspect": _command_inspect,
         "cache": _command_cache,
+        "scenarios": _command_scenarios,
         "simulate": _command_simulate,
     }
     return handlers[args.command](args)

@@ -19,7 +19,13 @@ from .features import (
     build_baseline_matrix,
     first_difference,
 )
-from .inject import desynchronize, freeze, swap_sensors
+from .inject import (
+    desynchronize,
+    freeze,
+    replace_events,
+    swap_sensors,
+    validate_windows,
+)
 from .io import (
     load_backblaze_dataset,
     load_plant_dataset,
@@ -65,7 +71,9 @@ __all__ = [
     "load_backblaze_dataset",
     "load_plant_dataset",
     "raw_attribute_names",
+    "replace_events",
     "save_backblaze_dataset",
     "save_plant_dataset",
     "swap_sensors",
+    "validate_windows",
 ]

@@ -11,30 +11,103 @@ Three injectors cover the interesting anomaly classes:
 - :func:`swap_sensors` — exchange two sensors' streams for a window
   (miswired instrumentation).
 
+Two helpers back them (and the scenario generators layered on top):
+
+- :func:`validate_windows` — reject zero-length, inverted,
+  out-of-range and mutually overlapping injection windows up front, so
+  composed injections can never silently produce unlabeled overlaps;
+- :func:`replace_events` — rebuild a log with some sensors' streams
+  replaced.  Untouched sensors keep their interned code rows and
+  :class:`~repro.core.StateTable` objects (no re-interning, no
+  copy-vs-view aliasing risk: the new log stacks codes into its own
+  :class:`~repro.core.EventFrame`), while replaced sensors are
+  re-interned so their tables stay consistent with their new streams.
+
 All injectors are pure: they return a new log.
 """
 
 from __future__ import annotations
 
+from typing import Iterable, Mapping, Sequence
+
 import numpy as np
 
 from ..lang.events import EventSequence, MultivariateEventLog
 
-__all__ = ["desynchronize", "freeze", "swap_sensors"]
+__all__ = [
+    "desynchronize",
+    "freeze",
+    "replace_events",
+    "swap_sensors",
+    "validate_windows",
+]
 
 
 def _check_window(log: MultivariateEventLog, start: int, stop: int) -> None:
-    if not 0 <= start < stop <= log.num_samples:
+    if start == stop:
         raise ValueError(
-            f"invalid window [{start}, {stop}) for log of {log.num_samples} samples"
+            f"zero-length injection window [{start}, {stop}); an injection "
+            "must cover at least one sample (start < stop)"
+        )
+    if start > stop:
+        raise ValueError(
+            f"inverted injection window [{start}, {stop}); start must be "
+            "strictly below stop"
+        )
+    if start < 0 or stop > log.num_samples:
+        raise ValueError(
+            f"injection window [{start}, {stop}) outside the log's "
+            f"[0, {log.num_samples}) sample range"
         )
 
 
-def _replace(
-    log: MultivariateEventLog, replacements: dict[str, list[str]]
+def validate_windows(
+    log: MultivariateEventLog, windows: Iterable[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Validate a set of injection windows against ``log``.
+
+    Every window must be non-empty, correctly ordered and inside the
+    log; no two windows may overlap (overlapping injections would
+    compose in application order and yield samples whose ground-truth
+    label is ambiguous).  Returns the windows sorted by start.
+    """
+    ordered = sorted((int(start), int(stop)) for start, stop in windows)
+    for start, stop in ordered:
+        _check_window(log, start, stop)
+    for (_, previous_stop), (start, stop) in zip(ordered, ordered[1:]):
+        if start < previous_stop:
+            raise ValueError(
+                f"overlapping injection windows: [{start}, {stop}) starts "
+                f"before a previous window ends at {previous_stop}; "
+                "injection windows must be disjoint"
+            )
+    return ordered
+
+
+def replace_events(
+    log: MultivariateEventLog, replacements: Mapping[str, Sequence[str]]
 ) -> MultivariateEventLog:
+    """Return a new log with the named sensors' streams replaced.
+
+    Replaced sensors are re-interned from their new event strings, so
+    their :class:`~repro.core.StateTable` always matches the stream
+    they carry.  Untouched sensors reuse their existing code rows and
+    table objects as-is — the new log copies the codes into its own
+    frame at construction, so neither log can alias the other's data.
+    """
+    unknown = [name for name in replacements if name not in log]
+    if unknown:
+        raise KeyError(f"unknown sensors in replacements: {unknown}")
+    for name, events in replacements.items():
+        if len(events) != log.num_samples:
+            raise ValueError(
+                f"replacement for {name!r} has {len(events)} events; "
+                f"the log is {log.num_samples} samples long"
+            )
     return MultivariateEventLog(
-        EventSequence(seq.sensor, replacements.get(seq.sensor, list(seq.events)))
+        EventSequence(seq.sensor, replacements[seq.sensor])
+        if seq.sensor in replacements
+        else EventSequence.from_codes(seq.sensor, seq.codes, seq.table)
         for seq in log
     )
 
@@ -65,7 +138,7 @@ def desynchronize(
                 window = window[::-1]
         events[start:stop] = window
         replacements[name] = events
-    return _replace(log, replacements)
+    return replace_events(log, replacements)
 
 
 def freeze(
@@ -78,7 +151,7 @@ def freeze(
         events = list(log[name].events)
         events[start:stop] = [events[start]] * (stop - start)
         replacements[name] = events
-    return _replace(log, replacements)
+    return replace_events(log, replacements)
 
 
 def swap_sensors(
@@ -86,10 +159,12 @@ def swap_sensors(
 ) -> MultivariateEventLog:
     """Exchange two sensors' streams inside a window (miswiring)."""
     _check_window(log, start, stop)
+    if first == second:
+        raise ValueError(f"cannot swap sensor {first!r} with itself")
     first_events = list(log[first].events)
     second_events = list(log[second].events)
     first_events[start:stop], second_events[start:stop] = (
         second_events[start:stop],
         first_events[start:stop],
     )
-    return _replace(log, {first: first_events, second: second_events})
+    return replace_events(log, {first: first_events, second: second_events})

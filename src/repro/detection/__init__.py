@@ -5,7 +5,15 @@ from .attribution import SensorBlame, attribute_anomaly
 from .diagnosis import ClusterDiagnosis, FaultDiagnosis, diagnose
 from .drift import DriftReport, PairDrift, assess_drift
 from .episodes import AlarmEpisode, extract_episodes
-from .evaluation import DayLevelEvaluation, evaluate_days, threshold_sweep
+from .evaluation import (
+    DayLevelEvaluation,
+    EventLevelEvaluation,
+    evaluate_days,
+    evaluate_events,
+    intervals_from_scores,
+    merge_intervals,
+    threshold_sweep,
+)
 from .online import OnlineAnomalyDetector, WindowScore
 from .validity import valid_detection_pairs
 from .disk import (
@@ -27,6 +35,7 @@ __all__ = [
     "DiskEvaluation",
     "DriftReport",
     "DriveOutcome",
+    "EventLevelEvaluation",
     "FaultDiagnosis",
     "OnlineAnomalyDetector",
     "PairDrift",
@@ -38,7 +47,10 @@ __all__ = [
     "diagnose",
     "evaluate_days",
     "evaluate_drives",
+    "evaluate_events",
     "extract_episodes",
+    "intervals_from_scores",
+    "merge_intervals",
     "sharp_increases",
     "threshold_sweep",
     "valid_detection_pairs",

@@ -1,21 +1,41 @@
-"""Day-level evaluation of anomaly-score timelines.
+"""Day- and event-level evaluation of anomaly-score timelines.
 
 The paper evaluates the plant case study visually (Figure 8): anomaly
 days spike, normal days stay low, and spikes shortly *before* a true
 anomaly count as early warnings rather than false positives.  This
-module makes that reading quantitative: day-level alarms from a score
-threshold, precision/recall with an early-warning window, and a
-threshold sweep for picking an operating point.
+module makes that reading quantitative on two granularities:
+
+- **day level** (:func:`evaluate_days`) — the paper's framing:
+  day-level alarms from a score threshold, precision/recall with an
+  early-warning window, and a threshold sweep for picking an
+  operating point;
+- **event level** (:func:`evaluate_events`) — the scenario-suite
+  framing: ground truth and detections are ``(start, stop)`` intervals
+  on a shared sample clock; a true event counts as detected when any
+  predicted episode overlaps it (even partially), and a predicted
+  episode counts as correct when it overlaps any true event.  This is
+  the standard range-based matching for labeled anomaly *episodes*
+  (one incident = one event, however many windows it spans) and is
+  windowing-agnostic, so detectors with different strides are
+  comparable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["DayLevelEvaluation", "evaluate_days", "threshold_sweep"]
+__all__ = [
+    "DayLevelEvaluation",
+    "EventLevelEvaluation",
+    "evaluate_days",
+    "evaluate_events",
+    "intervals_from_scores",
+    "merge_intervals",
+    "threshold_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -98,6 +118,151 @@ def evaluate_days(
         missed_days=tuple(missed),
         early_warning_days=tuple(early),
         false_alarm_days=tuple(false_alarms),
+    )
+
+
+def _check_intervals(
+    intervals: Iterable[tuple[int, int]], label: str
+) -> list[tuple[int, int]]:
+    checked = [(int(start), int(stop)) for start, stop in intervals]
+    for start, stop in checked:
+        if start >= stop:
+            raise ValueError(
+                f"{label} interval [{start}, {stop}) is empty or inverted; "
+                "intervals must satisfy start < stop"
+            )
+    return sorted(checked)
+
+
+def merge_intervals(
+    intervals: Iterable[tuple[int, int]], gap: int = 0
+) -> list[tuple[int, int]]:
+    """Merge overlapping/near intervals into sorted disjoint spans.
+
+    Intervals separated by at most ``gap`` samples fold together —
+    detection windows of one incident become one episode.
+    """
+    if gap < 0:
+        raise ValueError("gap must be >= 0")
+    merged: list[tuple[int, int]] = []
+    for start, stop in _check_intervals(intervals, "input"):
+        if merged and start <= merged[-1][1] + gap:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], stop))
+        else:
+            merged.append((start, stop))
+    return merged
+
+
+def intervals_from_scores(
+    scores: Sequence[float],
+    threshold: float,
+    start: int = 0,
+    stride: int = 1,
+    span: int = 1,
+    merge_gap: int = 0,
+) -> list[tuple[int, int]]:
+    """Threshold windowed scores into detected sample intervals.
+
+    Window ``i`` covers samples ``[start + i*stride, start + i*stride
+    + span)``; windows scoring at or above ``threshold`` are flagged
+    and merged (within ``merge_gap`` samples) into episodes.  This maps
+    any detector's window grid onto the shared sample clock that
+    :func:`evaluate_events` compares on.
+    """
+    if stride <= 0 or span <= 0:
+        raise ValueError("stride and span must be positive")
+    flagged = [
+        (start + index * stride, start + index * stride + span)
+        for index, score in enumerate(scores)
+        if float(score) >= threshold
+    ]
+    return merge_intervals(flagged, gap=merge_gap)
+
+
+@dataclass(frozen=True)
+class EventLevelEvaluation:
+    """Outcome of matching predicted episodes against true events.
+
+    Matching is by interval overlap: partial overlap counts.  With *no*
+    true events, recall is vacuously 1.0 (nothing to find); with no
+    predicted episodes, precision is vacuously 1.0 (nothing claimed).
+    """
+
+    true_events: tuple[tuple[int, int], ...]
+    predicted_episodes: tuple[tuple[int, int], ...]
+    detected_events: tuple[tuple[int, int], ...]
+    missed_events: tuple[tuple[int, int], ...]
+    matched_episodes: tuple[tuple[int, int], ...]
+    false_episodes: tuple[tuple[int, int], ...]
+
+    @property
+    def recall(self) -> float:
+        """Fraction of true events overlapped by some episode."""
+        if not self.true_events:
+            return 1.0
+        return len(self.detected_events) / len(self.true_events)
+
+    @property
+    def precision(self) -> float:
+        """Fraction of predicted episodes overlapping some true event."""
+        if not self.predicted_episodes:
+            return 1.0
+        return len(self.matched_episodes) / len(self.predicted_episodes)
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready metric summary (used by the scenario benchmark)."""
+        return {
+            "true_events": len(self.true_events),
+            "predicted_episodes": len(self.predicted_episodes),
+            "detected_events": len(self.detected_events),
+            "missed_events": len(self.missed_events),
+            "false_episodes": len(self.false_episodes),
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+
+def evaluate_events(
+    predicted: Iterable[tuple[int, int]],
+    truth: Iterable[tuple[int, int]],
+) -> EventLevelEvaluation:
+    """Event-level precision/recall on ``(start, stop)`` intervals.
+
+    Both interval sets live on one sample clock (half-open, start <
+    stop; zero-length intervals are rejected).  A true event is
+    *detected* when at least one predicted episode overlaps it — even
+    partially — and a predicted episode is *matched* when it overlaps
+    at least one true event; episodes touching no true event are false
+    alarms.  One long episode may detect several events and one event
+    may be covered by several episodes; neither is double-counted.
+    """
+    predicted_list = _check_intervals(predicted, "predicted")
+    truth_list = _check_intervals(truth, "truth")
+
+    def overlaps(a: tuple[int, int], b: tuple[int, int]) -> bool:
+        return a[0] < b[1] and b[0] < a[1]
+
+    detected = [
+        event for event in truth_list
+        if any(overlaps(event, episode) for episode in predicted_list)
+    ]
+    matched = [
+        episode for episode in predicted_list
+        if any(overlaps(episode, event) for event in truth_list)
+    ]
+    return EventLevelEvaluation(
+        true_events=tuple(truth_list),
+        predicted_episodes=tuple(predicted_list),
+        detected_events=tuple(detected),
+        missed_events=tuple(e for e in truth_list if e not in detected),
+        matched_episodes=tuple(matched),
+        false_episodes=tuple(e for e in predicted_list if e not in matched),
     )
 
 

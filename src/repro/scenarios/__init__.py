@@ -1,0 +1,70 @@
+"""Fault-scenario library: labeled generators plus evaluation harness.
+
+The paper's plant case study exercises one fault shape (two seeded
+anomaly days).  This package widens the validation surface: each
+generator in :mod:`repro.scenarios.generators` is a deterministic
+``(params, seed) -> ScenarioData`` function that injects one realistic
+fault shape — cascades, drift, flapping, bursts, regime shifts,
+dropout, timing glitches — into a clean plant log and records exact
+per-sample ground truth (:mod:`repro.scenarios.truth`).  The harness
+(:mod:`repro.scenarios.harness`) runs the framework and the baseline
+detectors on any scenario, scores them event-level, and logs
+``repro-scenarios-v1`` records to ``BENCH_scenarios.json``.
+"""
+
+from .generators import (
+    SCENARIOS,
+    ScenarioData,
+    ScenarioParams,
+    TIERS,
+    cascading_faults,
+    correlated_burst,
+    flapping_sensor,
+    generate_scenario,
+    regime_shift,
+    scenario_names,
+    sensor_dropout,
+    slow_drift,
+    timing_glitch,
+)
+from .harness import (
+    DEFAULT_DETECTORS,
+    DetectorOutcome,
+    SCENARIO_SCHEMA,
+    ScenarioReport,
+    append_bench_record,
+    harness_framework_config,
+    harness_language_config,
+    load_bench,
+    run_scenario,
+    run_suite,
+)
+from .truth import GroundTruth, InjectionWindow
+
+__all__ = [
+    "DEFAULT_DETECTORS",
+    "DetectorOutcome",
+    "GroundTruth",
+    "InjectionWindow",
+    "SCENARIOS",
+    "SCENARIO_SCHEMA",
+    "ScenarioData",
+    "ScenarioParams",
+    "ScenarioReport",
+    "TIERS",
+    "append_bench_record",
+    "cascading_faults",
+    "correlated_burst",
+    "flapping_sensor",
+    "generate_scenario",
+    "harness_framework_config",
+    "harness_language_config",
+    "load_bench",
+    "regime_shift",
+    "run_scenario",
+    "run_suite",
+    "scenario_names",
+    "sensor_dropout",
+    "slow_drift",
+    "timing_glitch",
+]

@@ -1,0 +1,494 @@
+"""Composable fault-scenario generators with ground-truth labels.
+
+The paper validates detection on exactly two seeded anomaly days of
+one plant simulation.  Real fleets fail in more shapes than that:
+faults cascade across components, sensors drift slowly out of
+alignment, flap intermittently, drop out, burst in correlated groups,
+shift operating regime, or report late/duplicated samples.  Each
+generator here is a pure function ``(params, seed) -> ScenarioData``:
+it renders a *clean* plant log (the simulator with no built-in anomaly
+days), injects one fault shape into the test period only, and records
+every injected window — with the affected sensor set — as
+:class:`~repro.scenarios.truth.GroundTruth`.
+
+Determinism is by construction: the plant simulator, the injectors and
+every local draw run off ``numpy`` generators seeded from ``seed``
+alone, so the same ``(params, seed)`` always yields a bit-identical
+:meth:`~repro.core.EventFrame.digest` — scenario outputs are cacheable
+through the artifact store and comparable across PRs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..datasets.inject import replace_events, validate_windows
+from ..datasets.plant import PlantConfig, PlantDataset, generate_plant_dataset
+from ..lang.events import MultivariateEventLog
+from .truth import GroundTruth, InjectionWindow
+
+__all__ = [
+    "SCENARIOS",
+    "ScenarioData",
+    "ScenarioParams",
+    "TIERS",
+    "cascading_faults",
+    "correlated_burst",
+    "flapping_sensor",
+    "generate_scenario",
+    "regime_shift",
+    "scenario_names",
+    "sensor_dropout",
+    "slow_drift",
+    "timing_glitch",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioParams:
+    """Shape of a generated scenario (shared by every generator).
+
+    The log is a clean plant simulation of ``num_sensors`` sensors over
+    ``days`` days; faults are injected only into the test period (the
+    days after ``train_days + dev_days``), so a detector fitted on the
+    chronological train/dev split sees normal operation.  ``severity``
+    scales injected window lengths and offsets.
+    """
+
+    num_sensors: int = 12
+    days: int = 9
+    samples_per_day: int = 96
+    num_components: int = 4
+    train_days: int = 4
+    dev_days: int = 1
+    severity: float = 1.0
+    noise_rate: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.train_days < 1 or self.dev_days < 1:
+            raise ValueError("train_days and dev_days must be >= 1")
+        if self.train_days + self.dev_days >= self.days:
+            raise ValueError("params leave no test days")
+        if self.severity <= 0:
+            raise ValueError("severity must be positive")
+
+    @property
+    def total_samples(self) -> int:
+        return self.days * self.samples_per_day
+
+    @property
+    def test_start(self) -> int:
+        return (self.train_days + self.dev_days) * self.samples_per_day
+
+    @property
+    def test_samples(self) -> int:
+        return self.total_samples - self.test_start
+
+    def to_dict(self) -> dict:
+        return {
+            "num_sensors": self.num_sensors,
+            "days": self.days,
+            "samples_per_day": self.samples_per_day,
+            "num_components": self.num_components,
+            "train_days": self.train_days,
+            "dev_days": self.dev_days,
+            "severity": self.severity,
+            "noise_rate": self.noise_rate,
+        }
+
+
+#: Named parameter tiers: ``tiny`` fits in CI seconds, ``small`` is the
+#: default local evaluation size.
+TIERS: dict[str, ScenarioParams] = {
+    "tiny": ScenarioParams(
+        num_sensors=10, days=7, samples_per_day=48, num_components=4,
+        train_days=4, dev_days=1,
+    ),
+    "small": ScenarioParams(
+        num_sensors=16, days=12, samples_per_day=96, num_components=4,
+        train_days=6, dev_days=2,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ScenarioData:
+    """One generated scenario: the faulty log plus its ground truth."""
+
+    name: str
+    params: ScenarioParams
+    seed: int
+    log: MultivariateEventLog
+    clean_log: MultivariateEventLog
+    truth: GroundTruth
+    component_of: Mapping[str, str]
+
+    @property
+    def digest(self) -> str:
+        """Bit-exact fingerprint of the generated (faulty) log."""
+        return self.log.frame.digest()
+
+    def split(
+        self,
+    ) -> tuple[MultivariateEventLog, MultivariateEventLog, MultivariateEventLog, GroundTruth]:
+        """Chronological train/dev/test logs plus test-relative truth."""
+        per_day = self.params.samples_per_day
+        train = self.log.slice(0, self.params.train_days * per_day)
+        dev = self.log.slice(
+            self.params.train_days * per_day, self.params.test_start
+        )
+        test = self.log.slice(self.params.test_start, self.params.total_samples)
+        test_truth = self.truth.slice(self.params.test_start, self.params.total_samples)
+        return train, dev, test, test_truth
+
+
+# ----------------------------------------------------------------------
+# Shared scaffolding
+# ----------------------------------------------------------------------
+def _clean_plant(params: ScenarioParams, seed: int) -> PlantDataset:
+    """A plant simulation with no built-in anomaly or precursor days."""
+    return generate_plant_dataset(
+        PlantConfig(
+            num_sensors=params.num_sensors,
+            days=params.days,
+            samples_per_day=params.samples_per_day,
+            num_components=params.num_components,
+            anomaly_days=(),
+            precursor_days=(),
+            noise_rate=params.noise_rate,
+            seed=seed,
+        )
+    )
+
+
+def _active_by_component(dataset: PlantDataset) -> dict[str, list[str]]:
+    """Non-constant sensors grouped by component (injection candidates)."""
+    groups: dict[str, list[str]] = {}
+    for sensor in dataset.log.sensors:
+        if dataset.log[sensor].cardinality > 1:
+            groups.setdefault(dataset.component_of[sensor], []).append(sensor)
+    return {name: sorted(members) for name, members in sorted(groups.items())}
+
+
+def _scaled(base: int, severity: float, floor: int = 4) -> int:
+    return max(floor, int(round(base * severity)))
+
+
+def _shift_window(events: list[str], start: int, stop: int, offset: int) -> list[str]:
+    """Circularly shift the window contents by ``offset`` samples."""
+    window = events[start:stop]
+    offset %= max(1, len(window))
+    events[start:stop] = window[offset:] + window[:offset]
+    return events
+
+
+def _finish(
+    name: str,
+    params: ScenarioParams,
+    seed: int,
+    dataset: PlantDataset,
+    replacements: Mapping[str, list[str]],
+    windows: list[InjectionWindow],
+) -> ScenarioData:
+    validate_windows(dataset.log, [(w.start, w.stop) for w in windows])
+    return ScenarioData(
+        name=name,
+        params=params,
+        seed=seed,
+        log=replace_events(dataset.log, replacements),
+        clean_log=dataset.log,
+        truth=GroundTruth(
+            num_samples=params.total_samples, windows=tuple(windows)
+        ),
+        component_of=dict(dataset.component_of),
+    )
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def cascading_faults(params: ScenarioParams, seed: int) -> ScenarioData:
+    """A fault marches through the plant component by component.
+
+    Successive components lose cross-sensor alignment in consecutive
+    windows (each sensor keeps its marginal statistics — the Figure 2
+    anomaly class), modelling a disturbance propagating downstream.
+    """
+    dataset = _clean_plant(params, seed)
+    rng = np.random.default_rng(seed)
+    groups = _active_by_component(dataset)
+    names = list(groups)
+    stages = min(3, len(names))
+    span = params.test_samples
+    duration = min(_scaled(span // 6, params.severity, floor=12), span // (stages + 1))
+    t0 = params.test_start + span // 8
+
+    replacements: dict[str, list[str]] = {}
+    windows: list[InjectionWindow] = []
+    first = int(rng.integers(0, len(names)))
+    for stage in range(stages):
+        component = names[(first + stage) % len(names)]
+        sensors = groups[component]
+        start = t0 + stage * duration
+        stop = start + duration
+        for sensor in sensors:
+            events = replacements.get(sensor, list(dataset.log[sensor].events))
+            offset = int(rng.integers(duration // 3, 2 * duration // 3 + 1))
+            replacements[sensor] = _shift_window(events, start, stop, offset)
+        windows.append(
+            InjectionWindow(start=start, stop=stop, sensors=tuple(sensors), kind="cascade")
+        )
+    return _finish("cascade", params, seed, dataset, replacements, windows)
+
+
+def slow_drift(params: ScenarioParams, seed: int) -> ScenarioData:
+    """A component drifts gradually out of sync until it fails.
+
+    Consecutive stages shift one component's sensors by a growing
+    offset: early stages are subtle (near-aligned), late stages are a
+    clear joint break — the classic degradation-into-failure curve.
+    """
+    dataset = _clean_plant(params, seed)
+    rng = np.random.default_rng(seed)
+    groups = _active_by_component(dataset)
+    names = list(groups)
+    component = names[int(rng.integers(0, len(names)))]
+    sensors = groups[component]
+    span = params.test_samples
+    stages = 4
+    duration = min(_scaled(span // 6, params.severity, floor=12), span // (stages + 1))
+    t0 = params.test_start + span // 10
+
+    replacements: dict[str, list[str]] = {
+        sensor: list(dataset.log[sensor].events) for sensor in sensors
+    }
+    windows: list[InjectionWindow] = []
+    for stage in range(stages):
+        start = t0 + stage * duration
+        stop = start + duration
+        offset = max(1, ((stage + 1) * duration) // (2 * stages))
+        for sensor in sensors:
+            _shift_window(replacements[sensor], start, stop, offset)
+        windows.append(
+            InjectionWindow(start=start, stop=stop, sensors=tuple(sensors), kind="drift")
+        )
+    return _finish("drift", params, seed, dataset, replacements, windows)
+
+
+def flapping_sensor(params: ScenarioParams, seed: int) -> ScenarioData:
+    """Two sensors stick intermittently (flapping instrumentation).
+
+    Short freeze windows recur across the test period: each flap holds
+    the sensors at their window-entry state, then normal operation
+    resumes — the on/off/on failure signature of a loose connection.
+    """
+    dataset = _clean_plant(params, seed)
+    rng = np.random.default_rng(seed)
+    groups = _active_by_component(dataset)
+    component = list(groups)[int(rng.integers(0, len(groups)))]
+    sensors = groups[component][:2]
+    span = params.test_samples
+    flap = _scaled(span // 16, params.severity, floor=4)
+    flaps = min(5, max(2, span // (3 * flap)))
+    stride = span // (flaps + 1)
+
+    replacements: dict[str, list[str]] = {
+        sensor: list(dataset.log[sensor].events) for sensor in sensors
+    }
+    windows: list[InjectionWindow] = []
+    for index in range(flaps):
+        start = params.test_start + (index + 1) * stride - flap // 2
+        stop = min(start + flap, params.total_samples)
+        for sensor in sensors:
+            events = replacements[sensor]
+            events[start:stop] = [events[start]] * (stop - start)
+        windows.append(
+            InjectionWindow(start=start, stop=stop, sensors=tuple(sensors), kind="flapping")
+        )
+    return _finish("flapping", params, seed, dataset, replacements, windows)
+
+
+def correlated_burst(params: ScenarioParams, seed: int) -> ScenarioData:
+    """Short correlated disturbances hit several components at once.
+
+    A few brief windows desynchronize sensors drawn from two different
+    components simultaneously — a plant-wide transient (power dip,
+    control glitch) rather than a single-component fault.
+    """
+    dataset = _clean_plant(params, seed)
+    rng = np.random.default_rng(seed)
+    groups = _active_by_component(dataset)
+    names = list(groups)
+    chosen = [names[i] for i in rng.permutation(len(names))[: min(2, len(names))]]
+    sensors = sorted(s for component in chosen for s in groups[component][:3])
+    span = params.test_samples
+    burst = _scaled(span // 12, params.severity, floor=6)
+    bursts = 3
+    stride = span // (bursts + 1)
+
+    replacements: dict[str, list[str]] = {
+        sensor: list(dataset.log[sensor].events) for sensor in sensors
+    }
+    windows: list[InjectionWindow] = []
+    for index in range(bursts):
+        start = params.test_start + (index + 1) * stride - burst // 2
+        stop = min(start + burst, params.total_samples)
+        for sensor in sensors:
+            offset = int(rng.integers(max(1, burst // 3), max(2, 2 * burst // 3 + 1)))
+            _shift_window(replacements[sensor], start, stop, offset)
+        windows.append(
+            InjectionWindow(start=start, stop=stop, sensors=tuple(sensors), kind="burst")
+        )
+    return _finish("burst", params, seed, dataset, replacements, windows)
+
+
+def regime_shift(params: ScenarioParams, seed: int) -> ScenarioData:
+    """One component permanently shifts phase mid-test (new regime).
+
+    From the shift point to the end of the log the component's sensors
+    run a fixed phase offset against the rest of the plant.  Each
+    sensor still cycles through its normal states at its normal rate —
+    only the *joint* timing is wrong, and it stays wrong.
+    """
+    dataset = _clean_plant(params, seed)
+    rng = np.random.default_rng(seed)
+    groups = _active_by_component(dataset)
+    component = list(groups)[int(rng.integers(0, len(groups)))]
+    sensors = groups[component]
+    start = params.test_start + params.test_samples // 3
+    stop = params.total_samples
+    offset = _scaled(params.samples_per_day // 8, params.severity, floor=2)
+
+    replacements = {
+        sensor: _shift_window(list(dataset.log[sensor].events), start, stop, offset)
+        for sensor in sensors
+    }
+    windows = [
+        InjectionWindow(start=start, stop=stop, sensors=tuple(sensors), kind="regime-shift")
+    ]
+    return _finish("regime-shift", params, seed, dataset, replacements, windows)
+
+
+def sensor_dropout(params: ScenarioParams, seed: int) -> ScenarioData:
+    """A component's sensors flatline at their baseline states (dropout).
+
+    Every sensor of each picked component holds its most common state
+    for a long window — the "last known good value" a collector repeats
+    when a telemetry link drops.  Whole components drop because that is
+    how collectors fail (per link, not per channel); staggered windows
+    verify a detector localises each dropout independently.
+    """
+    dataset = _clean_plant(params, seed)
+    rng = np.random.default_rng(seed)
+    groups = _active_by_component(dataset)
+    names = list(groups)
+    picked = [names[i] for i in rng.permutation(len(names))[: min(2, len(names))]]
+    span = params.test_samples
+    duration = min(_scaled(span // 5, params.severity, floor=12), span // (len(picked) + 1))
+
+    replacements: dict[str, list[str]] = {}
+    windows: list[InjectionWindow] = []
+    for index, component in enumerate(picked):
+        sensors = groups[component]
+        start = params.test_start + span // 10 + index * (duration + span // 10)
+        stop = min(start + duration, params.total_samples)
+        for sensor in sensors:
+            events = list(dataset.log[sensor].events)
+            states, counts = np.unique(events, return_counts=True)
+            modal = str(states[int(np.argmax(counts))])
+            events[start:stop] = [modal] * (stop - start)
+            replacements[sensor] = events
+        windows.append(
+            InjectionWindow(start=start, stop=stop, sensors=tuple(sensors), kind="dropout")
+        )
+    return _finish("dropout", params, seed, dataset, replacements, windows)
+
+
+def timing_glitch(params: ScenarioParams, seed: int) -> ScenarioData:
+    """Late and duplicated samples corrupt one component's timeline.
+
+    Window one arrives *late*: the stream stalls at its entry state for
+    a few samples, then replays, pushing everything behind schedule.
+    Window two *duplicates*: every sample is reported twice, halving
+    the window's real coverage.  Both keep each sensor's alphabet
+    intact while breaking its alignment with the rest of the plant.
+    """
+    dataset = _clean_plant(params, seed)
+    rng = np.random.default_rng(seed)
+    groups = _active_by_component(dataset)
+    component = list(groups)[int(rng.integers(0, len(groups)))]
+    sensors = groups[component]
+    span = params.test_samples
+    duration = min(_scaled(span // 8, params.severity, floor=8), span // 3)
+    lag = max(2, duration // 4)
+    late_start = params.test_start + span // 8
+    duplicate_start = late_start + duration + span // 8
+
+    replacements: dict[str, list[str]] = {}
+    for sensor in sensors:
+        events = list(dataset.log[sensor].events)
+        late_stop = late_start + duration
+        window = events[late_start:late_stop]
+        events[late_start:late_stop] = [window[0]] * lag + window[: len(window) - lag]
+        duplicate_stop = min(duplicate_start + duration, params.total_samples)
+        window = events[duplicate_start:duplicate_stop]
+        doubled = [state for state in window for _ in range(2)]
+        events[duplicate_start:duplicate_stop] = doubled[: len(window)]
+        replacements[sensor] = events
+    windows = [
+        InjectionWindow(
+            start=late_start, stop=late_start + duration,
+            sensors=tuple(sensors), kind="timing-late",
+        ),
+        InjectionWindow(
+            start=duplicate_start,
+            stop=min(duplicate_start + duration, params.total_samples),
+            sensors=tuple(sensors), kind="timing-duplicate",
+        ),
+    ]
+    return _finish("timing", params, seed, dataset, replacements, windows)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+SCENARIOS: dict[str, Callable[[ScenarioParams, int], ScenarioData]] = {
+    "cascade": cascading_faults,
+    "drift": slow_drift,
+    "flapping": flapping_sensor,
+    "burst": correlated_burst,
+    "regime-shift": regime_shift,
+    "dropout": sensor_dropout,
+    "timing": timing_glitch,
+}
+
+
+def scenario_names() -> list[str]:
+    """Every registered scenario name, in registry order."""
+    return list(SCENARIOS)
+
+
+def generate_scenario(
+    name: str,
+    params: ScenarioParams | None = None,
+    seed: int = 11,
+    tier: str | None = None,
+) -> ScenarioData:
+    """Generate one named scenario.
+
+    ``params`` wins over ``tier``; with neither, the ``tiny`` tier is
+    used.  Same ``(params, seed)`` always yields a bit-identical log
+    digest.
+    """
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        )
+    if params is None:
+        if tier is not None and tier not in TIERS:
+            raise KeyError(f"unknown tier {tier!r}; choose from {sorted(TIERS)}")
+        params = TIERS[tier or "tiny"]
+    return SCENARIOS[name](params, seed)

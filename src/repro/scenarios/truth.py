@@ -1,0 +1,174 @@
+"""Ground-truth labels for generated fault scenarios.
+
+Every scenario generator returns, next to its event log, a
+:class:`GroundTruth`: the exact sample windows that were injected,
+which sensors each injection touched, and what kind of fault it was.
+From those windows the truth can be rendered at whatever granularity a
+detector needs — per-sample boolean masks, per-sensor masks, merged
+``(start, stop)`` event intervals, or labels for a detector's sliding
+windows — so framework and baseline scores are always measured against
+one label source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["GroundTruth", "InjectionWindow"]
+
+
+@dataclass(frozen=True)
+class InjectionWindow:
+    """One injected fault: a half-open sample window plus its victims."""
+
+    start: int
+    stop: int
+    sensors: tuple[str, ...]
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.start >= self.stop:
+            raise ValueError(
+                f"injection window [{self.start}, {self.stop}) is empty or inverted"
+            )
+        if self.start < 0:
+            raise ValueError(f"injection window starts before sample 0: {self.start}")
+        if not self.sensors:
+            raise ValueError("injection window must name at least one sensor")
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+    def overlaps(self, start: int, stop: int) -> bool:
+        """True when ``[start, stop)`` intersects this window."""
+        return self.start < stop and start < self.stop
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """The injected-fault record of one generated scenario log."""
+
+    num_samples: int
+    windows: tuple[InjectionWindow, ...]
+
+    def __post_init__(self) -> None:
+        for window in self.windows:
+            if window.stop > self.num_samples:
+                raise ValueError(
+                    f"injection window [{window.start}, {window.stop}) exceeds "
+                    f"the log's {self.num_samples} samples"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def affected_sensors(self) -> tuple[str, ...]:
+        """Every sensor any injection touched, sorted."""
+        return tuple(sorted({s for w in self.windows for s in w.sensors}))
+
+    @property
+    def kinds(self) -> tuple[str, ...]:
+        """Distinct fault kinds present, sorted."""
+        return tuple(sorted({w.kind for w in self.windows}))
+
+    def sample_mask(self) -> np.ndarray:
+        """Boolean per-sample anomaly mask over the whole log."""
+        mask = np.zeros(self.num_samples, dtype=bool)
+        for window in self.windows:
+            mask[window.start : window.stop] = True
+        return mask
+
+    def sensor_mask(self, sensor: str) -> np.ndarray:
+        """Per-sample mask restricted to injections touching ``sensor``."""
+        mask = np.zeros(self.num_samples, dtype=bool)
+        for window in self.windows:
+            if sensor in window.sensors:
+                mask[window.start : window.stop] = True
+        return mask
+
+    def sensors_in(self, start: int, stop: int) -> tuple[str, ...]:
+        """Sensors injected anywhere inside ``[start, stop)``, sorted."""
+        return tuple(
+            sorted(
+                {
+                    sensor
+                    for window in self.windows
+                    if window.overlaps(start, stop)
+                    for sensor in window.sensors
+                }
+            )
+        )
+
+    def intervals(self, merge_gap: int = 0) -> list[tuple[int, int]]:
+        """Injected spans as merged, sorted ``(start, stop)`` events.
+
+        Windows separated by at most ``merge_gap`` clean samples fold
+        into one event — different faults of one incident usually score
+        as one operator-facing event.
+        """
+        if merge_gap < 0:
+            raise ValueError("merge_gap must be >= 0")
+        spans = sorted((w.start, w.stop) for w in self.windows)
+        merged: list[tuple[int, int]] = []
+        for start, stop in spans:
+            if merged and start <= merged[-1][1] + merge_gap:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], stop))
+            else:
+                merged.append((start, stop))
+        return merged
+
+    def window_labels(self, starts: Sequence[int], span: int) -> np.ndarray:
+        """Label a detector's windows: True where a window overlaps an
+        injection.  ``starts`` are window start samples, ``span`` the
+        samples each window covers."""
+        if span <= 0:
+            raise ValueError("span must be positive")
+        return np.asarray(
+            [
+                any(w.overlaps(start, start + span) for w in self.windows)
+                for start in starts
+            ],
+            dtype=bool,
+        )
+
+    # ------------------------------------------------------------------
+    def slice(self, start: int, stop: int) -> "GroundTruth":
+        """Truth re-based to the log slice ``[start, stop)``.
+
+        Injections are clipped to the slice and shifted so their sample
+        indices match ``log.slice(start, stop)``; injections entirely
+        outside the slice are dropped.
+        """
+        if not 0 <= start < stop <= self.num_samples:
+            raise ValueError(
+                f"invalid slice [{start}, {stop}) for {self.num_samples} samples"
+            )
+        clipped = tuple(
+            InjectionWindow(
+                start=max(w.start, start) - start,
+                stop=min(w.stop, stop) - start,
+                sensors=w.sensors,
+                kind=w.kind,
+            )
+            for w in self.windows
+            if w.overlaps(start, stop)
+        )
+        return GroundTruth(num_samples=stop - start, windows=clipped)
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (used by the benchmark records)."""
+        return {
+            "num_samples": self.num_samples,
+            "windows": [
+                {
+                    "start": w.start,
+                    "stop": w.stop,
+                    "sensors": list(w.sensors),
+                    "kind": w.kind,
+                }
+                for w in self.windows
+            ],
+        }

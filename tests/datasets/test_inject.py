@@ -7,7 +7,13 @@ from collections import Counter
 import numpy as np
 import pytest
 
-from repro.datasets import desynchronize, freeze, swap_sensors
+from repro.datasets import (
+    desynchronize,
+    freeze,
+    replace_events,
+    swap_sensors,
+    validate_windows,
+)
 from repro.lang import MultivariateEventLog
 
 
@@ -43,6 +49,68 @@ class TestDesynchronize:
             desynchronize(log, ["a"], 50, 50)
         with pytest.raises(ValueError):
             desynchronize(log, ["a"], 0, 1000)
+
+
+class TestWindowValidation:
+    def test_zero_length_window_names_the_problem(self, log):
+        with pytest.raises(ValueError, match="zero-length"):
+            freeze(log, ["a"], 50, 50)
+
+    def test_inverted_window_names_the_problem(self, log):
+        with pytest.raises(ValueError, match="inverted"):
+            freeze(log, ["a"], 60, 20)
+
+    def test_out_of_range_window_names_the_problem(self, log):
+        with pytest.raises(ValueError, match="outside the log"):
+            freeze(log, ["a"], -1, 10)
+        with pytest.raises(ValueError, match="outside the log"):
+            freeze(log, ["a"], 90, 120)
+
+    def test_validate_windows_accepts_disjoint_and_sorts(self, log):
+        assert validate_windows(log, [(40, 60), (0, 10), (10, 20)]) == [
+            (0, 10),
+            (10, 20),
+            (40, 60),
+        ]
+
+    def test_validate_windows_rejects_overlap(self, log):
+        with pytest.raises(ValueError, match="overlapping injection windows"):
+            validate_windows(log, [(0, 30), (20, 50)])
+
+    def test_validate_windows_rejects_zero_length_member(self, log):
+        with pytest.raises(ValueError, match="zero-length"):
+            validate_windows(log, [(0, 10), (40, 40)])
+
+
+class TestReplaceEvents:
+    def test_untouched_sensor_keeps_table_and_codes(self, log):
+        out = replace_events(log, {"a": ["ON"] * 100})
+        assert out["b"].table is log["b"].table
+        assert np.array_equal(out["b"].codes, log["b"].codes)
+
+    def test_replaced_sensor_table_consistent_with_stream(self, log):
+        out = freeze(log, ["a"], 0, 100)
+        # The frozen stream is constant; its (re-interned) table must
+        # still decode every stored code — no stale-table aliasing.
+        codes = out["a"].codes
+        assert int(codes.max()) < len(out["a"].table.states)
+        assert set(out["a"].events) == {log["a"].events[0]}
+
+    def test_injected_log_shares_no_frame_storage(self, log):
+        out = desynchronize(log, ["a"], 20, 60, seed=1)
+        assert not np.shares_memory(out.frame.codes, log.frame.codes)
+
+    def test_length_mismatch_rejected(self, log):
+        with pytest.raises(ValueError, match="99 events"):
+            replace_events(log, {"a": ["ON"] * 99})
+
+    def test_unknown_sensor_rejected(self, log):
+        with pytest.raises(KeyError, match="nope"):
+            replace_events(log, {"nope": ["ON"] * 100})
+
+    def test_swap_with_self_rejected(self, log):
+        with pytest.raises(ValueError, match="itself"):
+            swap_sensors(log, "a", "a", 0, 10)
 
 
 class TestFreeze:

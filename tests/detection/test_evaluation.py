@@ -1,10 +1,17 @@
-"""Tests for day-level detection evaluation."""
+"""Tests for day-level and event-level detection evaluation."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.detection import evaluate_days, threshold_sweep
+from repro.detection import (
+    evaluate_days,
+    evaluate_events,
+    intervals_from_scores,
+    merge_intervals,
+    threshold_sweep,
+)
 
 
 SCORES = {
@@ -64,3 +71,131 @@ class TestThresholdSweep:
         sweep = threshold_sweep(SCORES, anomaly_days=[21], thresholds=[0.2, 0.9])
         assert len(sweep) == 2
         assert sweep[0].threshold == 0.2
+
+
+class TestMergeIntervals:
+    def test_merges_overlapping_and_touching(self):
+        assert merge_intervals([(10, 20), (15, 25), (25, 30)]) == [(10, 30)]
+
+    def test_gap_folds_near_intervals(self):
+        assert merge_intervals([(0, 5), (8, 10)], gap=3) == [(0, 10)]
+        assert merge_intervals([(0, 5), (9, 10)], gap=3) == [(0, 5), (9, 10)]
+
+    def test_sorts_input(self):
+        assert merge_intervals([(20, 30), (0, 5)]) == [(0, 5), (20, 30)]
+
+    def test_rejects_empty_and_inverted(self):
+        with pytest.raises(ValueError, match="empty or inverted"):
+            merge_intervals([(5, 5)])
+        with pytest.raises(ValueError, match="empty or inverted"):
+            merge_intervals([(7, 3)])
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ValueError, match="gap"):
+            merge_intervals([(0, 1)], gap=-1)
+
+
+class TestIntervalsFromScores:
+    def test_window_grid_mapping(self):
+        # Windows at 0, 5, 10, ... each spanning 8 samples.
+        scores = [0.0, 0.9, 0.9, 0.0, 0.0, 0.9]
+        got = intervals_from_scores(scores, 0.5, stride=5, span=8)
+        assert got == [(5, 18), (25, 33)]
+
+    def test_start_offsets_the_grid(self):
+        got = intervals_from_scores([1.0], 0.5, start=100, stride=5, span=8)
+        assert got == [(100, 108)]
+
+    def test_merge_gap_bridges_one_quiet_window(self):
+        scores = [0.9, 0.0, 0.9]
+        split = intervals_from_scores(scores, 0.5, stride=10, span=4)
+        # The quiet middle window leaves a 16-sample gap ([4, 20)).
+        bridged = intervals_from_scores(scores, 0.5, stride=10, span=4, merge_gap=16)
+        assert split == [(0, 4), (20, 24)]
+        assert bridged == [(0, 24)]
+
+    def test_threshold_is_inclusive(self):
+        assert intervals_from_scores([0.5], 0.5) == [(0, 1)]
+        assert intervals_from_scores([0.4999], 0.5) == []
+
+    def test_rejects_nonpositive_geometry(self):
+        with pytest.raises(ValueError, match="positive"):
+            intervals_from_scores([1.0], 0.5, stride=0)
+        with pytest.raises(ValueError, match="positive"):
+            intervals_from_scores([1.0], 0.5, span=0)
+
+    def test_accepts_ndarray_scores(self):
+        got = intervals_from_scores(np.array([0.1, 0.9]), 0.5, stride=3, span=3)
+        assert got == [(3, 6)]
+
+
+class TestEvaluateEvents:
+    def test_partial_overlap_counts_as_detected(self):
+        # Episode [90, 110) clips only the head of the event [100, 200).
+        result = evaluate_events(predicted=[(90, 110)], truth=[(100, 200)])
+        assert result.detected_events == ((100, 200),)
+        assert result.false_episodes == ()
+        assert result.recall == 1.0
+        assert result.precision == 1.0
+
+    def test_one_episode_may_cover_many_events(self):
+        result = evaluate_events(
+            predicted=[(0, 100)], truth=[(10, 20), (40, 50), (80, 90)]
+        )
+        assert result.recall == 1.0
+        assert result.precision == 1.0
+        assert len(result.predicted_episodes) == 1
+
+    def test_several_episodes_on_one_event_not_double_counted(self):
+        result = evaluate_events(
+            predicted=[(10, 15), (18, 25)], truth=[(12, 22)]
+        )
+        assert result.recall == 1.0
+        # Both episodes matched, but only one true event was detected.
+        assert len(result.detected_events) == 1
+        assert len(result.matched_episodes) == 2
+
+    def test_false_alarms_and_misses(self):
+        result = evaluate_events(
+            predicted=[(0, 5), (50, 60)], truth=[(52, 55), (90, 95)]
+        )
+        assert result.false_episodes == ((0, 5),)
+        assert result.missed_events == ((90, 95),)
+        assert result.precision == pytest.approx(0.5)
+        assert result.recall == pytest.approx(0.5)
+        assert 0 < result.f1 < 1
+
+    def test_touching_intervals_do_not_overlap(self):
+        # Half-open: [0, 10) and [10, 20) share no sample.
+        result = evaluate_events(predicted=[(0, 10)], truth=[(10, 20)])
+        assert result.recall == 0.0
+        assert result.false_episodes == ((0, 10),)
+
+    def test_no_truth_is_vacuous_recall(self):
+        quiet = evaluate_events(predicted=[], truth=[])
+        assert quiet.recall == 1.0 and quiet.precision == 1.0 and quiet.f1 == 1.0
+        noisy = evaluate_events(predicted=[(0, 5)], truth=[])
+        assert noisy.recall == 1.0
+        assert noisy.precision == 0.0
+
+    def test_no_predictions_is_vacuous_precision(self):
+        silent = evaluate_events(predicted=[], truth=[(0, 5)])
+        assert silent.precision == 1.0
+        assert silent.recall == 0.0
+        assert silent.f1 == 0.0
+
+    def test_rejects_degenerate_intervals(self):
+        with pytest.raises(ValueError, match="predicted"):
+            evaluate_events(predicted=[(5, 5)], truth=[(0, 10)])
+        with pytest.raises(ValueError, match="truth"):
+            evaluate_events(predicted=[(0, 10)], truth=[(9, 3)])
+
+    def test_to_dict_round_trip(self):
+        result = evaluate_events(predicted=[(0, 5)], truth=[(3, 8), (20, 30)])
+        payload = result.to_dict()
+        assert payload["true_events"] == 2
+        assert payload["detected_events"] == 1
+        assert payload["missed_events"] == 1
+        assert payload["false_episodes"] == 0
+        assert payload["precision"] == pytest.approx(1.0)
+        assert payload["recall"] == pytest.approx(0.5)

@@ -154,6 +154,44 @@ class TestSentenceCacheValidation:
             detector.detect(other, sentence_cache=cache)
 
 
+class TestScenarioParity:
+    """Batch/online agreement on a generated fault scenario.
+
+    The plant-fixture tests above stream *normal* data; this pins
+    parity on a log with injected anomalies, where broken-pair churn
+    actually exercises the incremental bookkeeping.
+    """
+
+    @pytest.fixture(scope="class")
+    def scenario_setup(self):
+        from repro.pipeline.framework import AnalyticsFramework
+        from repro.scenarios import generate_scenario, harness_framework_config
+
+        data = generate_scenario("cascade", tier="tiny", seed=11)
+        train, dev, test, _ = data.split()
+        framework = AnalyticsFramework(harness_framework_config()).fit(train, dev)
+        return framework.graph, test
+
+    def test_online_matches_batch_on_faulty_scenario(self, scenario_setup):
+        graph, test = scenario_setup
+        batch = AnomalyDetector(graph, FULL_RANGE).detect(test)
+        online = OnlineAnomalyDetector(graph, FULL_RANGE)
+        emitted = _stream(online, test, test.num_samples)
+
+        assert len(emitted) == len(batch.anomaly_scores)
+        # The injected cascade must actually break pairs somewhere.
+        assert any(window.broken_pairs for window in emitted)
+        for window in emitted:
+            np.testing.assert_allclose(
+                window.anomaly_score,
+                batch.anomaly_scores[window.window_index],
+                atol=1e-12,
+            )
+            assert set(window.broken_pairs) == set(
+                batch.broken_pairs(window.window_index)
+            )
+
+
 class TestOnlineConfigValidation:
     def test_divergent_sensor_configs_rejected_at_construction(self, parity_setup):
         graph, _ = parity_setup

@@ -1,0 +1,138 @@
+"""Unit tests for the fault-scenario generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    SCENARIOS,
+    ScenarioParams,
+    TIERS,
+    generate_scenario,
+    scenario_names,
+)
+
+ALL_NAMES = scenario_names()
+
+
+@pytest.fixture(scope="module", params=ALL_NAMES)
+def scenario(request):
+    return generate_scenario(request.param, tier="tiny", seed=11)
+
+
+class TestRegistry:
+    def test_seven_scenarios_registered(self):
+        assert len(SCENARIOS) == 7
+        assert scenario_names() == list(SCENARIOS)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            generate_scenario("nope")
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(KeyError, match="unknown tier"):
+            generate_scenario("cascade", tier="galactic")
+
+    def test_params_win_over_tier(self):
+        params = ScenarioParams(num_sensors=8, days=7, samples_per_day=32)
+        data = generate_scenario("cascade", params=params, tier="small", seed=3)
+        assert data.params == params
+        assert data.log.num_samples == params.total_samples
+
+
+class TestParams:
+    def test_rejects_no_test_days(self):
+        with pytest.raises(ValueError, match="no test days"):
+            ScenarioParams(days=5, train_days=4, dev_days=1)
+
+    def test_rejects_nonpositive_severity(self):
+        with pytest.raises(ValueError, match="severity"):
+            ScenarioParams(severity=0.0)
+
+    def test_derived_sample_counts(self):
+        params = TIERS["tiny"]
+        assert params.total_samples == 7 * 48
+        assert params.test_start == 5 * 48
+        assert params.test_samples == 2 * 48
+
+
+class TestGeneratedScenario:
+    def test_log_shape_matches_params(self, scenario):
+        assert scenario.log.num_samples == scenario.params.total_samples
+        assert len(scenario.log.sensors) == scenario.params.num_sensors
+        assert scenario.log.sensors == scenario.clean_log.sensors
+
+    def test_truth_windows_only_in_test_period(self, scenario):
+        for window in scenario.truth.windows:
+            assert window.start >= scenario.params.test_start
+            assert window.stop <= scenario.params.total_samples
+
+    def test_samples_outside_truth_identical_to_clean(self, scenario):
+        mask = scenario.truth.sample_mask()
+        assert mask.any(), "scenario must inject something"
+        faulty = scenario.log.frame.codes
+        clean = scenario.clean_log.frame.codes
+        np.testing.assert_array_equal(faulty[:, ~mask], clean[:, ~mask])
+
+    def test_injection_changes_the_log(self, scenario):
+        assert scenario.digest != scenario.clean_log.frame.digest()
+
+    def test_untouched_sensors_bit_identical(self, scenario):
+        affected = set(scenario.truth.affected_sensors)
+        for sensor in scenario.log.sensors:
+            if sensor in affected:
+                continue
+            assert (
+                scenario.log[sensor].events == scenario.clean_log[sensor].events
+            )
+
+    def test_alphabet_never_grows(self, scenario):
+        # Injections rearrange/freeze existing states; they never mint
+        # events the training period could not have seen.
+        for sensor in scenario.truth.affected_sensors:
+            assert set(scenario.log[sensor].events) <= set(
+                scenario.clean_log[sensor].events
+            )
+
+    def test_affected_sensors_exist_and_are_active(self, scenario):
+        for sensor in scenario.truth.affected_sensors:
+            assert sensor in scenario.log.sensors
+            assert scenario.clean_log[sensor].cardinality > 1
+
+    def test_split_geometry(self, scenario):
+        train, dev, test, test_truth = scenario.split()
+        per_day = scenario.params.samples_per_day
+        assert train.num_samples == scenario.params.train_days * per_day
+        assert dev.num_samples == scenario.params.dev_days * per_day
+        assert test.num_samples == scenario.params.test_samples
+        assert test_truth.num_samples == test.num_samples
+        # Every injected window survives the test-relative re-basing.
+        assert len(test_truth.windows) == len(scenario.truth.windows)
+
+    def test_train_and_dev_are_clean(self, scenario):
+        mask = scenario.truth.sample_mask()
+        assert not mask[: scenario.params.test_start].any()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_same_seed_same_digest(self, name):
+        first = generate_scenario(name, tier="tiny", seed=23)
+        second = generate_scenario(name, tier="tiny", seed=23)
+        assert first.digest == second.digest
+        assert first.truth == second.truth
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_different_seed_different_digest(self, name):
+        assert (
+            generate_scenario(name, tier="tiny", seed=1).digest
+            != generate_scenario(name, tier="tiny", seed=2).digest
+        )
+
+    def test_scenarios_differ_from_each_other(self):
+        digests = {
+            generate_scenario(name, tier="tiny", seed=11).digest
+            for name in ALL_NAMES
+        }
+        assert len(digests) == len(ALL_NAMES)

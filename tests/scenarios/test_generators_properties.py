@@ -1,0 +1,74 @@
+"""Property-based tests for the fault-scenario generators.
+
+Every generator must uphold, for *any* seed and reasonable parameter
+shape: the log geometry matches the params, injected labels stay
+inside the test period, samples outside labeled windows are
+bit-identical to the clean log, alphabets never grow, and the digest
+is a pure function of ``(params, seed)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import ScenarioParams, generate_scenario, scenario_names
+
+NAMES = st.sampled_from(scenario_names())
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+PARAMS = st.builds(
+    ScenarioParams,
+    num_sensors=st.integers(6, 14),
+    days=st.integers(7, 9),
+    samples_per_day=st.sampled_from([48, 64]),
+    num_components=st.integers(2, 5),
+    train_days=st.integers(3, 4),
+    dev_days=st.just(1),
+    severity=st.sampled_from([0.5, 1.0, 2.0]),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(NAMES, SEEDS)
+def test_property_digest_depends_only_on_inputs(name, seed):
+    first = generate_scenario(name, tier="tiny", seed=seed)
+    second = generate_scenario(name, tier="tiny", seed=seed)
+    assert first.digest == second.digest
+    assert first.truth == second.truth
+    sensor = first.log.sensors[0]
+    assert first.log.frame.row_digest(sensor) == second.log.frame.row_digest(sensor)
+
+
+@settings(max_examples=40, deadline=None)
+@given(NAMES, PARAMS, SEEDS)
+def test_property_geometry_and_label_containment(name, params, seed):
+    data = generate_scenario(name, params=params, seed=seed)
+    assert data.log.num_samples == params.total_samples
+    assert len(data.log.sensors) == params.num_sensors
+    assert data.truth.num_samples == params.total_samples
+    assert data.truth.windows, "every scenario injects at least one window"
+    for window in data.truth.windows:
+        assert params.test_start <= window.start < window.stop <= params.total_samples
+
+
+@settings(max_examples=40, deadline=None)
+@given(NAMES, PARAMS, SEEDS)
+def test_property_faults_confined_to_labeled_windows(name, params, seed):
+    data = generate_scenario(name, params=params, seed=seed)
+    mask = data.truth.sample_mask()
+    np.testing.assert_array_equal(
+        data.log.frame.codes[:, ~mask], data.clean_log.frame.codes[:, ~mask]
+    )
+    affected = set(data.truth.affected_sensors)
+    for sensor in data.log.sensors:
+        if sensor not in affected:
+            assert data.log[sensor].events == data.clean_log[sensor].events
+
+
+@settings(max_examples=40, deadline=None)
+@given(NAMES, PARAMS, SEEDS)
+def test_property_alphabets_never_grow(name, params, seed):
+    data = generate_scenario(name, params=params, seed=seed)
+    for sensor in data.truth.affected_sensors:
+        assert set(data.log[sensor].events) <= set(data.clean_log[sensor].events)

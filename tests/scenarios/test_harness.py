@@ -1,0 +1,154 @@
+"""Tests for the scenario evaluation harness and benchmark log."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.scenarios import (
+    DEFAULT_DETECTORS,
+    SCENARIO_SCHEMA,
+    append_bench_record,
+    generate_scenario,
+    harness_framework_config,
+    harness_language_config,
+    load_bench,
+    run_scenario,
+    run_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def cascade_report():
+    data = generate_scenario("cascade", tier="tiny", seed=11)
+    metrics = MetricsRegistry()
+    report = run_scenario(data, tier="tiny", metrics=metrics)
+    return report, metrics
+
+
+class TestHarnessConfig:
+    def test_windowing_fits_tiny_tier(self):
+        language = harness_language_config()
+        # One tiny-tier dev day (48 samples) must yield several windows.
+        span = language.samples_per_sentence()
+        stride = language.effective_sentence_stride * language.word_stride
+        assert span <= 48
+        assert (48 - span) // stride >= 4
+
+    def test_framework_config_uses_harness_language(self):
+        config = harness_framework_config()
+        assert config.language == harness_language_config()
+        assert config.engine == "ngram"
+
+
+class TestRunScenario:
+    def test_all_default_detectors_reported(self, cascade_report):
+        report, _ = cascade_report
+        assert tuple(o.detector for o in report.outcomes) == DEFAULT_DETECTORS
+        for outcome in report.outcomes:
+            assert outcome.num_windows > 0
+            assert outcome.window_span > 0 and outcome.window_stride > 0
+            assert 0.0 <= outcome.evaluation.precision <= 1.0
+            assert 0.0 <= outcome.evaluation.recall <= 1.0
+
+    def test_framework_detects_the_cascade(self, cascade_report):
+        report, _ = cascade_report
+        framework = report.outcome("framework")
+        assert framework.evaluation.recall >= 0.5
+        assert framework.evaluation.precision >= 0.5
+
+    def test_truth_is_test_relative(self, cascade_report):
+        report, _ = cascade_report
+        data = generate_scenario("cascade", tier="tiny", seed=11)
+        test_samples = data.params.test_samples
+        for start, stop in report.truth_events:
+            assert 0 <= start < stop <= test_samples
+
+    def test_metrics_counted(self, cascade_report):
+        _, metrics = cascade_report
+        assert metrics.value("scenarios.runs") == 1
+        assert metrics.value("scenarios.detector_runs") == len(DEFAULT_DETECTORS)
+
+    def test_unknown_detector_rejected(self):
+        data = generate_scenario("cascade", tier="tiny", seed=11)
+        with pytest.raises(KeyError, match="unknown detectors"):
+            run_scenario(data, detectors=("framework", "oracle"))
+
+    def test_missing_outcome_lookup_raises(self, cascade_report):
+        report, _ = cascade_report
+        with pytest.raises(KeyError, match="no outcome"):
+            report.outcome("oracle")
+
+    def test_record_shape(self, cascade_report):
+        report, _ = cascade_report
+        record = report.to_dict()
+        assert record["schema"] == SCENARIO_SCHEMA
+        assert record["scenario"] == "cascade"
+        assert record["tier"] == "tiny"
+        assert record["seed"] == 11
+        assert len(record["frame_digest"]) == 64
+        assert set(record["detectors"]) == set(DEFAULT_DETECTORS)
+        for payload in record["detectors"].values():
+            for key in ("threshold", "precision", "recall", "f1", "seconds"):
+                assert key in payload
+        # Records must be JSON-serialisable as-is.
+        json.dumps(record)
+
+
+class TestBenchLog:
+    def test_load_missing_returns_empty_shell(self, tmp_path):
+        payload = load_bench(tmp_path / "nothing.json")
+        assert payload == {"schema": SCENARIO_SCHEMA, "records": []}
+
+    def test_append_then_load(self, tmp_path, cascade_report):
+        report, _ = cascade_report
+        path = tmp_path / "bench.json"
+        append_bench_record(report.to_dict(), path)
+        payload = load_bench(path)
+        assert len(payload["records"]) == 1
+        assert payload["records"][0]["scenario"] == "cascade"
+
+    def test_same_key_replaces_not_duplicates(self, tmp_path, cascade_report):
+        report, _ = cascade_report
+        path = tmp_path / "bench.json"
+        append_bench_record(report.to_dict(), path)
+        changed = dict(report.to_dict(), frame_digest="x" * 64)
+        append_bench_record(changed, path)
+        payload = load_bench(path)
+        assert len(payload["records"]) == 1
+        assert payload["records"][0]["frame_digest"] == "x" * 64
+
+    def test_different_seed_appends(self, tmp_path, cascade_report):
+        report, _ = cascade_report
+        path = tmp_path / "bench.json"
+        append_bench_record(report.to_dict(), path)
+        append_bench_record(dict(report.to_dict(), seed=99), path)
+        assert len(load_bench(path)["records"]) == 2
+
+    def test_foreign_schema_rejected(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"schema": "other-v9", "records": []}))
+        with pytest.raises(ValueError, match="other-v9"):
+            load_bench(path)
+
+
+class TestRunSuite:
+    def test_selected_scenarios_with_bench(self, tmp_path):
+        path = tmp_path / "bench.json"
+        reports = run_suite(
+            names=["dropout"],
+            tier="tiny",
+            seed=11,
+            detectors=("markov",),
+            bench_path=path,
+        )
+        assert [r.scenario for r in reports] == ["dropout"]
+        payload = load_bench(path)
+        assert [r["scenario"] for r in payload["records"]] == ["dropout"]
+        assert set(payload["records"][0]["detectors"]) == {"markov"}
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(KeyError, match="unknown tier"):
+            run_suite(names=["cascade"], tier="galactic")

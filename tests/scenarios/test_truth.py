@@ -1,0 +1,109 @@
+"""Tests for scenario ground-truth containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios import GroundTruth, InjectionWindow
+
+
+def _truth() -> GroundTruth:
+    return GroundTruth(
+        num_samples=100,
+        windows=(
+            InjectionWindow(start=10, stop=20, sensors=("s0", "s1"), kind="cascade"),
+            InjectionWindow(start=18, stop=25, sensors=("s2",), kind="drift"),
+            InjectionWindow(start=50, stop=60, sensors=("s0",), kind="cascade"),
+        ),
+    )
+
+
+class TestInjectionWindow:
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError, match="empty or inverted"):
+            InjectionWindow(start=5, stop=5, sensors=("s0",), kind="x")
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError, match="before sample 0"):
+            InjectionWindow(start=-1, stop=5, sensors=("s0",), kind="x")
+
+    def test_rejects_no_sensors(self):
+        with pytest.raises(ValueError, match="at least one sensor"):
+            InjectionWindow(start=0, stop=5, sensors=(), kind="x")
+
+    def test_overlap_is_half_open(self):
+        window = InjectionWindow(start=10, stop=20, sensors=("s0",), kind="x")
+        assert window.overlaps(19, 30)
+        assert not window.overlaps(20, 30)
+        assert not window.overlaps(0, 10)
+        assert window.length == 10
+
+
+class TestGroundTruth:
+    def test_rejects_window_past_log_end(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            GroundTruth(
+                num_samples=10,
+                windows=(InjectionWindow(0, 20, ("s0",), "x"),),
+            )
+
+    def test_affected_sensors_and_kinds_sorted_unique(self):
+        truth = _truth()
+        assert truth.affected_sensors == ("s0", "s1", "s2")
+        assert truth.kinds == ("cascade", "drift")
+
+    def test_sample_mask_covers_exactly_the_windows(self):
+        mask = _truth().sample_mask()
+        assert mask.shape == (100,)
+        expected = np.zeros(100, dtype=bool)
+        expected[10:25] = True
+        expected[50:60] = True
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_sensor_mask_restricts_to_that_sensors_windows(self):
+        mask = _truth().sensor_mask("s2")
+        assert mask[18:25].all()
+        assert not mask[:18].any() and not mask[25:].any()
+
+    def test_sensors_in_range(self):
+        truth = _truth()
+        assert truth.sensors_in(0, 15) == ("s0", "s1")
+        assert truth.sensors_in(22, 55) == ("s0", "s2")
+        assert truth.sensors_in(90, 100) == ()
+
+    def test_intervals_merge_overlapping_windows(self):
+        assert _truth().intervals() == [(10, 25), (50, 60)]
+
+    def test_intervals_merge_gap(self):
+        assert _truth().intervals(merge_gap=30) == [(10, 60)]
+
+    def test_window_labels_on_a_detector_grid(self):
+        # Half-open grid: [5, 15) clips the first injection, [30, 40)
+        # is clean, [45, 55) clips the third, [80, 90) is clean.
+        labels = _truth().window_labels(starts=[5, 30, 45, 80], span=10)
+        np.testing.assert_array_equal(labels, [True, False, True, False])
+
+    def test_slice_clips_and_shifts(self):
+        sliced = _truth().slice(15, 55)
+        assert sliced.num_samples == 40
+        assert [(w.start, w.stop) for w in sliced.windows] == [
+            (0, 5),
+            (3, 10),
+            (35, 40),
+        ]
+
+    def test_slice_drops_outside_windows(self):
+        sliced = _truth().slice(30, 45)
+        assert sliced.windows == ()
+        assert not sliced.sample_mask().any()
+
+    def test_to_dict_round_trip(self):
+        payload = _truth().to_dict()
+        assert payload["num_samples"] == 100
+        assert payload["windows"][0] == {
+            "start": 10,
+            "stop": 20,
+            "sensors": ["s0", "s1"],
+            "kind": "cascade",
+        }

@@ -364,3 +364,78 @@ class TestObservabilityFlags:
                 ["detect", str(test), "--model", str(trained_model),
                  "--log-level", "LOUD"]
             )
+
+
+class TestScenariosCommand:
+    def test_list_names_every_scenario(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_list_json(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["scenarios", "list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["scenario"] for row in rows] == scenario_names()
+
+    def test_digest_is_deterministic(self, capsys):
+        args = ["scenarios", "digest", "cascade", "--tier", "tiny", "--seed", "11"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        name, digest = first.split()
+        assert name == "cascade" and len(digest) == 64
+
+    def test_run_writes_bench_and_json(self, tmp_path, capsys):
+        from repro.scenarios import SCENARIO_SCHEMA
+
+        bench = tmp_path / "bench.json"
+        assert main(
+            [
+                "scenarios", "run", "dropout",
+                "--tier", "tiny", "--seed", "11",
+                "--detectors", "markov",
+                "--bench", str(bench), "--json",
+            ]
+        ) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert [r["scenario"] for r in reports] == ["dropout"]
+        payload = json.loads(bench.read_text())
+        assert payload["schema"] == SCENARIO_SCHEMA
+        assert len(payload["records"]) == 1
+
+    def test_run_writes_metrics_snapshot(self, tmp_path, capsys):
+        from repro.obs import SNAPSHOT_SCHEMA
+
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            [
+                "scenarios", "run", "dropout",
+                "--tier", "tiny", "--detectors", "markov",
+                "--metrics-json", str(metrics_path),
+            ]
+        ) == 0
+        payload = json.loads(metrics_path.read_text())
+        assert payload["schema"] == SNAPSHOT_SCHEMA
+        assert payload["metrics"]["scenarios.runs"]["value"] == 1
+
+    def test_run_requires_selection(self):
+        with pytest.raises(SystemExit, match="no scenarios selected"):
+            main(["scenarios", "run"])
+
+    def test_run_rejects_names_with_all(self):
+        with pytest.raises(SystemExit, match="not both"):
+            main(["scenarios", "run", "cascade", "--all"])
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["scenarios", "run", "nope"])
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(SystemExit, match="unknown detectors"):
+            main(["scenarios", "run", "dropout", "--detectors", "oracle"])

@@ -25,6 +25,7 @@ SUBPACKAGES = [
     "repro.datasets",
     "repro.pipeline",
     "repro.report",
+    "repro.scenarios",
 ]
 
 
