@@ -108,6 +108,23 @@ def build_parser() -> argparse.ArgumentParser:
         "default) or legacy encrypted character strings; scores are "
         "bit-identical either way",
     )
+    train.add_argument(
+        "--prescreen",
+        choices=("off", "bleu", "mi"),
+        default="off",
+        help="pair-affinity prescreen: prune unordered sensor pairs whose "
+        "cheap affinity falls below the calibrated floor before any "
+        "translation model trains (see docs/prescreen.md); 'off' "
+        "(default) is bit-identical to builds without the prescreen",
+    )
+    train.add_argument(
+        "--prescreen-floor",
+        type=float,
+        default=None,
+        metavar="FLOOR",
+        help="override the prescreen method's calibrated affinity floor "
+        "(0-100, on the predicted-BLEU scale)",
+    )
     train.add_argument("--popular-threshold", type=int, default=100)
     train.add_argument(
         "--range",
@@ -303,6 +320,8 @@ def _command_train(args: argparse.Namespace) -> int:
         detection_range=_parse_range(args.range),
         popular_threshold=args.popular_threshold,
         n_jobs=_parse_n_jobs(args.n_jobs),
+        prescreen=args.prescreen,
+        prescreen_floor=args.prescreen_floor,
     )
     checkpoint = None
     checkpoint_path = args.checkpoint
@@ -334,6 +353,14 @@ def _command_train(args: argparse.Namespace) -> int:
         f"trained {graph.num_edges} pair models over {len(graph.sensors)} sensors; "
         f"saved to {path}"
     )
+    prescreen = getattr(graph, "prescreen", None)
+    if prescreen is not None:
+        print(
+            f"prescreen ({prescreen.config.method}, floor "
+            f"{prescreen.floor:g}): kept {len(prescreen.kept_pairs)} "
+            f"pair(s), pruned {len(prescreen.pruned_pairs)} in "
+            f"{prescreen.seconds:.2f}s"
+        )
     report = fitted.build_report
     if report is not None:
         print(f"build: {report.summary()}")

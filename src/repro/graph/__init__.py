@@ -6,6 +6,17 @@ from .dedup import RedundancyGroups, find_redundant_sensors, sequence_agreement
 from .export import graph_to_dict, load_graph_scores, save_graph_json, save_graphml
 from .metrics import GraphSummary, gini_coefficient, score_asymmetry, summarize_graph
 from .mvrg import MultivariateRelationshipGraph, PairwiseRelationship
+from .prescreen import (
+    DEFAULT_FLOORS,
+    DEGENERATE_AFFINITY,
+    PRESCREEN_METHODS,
+    PrescreenConfig,
+    PrescreenResult,
+    affinity_matrix,
+    pair_affinity,
+    prescreen_pairs,
+    resolve_floor,
+)
 from .ranges import DEFAULT_RANGES, DETECTION_RANGE, STRONGEST_RANGE, ScoreRange
 from .subgraphs import (
     POPULAR_IN_DEGREE,
@@ -18,17 +29,23 @@ from .subgraphs import (
 )
 
 __all__ = [
+    "DEFAULT_FLOORS",
     "DEFAULT_RANGES",
+    "DEGENERATE_AFFINITY",
     "DETECTION_RANGE",
     "DegreeSummary",
     "GraphSummary",
     "MultivariateRelationshipGraph",
     "POPULAR_IN_DEGREE",
+    "PRESCREEN_METHODS",
     "PairwiseRelationship",
+    "PrescreenConfig",
+    "PrescreenResult",
     "RedundancyGroups",
     "STRONGEST_RANGE",
     "ScoreRange",
     "SubgraphStats",
+    "affinity_matrix",
     "connected_component_clusters",
     "degree_distribution",
     "degree_summary",
@@ -39,9 +56,12 @@ __all__ = [
     "load_graph_scores",
     "local_subgraph",
     "modularity",
+    "pair_affinity",
     "partition_by_ranges",
     "popular_sensors",
+    "prescreen_pairs",
     "rank_by_in_degree",
+    "resolve_floor",
     "save_graph_json",
     "save_graphml",
     "score_asymmetry",

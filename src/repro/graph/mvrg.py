@@ -90,6 +90,10 @@ class MultivariateRelationshipGraph:
         #: Populated by :meth:`build`: completed/resumed/skipped pairs,
         #: worker configuration and wall-clock time of the build.
         self.build_report = None
+        #: Populated by :meth:`build` when the affinity prescreen ran:
+        #: the :class:`~repro.graph.prescreen.PrescreenResult` with the
+        #: affinity matrix, resolved floor and pruning decisions.
+        self.prescreen = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -110,6 +114,7 @@ class MultivariateRelationshipGraph:
         store: "ArtifactStore | str | None" = None,
         representation: str = "codes",
         metrics: "MetricsRegistry | None" = None,
+        prescreen: "str | PrescreenConfig | None" = "off",
     ) -> "MultivariateRelationshipGraph":
         """Run Algorithm 1 as a stage graph.
 
@@ -164,6 +169,18 @@ class MultivariateRelationshipGraph:
             stage timings, cache hit/miss counts and pair-training
             counters for this build; a run-private registry is created
             when omitted.
+        prescreen:
+            Pair-affinity prescreen (see :mod:`repro.graph.prescreen`
+            and ``docs/prescreen.md``): ``"off"`` (default) trains the
+            full requested grid, bit-identically to builds before the
+            prescreen existed; ``"bleu"`` or ``"mi"`` prune unordered
+            pairs whose cheap affinity falls below the method's
+            calibrated floor before any model trains; a
+            :class:`~repro.graph.prescreen.PrescreenConfig` sets the
+            floor/ordering explicitly.  Pruned pairs are recorded in
+            ``build_report.pruned`` and the full
+            :class:`~repro.graph.prescreen.PrescreenResult` on the
+            returned graph's ``prescreen`` attribute.
         """
         from ..pipeline.artifacts import ArtifactStore
         from ..pipeline.persistence import PairCheckpointStore
@@ -172,11 +189,19 @@ class MultivariateRelationshipGraph:
             EncryptStage,
             GraphAssembleStage,
             PairTrainStage,
+            PrescreenStage,
             StageContext,
             StageGraph,
         )
+        from .prescreen import PrescreenConfig
 
         config = config or LanguageConfig()
+        if prescreen is None or prescreen == "off":
+            prescreen_config = None
+        elif isinstance(prescreen, PrescreenConfig):
+            prescreen_config = prescreen
+        else:
+            prescreen_config = PrescreenConfig(method=prescreen)
         if model_factory is not None:
             spec = ("factory", model_factory)
         else:
@@ -194,6 +219,7 @@ class MultivariateRelationshipGraph:
             "representation": representation,
             "factory_spec": spec,
             "pairs": pairs,
+            "prescreen_config": prescreen_config,
             "executor_options": {
                 "n_jobs": n_jobs,
                 "backend": backend,
@@ -203,7 +229,13 @@ class MultivariateRelationshipGraph:
             },
         }
         pipeline = StageGraph(
-            [EncryptStage(), CorpusStage(), PairTrainStage(), GraphAssembleStage()],
+            [
+                EncryptStage(),
+                CorpusStage(),
+                PrescreenStage(),
+                PairTrainStage(),
+                GraphAssembleStage(),
+            ],
             seeds=tuple(seeds),
         )
         context = pipeline.run(StageContext(seeds, store=store, metrics=metrics))

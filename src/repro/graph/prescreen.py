@@ -1,0 +1,456 @@
+"""Sub-quadratic pair prescreen for Algorithm 1 (see ``docs/prescreen.md``).
+
+Algorithm 1 trains all ``N(N-1)`` directed translation models, but the
+relationship graph only ever *uses* pairs whose dev-BLEU clears a
+global-subgraph range.  This module scores every unordered pair with a
+cheap vectorised affinity — no model training — so pairs that no
+translation model could turn into a usable edge are pruned before the
+:class:`~repro.pipeline.executor.PairExecutor` ever sees them.  Two
+proxies are offered, both reported on a predicted dev-BLEU 0–100 scale
+so floors are directly comparable with the score ranges:
+
+- ``"bleu"`` — the leave-one-out mapping-predictability proxy of
+  :func:`~repro.translation.bleu.mapping_proxy_scores`, which predicts
+  each target word from exactly the translator's backoff context (the
+  aligned source word plus the previous target word).  The per-word
+  accuracy is raised to :data:`BLEU_GEOMETRY_EXPONENT` to land on the
+  BLEU scale.  This is the conservative default: it sees both the
+  cross-channel and the target's self-predictability, the two routes
+  by which a trained pair can reach a high dev-BLEU.
+- ``"mi"`` — normalised mutual information between the aligned word
+  streams, ``100 * I(X; Y) / max(H(X), H(Y))``, guarded by each
+  sensor's own self-predictability (a sensor whose next word is
+  predictable from its previous word scores high dev-BLEU as a target
+  regardless of the source, so such pairs are never pruned).  More
+  aggressive than ``"bleu"``: it cannot see joint source+history
+  interactions, so its floor is heuristic rather than calibrated.
+
+Affinities are symmetric; a pair is pruned only when *both* directions
+are hopeless.  Degenerate evidence (no aligned sentences, a
+zero-entropy stream) is parked at :data:`DEGENERATE_AFFINITY` — the
+ceiling, not the floor — so the prescreen can never prune a pair it
+could not actually measure.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..translation.bleu import Sentence, mapping_proxy_scores
+from .community import walktrap_communities
+
+__all__ = [
+    "BLEU_GEOMETRY_EXPONENT",
+    "DEFAULT_FLOORS",
+    "DEGENERATE_AFFINITY",
+    "PRESCREEN_METHODS",
+    "PrescreenConfig",
+    "PrescreenResult",
+    "affinity_matrix",
+    "pair_affinity",
+    "prescreen_pairs",
+    "resolve_floor",
+]
+
+#: Supported affinity proxies (plus ``"off"`` at the config/CLI layer,
+#: which bypasses this module entirely).
+PRESCREEN_METHODS = ("bleu", "mi")
+
+#: Affinity assigned when a pair cannot be measured (no aligned
+#: sentences or, for ``"mi"``, a zero-entropy word stream).  It is the
+#: *ceiling* of the affinity scale: unmeasurable pairs are always kept,
+#: because pruning must only ever rest on positive evidence of
+#: unrelatedness.  This is also self-consistent — a constant stream is
+#: perfectly translatable, so its true dev-BLEU is high.
+DEGENERATE_AFFINITY = 100.0
+
+#: Maps per-word prediction accuracy onto the BLEU scale:
+#: ``100 * accuracy ** BLEU_GEOMETRY_EXPONENT``.  BLEU is the geometric
+#: mean of n-gram precisions over orders 1–4; under per-word error
+#: independence an accuracy ``a`` yields precision ``a ** n`` at order
+#: ``n``, so the geometric mean is ``a ** 2.5`` (mean of 1..4).
+BLEU_GEOMETRY_EXPONENT = 2.5
+
+#: Default affinity floor per method, on the predicted-BLEU scale.  The
+#: calibration rule (see docs/prescreen.md): the lowest informative
+#: score-range bound under ``DEFAULT_RANGES`` is 60, and a pruned pair
+#: must provably fall below every admitted score, so the floor is that
+#: bound minus a 5-point safety margin for proxy error.  On plant
+#: corpora the proxy never under-predicted a trained pair's dev-BLEU by
+#: more than ~4 points at this floor.  The same floor applies to
+#: ``"mi"`` via its self-predictability guard, but its cross-channel
+#: term (NMI) is heuristic on this scale.
+DEFAULT_FLOORS = {"bleu": 55.0, "mi": 55.0}
+
+
+@dataclass(frozen=True)
+class PrescreenConfig:
+    """How the prescreen scores, prunes and orders the pair grid.
+
+    Attributes
+    ----------
+    method:
+        ``"bleu"`` (leave-one-out mapping predictability in the
+        translator's own context) or ``"mi"`` (normalised mutual
+        information with a self-predictability guard).
+    max_order:
+        Highest source n-gram length pooled into the ``"bleu"`` proxy's
+        leave-one-out counts (ignored by ``"mi"``).  The default 3
+        mirrors the translator's backoff: high orders only contribute
+        where their contexts repeat, which keeps pairs whose structure
+        lives in longer-range context from being mis-scored by a
+        unigram-only view.  Raising it further memorises more and
+        prunes less.
+    floor:
+        Explicit affinity floor on the predicted-BLEU scale; pairs with
+        affinity strictly below it are pruned.  ``None`` selects the
+        method's calibrated default (:data:`DEFAULT_FLOORS`), capped by
+        ``max_prune_fraction``.
+    max_prune_fraction:
+        Safety valve on calibrated floors: the resolved floor never
+        prunes more than this fraction of the scored pairs.  The
+        default 1.0 disables the cap (the calibrated floor is already
+        evidence-based); an explicit ``floor`` is always applied
+        verbatim, without the cap.
+    community_order:
+        When true, surviving pairs are reordered by Walktrap
+        communities of the prescreen graph so dense intra-cluster
+        pairs train first.  Ordering never changes any score.
+    walk_length:
+        Random-walk length handed to
+        :func:`~repro.graph.community.walktrap_communities`.
+    """
+
+    method: str = "bleu"
+    max_order: int = 3
+    floor: float | None = None
+    max_prune_fraction: float = 1.0
+    community_order: bool = True
+    walk_length: int = 4
+
+    def __post_init__(self) -> None:
+        if self.method not in PRESCREEN_METHODS:
+            raise ValueError(
+                f"unknown prescreen method {self.method!r}; "
+                f"choose from {PRESCREEN_METHODS}"
+            )
+        if self.max_order < 1:
+            raise ValueError("max_order must be >= 1")
+        if self.floor is not None and not 0.0 <= self.floor <= 100.0:
+            raise ValueError("floor must lie in [0, 100]")
+        if not 0.0 <= self.max_prune_fraction <= 1.0:
+            raise ValueError("max_prune_fraction must lie in [0, 1]")
+        if self.walk_length < 1:
+            raise ValueError("walk_length must be >= 1")
+
+
+# ----------------------------------------------------------------------
+# Affinity kernel
+# ----------------------------------------------------------------------
+def _aligned_stream_counts(
+    sources: Sequence[Sentence], targets: Sequence[Sentence]
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray] | None":
+    """Joint counts of the position-aligned word streams.
+
+    Returns ``(joint_counts, source_marginal, target_marginal)`` or
+    ``None`` when there are no aligned positions.  Each aligned
+    sentence pair is trimmed to its common length, so ragged corpora
+    degrade gracefully instead of raising.
+    """
+    joint: Counter = Counter()
+    for source, target in zip(sources, targets):
+        length = min(len(source), len(target))
+        for i in range(length):
+            joint[(source[i], target[i])] += 1
+    if not joint:
+        return None
+    counts = np.fromiter(joint.values(), dtype=np.float64, count=len(joint))
+    source_index: dict = {}
+    target_index: dict = {}
+    rows = np.empty(len(joint), dtype=np.int64)
+    cols = np.empty(len(joint), dtype=np.int64)
+    for position, (source_word, target_word) in enumerate(joint):
+        rows[position] = source_index.setdefault(source_word, len(source_index))
+        cols[position] = target_index.setdefault(target_word, len(target_index))
+    source_marginal = np.zeros(len(source_index))
+    target_marginal = np.zeros(len(target_index))
+    np.add.at(source_marginal, rows, counts)
+    np.add.at(target_marginal, cols, counts)
+    return counts, source_marginal, target_marginal
+
+
+def _entropy(counts: np.ndarray, total: float) -> float:
+    probabilities = counts[counts > 0] / total
+    return float(-(probabilities * np.log(probabilities)).sum())
+
+
+def _mi_affinity(sources: Sequence[Sentence], targets: Sequence[Sentence]) -> float:
+    """Normalised mutual information of the aligned streams, 0–100."""
+    stream = _aligned_stream_counts(sources, targets)
+    if stream is None:
+        return DEGENERATE_AFFINITY
+    joint, source_marginal, target_marginal = stream
+    total = float(joint.sum())
+    source_entropy = _entropy(source_marginal, total)
+    target_entropy = _entropy(target_marginal, total)
+    if source_entropy == 0.0 or target_entropy == 0.0:
+        return DEGENERATE_AFFINITY
+    mutual = source_entropy + target_entropy - _entropy(joint, total)
+    normalised = mutual / max(source_entropy, target_entropy)
+    return 100.0 * float(np.clip(normalised, 0.0, 1.0))
+
+
+def _bleu_scale(accuracy: float) -> float:
+    """Per-word accuracy (0–100) onto the predicted dev-BLEU scale."""
+    return 100.0 * (accuracy / 100.0) ** BLEU_GEOMETRY_EXPONENT
+
+
+def _self_affinity(sentences: Sequence[Sentence]) -> float:
+    """Predicted dev-BLEU of a sensor translated from *any* source.
+
+    The leave-one-out accuracy of predicting each word from the
+    previous word alone (history restarts per sentence) bounds what the
+    translator's ``P(t_k | t_{k-1})`` backoff achieves regardless of
+    the source — a sensor this predictable is a high-BLEU target for
+    every pair it appears in, so the ``"mi"`` proxy must never prune
+    such pairs on low cross-channel evidence.
+    """
+    joint: Counter = Counter()
+    for sentence in sentences:
+        previous: object = _SELF_BOS
+        for word in sentence:
+            joint[(previous, word)] += 1
+            previous = word
+    best: Counter = Counter()
+    totals: Counter = Counter()
+    for (previous, _), count in joint.items():
+        best[previous] = max(best[previous], count)
+        totals[previous] += count
+    total = sum(count - 1 for count in totals.values())
+    if total == 0:
+        return DEGENERATE_AFFINITY
+    matched = sum(count - 1 for count in best.values())
+    return _bleu_scale(100.0 * matched / total)
+
+
+#: Sentence-start sentinel for :func:`_self_affinity`; never a real word.
+_SELF_BOS = object()
+
+
+def _cross_affinity(
+    sources: Sequence[Sentence],
+    targets: Sequence[Sentence],
+    config: PrescreenConfig,
+) -> float:
+    """The symmetric cross-channel affinity (without the mi self guard)."""
+    if config.method == "mi":
+        return _mi_affinity(sources, targets)
+    try:
+        forward, reverse = mapping_proxy_scores(sources, targets, config.max_order)
+    except ValueError:
+        return DEGENERATE_AFFINITY
+    return _bleu_scale(max(forward, reverse))
+
+
+def pair_affinity(
+    sources: Sequence[Sentence],
+    targets: Sequence[Sentence],
+    config: PrescreenConfig | None = None,
+) -> float:
+    """The prescreen affinity of one unordered sensor pair, 0–100.
+
+    ``sources`` and ``targets`` are the two sensors' aligned sentence
+    corpora (any common representation: packed integer codes or
+    strings — the affinity is invariant under relabelling tokens).
+    Symmetric by construction: the ``"bleu"`` proxy takes the better of
+    the two mapping directions, ``"mi"`` is symmetric already and takes
+    the better of its cross term and either sensor's self-affinity.
+    Degenerate inputs (no aligned sentences, zero-entropy streams,
+    zero-length sentences) return :data:`DEGENERATE_AFFINITY` rather
+    than raising.
+    """
+    config = config or PrescreenConfig()
+    if min(len(sources), len(targets)) == 0:
+        return DEGENERATE_AFFINITY
+    affinity = _cross_affinity(sources, targets, config)
+    if config.method == "mi":
+        affinity = max(affinity, _self_affinity(sources), _self_affinity(targets))
+    return affinity
+
+
+def affinity_matrix(
+    corpus, config: PrescreenConfig | None = None
+) -> tuple[list[str], np.ndarray]:
+    """Symmetric pair-affinity matrix over a corpus's sensors.
+
+    ``corpus`` is a :class:`~repro.lang.corpus.MultiLanguageCorpus`
+    (anything mapping sensor → language with ``.sentences`` works).
+    Entry ``(i, j)`` is :func:`pair_affinity` of the two training
+    corpora; the diagonal holds self-affinities (maximal by
+    construction).  Cost is ``O(N^2)`` cheap counting passes — no model
+    is trained.
+    """
+    config = config or PrescreenConfig()
+    sensors = list(corpus.sensors)
+    matrix = np.zeros((len(sensors), len(sensors)))
+    corpora = [corpus[name].sentences for name in sensors]
+    selves = (
+        [_self_affinity(c) if len(c) else DEGENERATE_AFFINITY for c in corpora]
+        if config.method == "mi"
+        else None
+    )
+    for i, source in enumerate(corpora):
+        matrix[i, i] = pair_affinity(source, source, config)
+        for j in range(i + 1, len(corpora)):
+            if min(len(source), len(corpora[j])) == 0:
+                affinity = DEGENERATE_AFFINITY
+            else:
+                affinity = _cross_affinity(source, corpora[j], config)
+                if selves is not None:
+                    affinity = max(affinity, selves[i], selves[j])
+            matrix[i, j] = matrix[j, i] = affinity
+    return sensors, matrix
+
+
+# ----------------------------------------------------------------------
+# Floor calibration and pruning
+# ----------------------------------------------------------------------
+def resolve_floor(affinities: np.ndarray, config: PrescreenConfig) -> float:
+    """The affinity floor actually applied to a set of pair affinities.
+
+    An explicit ``config.floor`` is used verbatim.  Otherwise the
+    method's calibrated default (:data:`DEFAULT_FLOORS`) applies;
+    when ``config.max_prune_fraction`` is below 1.0 the floor is
+    lowered if necessary so at most that fraction of the scored pairs
+    fall below it — a dataset where everything looks weakly related
+    then prunes less rather than gutting the graph.
+    """
+    if config.floor is not None:
+        return float(config.floor)
+    floor = DEFAULT_FLOORS[config.method]
+    values = np.asarray(affinities, dtype=np.float64).ravel()
+    if values.size == 0 or config.max_prune_fraction >= 1.0:
+        return floor
+    cap = float(np.quantile(values, config.max_prune_fraction))
+    return min(floor, cap)
+
+
+@dataclass
+class PrescreenResult:
+    """What the prescreen pass measured and decided.
+
+    ``kept_pairs`` preserves the orientation and multiplicity of the
+    requested pair list (both directed pairs of a pruned unordered pair
+    are dropped together); ``communities`` is the Walktrap partition of
+    the surviving prescreen graph when community ordering is on.
+    """
+
+    sensors: list[str]
+    matrix: np.ndarray
+    config: PrescreenConfig
+    floor: float
+    kept_pairs: list[tuple[str, str]]
+    pruned_pairs: list[tuple[str, str]]
+    communities: list[set[str]] | None = None
+    seconds: float = 0.0
+    _index: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._index = {name: i for i, name in enumerate(self.sensors)}
+
+    def affinity(self, source: str, target: str) -> float:
+        """The scored affinity of a sensor pair (symmetric)."""
+        return float(self.matrix[self._index[source], self._index[target]])
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (mirrored into ``--report-json`` output)."""
+        return {
+            "method": self.config.method,
+            "floor": self.floor,
+            "pairs_kept": len(self.kept_pairs),
+            "pairs_pruned": len(self.pruned_pairs),
+            "communities": (
+                None
+                if self.communities is None
+                else [sorted(community) for community in self.communities]
+            ),
+            "seconds": self.seconds,
+        }
+
+
+def _community_ordered(
+    kept: list[tuple[str, str]],
+    communities: list[set[str]],
+) -> list[tuple[str, str]]:
+    """Stable-reorder kept pairs so intra-community pairs train first."""
+    membership = {
+        name: rank for rank, community in enumerate(communities) for name in community
+    }
+    def rank(pair: tuple[str, str]) -> int:
+        source, target = pair
+        if membership.get(source, -1) == membership.get(target, -2):
+            return membership[source]
+        return len(communities)
+    return sorted(kept, key=rank)
+
+
+def prescreen_pairs(
+    corpus,
+    config: PrescreenConfig | None = None,
+    pairs: Iterable[tuple[str, str]] | None = None,
+) -> PrescreenResult:
+    """Score, prune and (optionally) reorder Algorithm 1's pair grid.
+
+    ``pairs`` defaults to all ``N(N-1)`` ordered pairs, exactly as
+    :meth:`~repro.graph.mvrg.MultivariateRelationshipGraph.build`
+    would enumerate them.  The floor is resolved against the
+    affinities of the requested unordered pairs only, so custom pair
+    subsets calibrate on their own distribution.
+    """
+    config = config or PrescreenConfig()
+    start = time.perf_counter()
+    sensors, matrix = affinity_matrix(corpus, config)
+    index = {name: i for i, name in enumerate(sensors)}
+    if pairs is None:
+        pair_list = list(itertools.permutations(sensors, 2))
+    else:
+        pair_list = list(pairs)
+    unordered = {tuple(sorted(pair)) for pair in pair_list if pair[0] != pair[1]}
+    scored = np.asarray(
+        [matrix[index[a], index[b]] for a, b in sorted(unordered)], dtype=np.float64
+    )
+    floor = resolve_floor(scored, config)
+    kept = [
+        pair
+        for pair in pair_list
+        if pair[0] == pair[1] or matrix[index[pair[0]], index[pair[1]]] >= floor
+    ]
+    pruned = [pair for pair in pair_list if pair not in set(kept)]
+    communities = None
+    if config.community_order and kept:
+        graph = nx.Graph()
+        graph.add_nodes_from(sensors)
+        for source, target in kept:
+            if source != target:
+                graph.add_edge(
+                    source, target, weight=matrix[index[source], index[target]]
+                )
+        communities = walktrap_communities(graph, walk_length=config.walk_length)
+        kept = _community_ordered(kept, communities)
+    return PrescreenResult(
+        sensors=sensors,
+        matrix=matrix,
+        config=config,
+        floor=floor,
+        kept_pairs=kept,
+        pruned_pairs=pruned,
+        communities=communities,
+        seconds=time.perf_counter() - start,
+    )

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..graph.prescreen import PRESCREEN_METHODS
 from ..graph.ranges import DEFAULT_RANGES, DETECTION_RANGE, ScoreRange
 from ..graph.subgraphs import POPULAR_IN_DEGREE
 from ..lang.corpus import REPRESENTATIONS, LanguageConfig
@@ -30,6 +31,12 @@ class FrameworkConfig:
     content-addressed artifact store (see
     :class:`~repro.pipeline.artifacts.ArtifactStore`): fits through a
     cache restore unchanged pairs instead of retraining them.
+    ``prescreen`` enables the pair-affinity prescreen (``"bleu"`` or
+    ``"mi"``; see :mod:`repro.graph.prescreen` and
+    ``docs/prescreen.md``), pruning hopeless pairs before any model
+    trains; the default ``"off"`` is bit-identical to builds without
+    the prescreen.  ``prescreen_floor`` overrides the method's
+    calibrated affinity floor.
     """
 
     language: LanguageConfig = field(default_factory=LanguageConfig)
@@ -45,8 +52,17 @@ class FrameworkConfig:
     n_jobs: int | str = 1
     executor_backend: str = "auto"
     cache_dir: str | None = None
+    prescreen: str = "off"
+    prescreen_floor: float | None = None
 
     def __post_init__(self) -> None:
+        if self.prescreen not in ("off", *PRESCREEN_METHODS):
+            raise ValueError(
+                f"unknown prescreen method {self.prescreen!r}; "
+                f"choose from {('off', *PRESCREEN_METHODS)}"
+            )
+        if self.prescreen_floor is not None and not 0.0 <= self.prescreen_floor <= 100.0:
+            raise ValueError("prescreen_floor must lie in [0, 100]")
         if self.representation not in REPRESENTATIONS:
             raise ValueError(
                 f"unknown representation {self.representation!r}; "

@@ -82,9 +82,12 @@ class BuildReport:
     ``completed`` lists pairs trained this run, ``cached`` pairs
     restored from the content-addressed artifact store, ``resumed``
     pairs restored from the checkpoint journal, ``skipped`` pairs that
-    failed after retry (with their error strings).  The build aborts
-    only on structural errors; per-pair failures degrade to skipped
-    edges.
+    failed after retry (with their error strings), ``pruned`` pairs the
+    affinity prescreen removed before any model was scheduled (see
+    :mod:`repro.graph.prescreen`).  Every requested pair lands in
+    exactly one of those buckets: for a full grid their sizes sum to
+    ``N(N-1)``.  The build aborts only on structural errors; per-pair
+    failures degrade to skipped edges.
     """
 
     n_jobs: int = 1
@@ -93,6 +96,7 @@ class BuildReport:
     cached: list[tuple[str, str]] = field(default_factory=list)
     resumed: list[tuple[str, str]] = field(default_factory=list)
     skipped: list[SkippedPair] = field(default_factory=list)
+    pruned: list[tuple[str, str]] = field(default_factory=list)
     wall_seconds: float = 0.0
 
     @property
@@ -109,6 +113,7 @@ class BuildReport:
             f"{len(self.cached)} cached",
             f"{len(self.resumed)} resumed",
             f"{len(self.skipped)} skipped",
+            f"{len(self.pruned)} pruned",
             f"n_jobs={self.n_jobs}",
             f"backend={self.backend}",
             f"{self.wall_seconds:.2f}s",
@@ -127,10 +132,12 @@ class BuildReport:
             "cached": len(self.cached),
             "resumed": len(self.resumed),
             "skipped": len(self.skipped),
+            "pruned": len(self.pruned),
             "wall_seconds": self.wall_seconds,
             "trained_pairs": [list(pair) for pair in self.completed],
             "cached_pairs": [list(pair) for pair in self.cached],
             "resumed_pairs": [list(pair) for pair in self.resumed],
+            "pruned_pairs": [list(pair) for pair in self.pruned],
             "skipped_pairs": [
                 {"pair": [failure.source, failure.target], "error": failure.error}
                 for failure in self.skipped

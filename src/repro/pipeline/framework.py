@@ -90,7 +90,8 @@ class AnalyticsFramework:
         content-addressed incremental rebuilds, ``False`` disables
         caching even when the config names a cache directory.  The
         resulting :attr:`build_report` records completed, cached,
-        resumed and skipped pairs.
+        resumed, skipped and (when ``config.prescreen`` is enabled)
+        pruned pairs.
         """
         self.graph = MultivariateRelationshipGraph.build(
             training_log,
@@ -105,9 +106,26 @@ class AnalyticsFramework:
             store=self._resolve_store(cache_dir),
             representation=getattr(self.config, "representation", "codes"),
             metrics=self.metrics,
+            prescreen=self._resolve_prescreen(),
         )
         self._detect_stage = DetectStage(self.graph, self.config, metrics=self.metrics)
         return self
+
+    def _resolve_prescreen(self):
+        """The config's prescreen selection as a build argument.
+
+        ``getattr`` defaults keep frameworks pickled before the
+        prescreen existed working; an explicit ``prescreen_floor``
+        upgrades the method string to a full
+        :class:`~repro.graph.prescreen.PrescreenConfig`.
+        """
+        method = getattr(self.config, "prescreen", "off")
+        floor = getattr(self.config, "prescreen_floor", None)
+        if method == "off" or floor is None:
+            return method
+        from ..graph.prescreen import PrescreenConfig
+
+        return PrescreenConfig(method=method, floor=floor)
 
     def _resolve_store(
         self, cache_dir: "str | Path | ArtifactStore | bool | None"

@@ -1,8 +1,8 @@
 """The stage-graph pipeline: explicit, cacheable, swappable stages.
 
 The paper's Figure 1 cascade — sensor encryption → language generation
-→ pairwise NMT (Algorithm 1) → graph assembly → detection (Algorithm 2)
-— is expressed as five typed stages wired through a
+→ pair prescreen → pairwise NMT (Algorithm 1) → graph assembly →
+detection (Algorithm 2) — is expressed as typed stages wired through a
 :class:`~repro.pipeline.stages.base.StageGraph` and backed by a shared
 content-addressed :class:`~repro.pipeline.artifacts.ArtifactStore`.
 See ``docs/architecture.md`` for the diagram, the artifact-key scheme
@@ -15,6 +15,7 @@ from .detect import DetectStage
 from .encrypt import EncryptStage
 from .graph_assemble import GraphAssembleStage
 from .pair_train import PairTrainStage, spec_fingerprint
+from .prescreen import PrescreenStage
 
 __all__ = [
     "CorpusStage",
@@ -22,6 +23,7 @@ __all__ = [
     "EncryptStage",
     "GraphAssembleStage",
     "PairTrainStage",
+    "PrescreenStage",
     "Stage",
     "StageContext",
     "StageGraph",

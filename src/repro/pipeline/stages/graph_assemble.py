@@ -20,8 +20,11 @@ class GraphAssembleStage(Stage):
 
     name = "graph-assemble"
     version = "1"
-    inputs = ("corpus", "relationships", "build_report")
+    inputs = ("corpus", "relationships", "build_report", "prescreen")
     outputs = ("graph",)
+    # "prescreen" defaults to None so pipelines without a
+    # PrescreenStage keep working unchanged.
+    defaults = {"prescreen": None}
 
     def compute(self, context: StageContext) -> dict[str, Any]:
         from ...graph.mvrg import MultivariateRelationshipGraph
@@ -30,4 +33,5 @@ class GraphAssembleStage(Stage):
             context["corpus"], context["relationships"]
         )
         graph.build_report = context["build_report"]
+        graph.prescreen = context["prescreen"]
         return {"graph": graph}

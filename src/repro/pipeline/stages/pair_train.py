@@ -61,10 +61,13 @@ class PairTrainStage(Stage):
         "dev_sentences",
         "factory_spec",
         "pairs",
+        "prescreen",
         "executor_options",
     )
     outputs = ("relationships", "build_report")
-    defaults = {"representation": "codes"}
+    # "prescreen" defaults to None so pipelines without a
+    # PrescreenStage keep their wiring (and artifact keys) unchanged.
+    defaults = {"representation": "codes", "prescreen": None}
 
     def pair_key(
         self,
@@ -176,6 +179,9 @@ class PairTrainStage(Stage):
         )
         results, report = executor.run(pending, spec)
         report.cached = [task.pair for task in tasks if task.pair in cached]
+        prescreen = context["prescreen"]
+        if prescreen is not None:
+            report.pruned = [tuple(pair) for pair in prescreen.pruned_pairs]
         context.metrics.counter("pair_train.cached").inc(len(report.cached))
         if store is not None:
             for pair in report.completed:

@@ -75,18 +75,21 @@ def harness_language_config() -> LanguageConfig:
     return LanguageConfig(word_size=4, word_stride=1, sentence_length=5, sentence_stride=5)
 
 
-def harness_framework_config() -> FrameworkConfig:
+def harness_framework_config(prescreen: str = "off") -> FrameworkConfig:
     """Framework settings used for scenario evaluation.
 
     The n-gram engine with a wide validity range: scenario logs are
     small, so a narrow BLEU band would leave too few valid pairs for a
-    stable ``a_t`` denominator.
+    stable ``a_t`` denominator.  ``prescreen`` forwards to
+    :class:`~repro.pipeline.config.FrameworkConfig` so regression
+    suites can run the same scenarios with pair pruning enabled.
     """
     return FrameworkConfig(
         language=harness_language_config(),
         engine="ngram",
         detection_range=ScoreRange(60.0, 100.0, inclusive_high=True),
         popular_threshold=10,
+        prescreen=prescreen,
     )
 
 
@@ -111,8 +114,9 @@ def _run_framework(
     dev: MultivariateEventLog,
     test: MultivariateEventLog,
     metrics: MetricsRegistry | None,
+    config: FrameworkConfig | None = None,
 ) -> _WindowedScores:
-    config = harness_framework_config()
+    config = config or harness_framework_config()
     framework = AnalyticsFramework(config).fit(train, dev)
     dev_scores = framework.detect(dev).anomaly_scores
     test_scores = framework.detect(test).anomaly_scores
@@ -243,6 +247,7 @@ def run_scenario(
     detectors: Sequence[str] = DEFAULT_DETECTORS,
     tier: str | None = None,
     metrics: MetricsRegistry | None = None,
+    framework_config: FrameworkConfig | None = None,
 ) -> ScenarioReport:
     """Fit + detect every requested detector on one scenario.
 
@@ -250,6 +255,10 @@ def run_scenario(
     its alarm threshold calibrated just above its development-period
     peak score, and its flagged test windows merged into sample-clock
     episodes scored event-level against the ground truth.
+    ``framework_config`` overrides :func:`harness_framework_config`
+    for the ``"framework"`` detector only (e.g. to evaluate the same
+    scenarios with the pair prescreen enabled); other detectors ignore
+    it.
     """
     unknown = [name for name in detectors if name not in _DETECTOR_RUNNERS]
     if unknown:
@@ -262,7 +271,10 @@ def run_scenario(
     outcomes: list[DetectorOutcome] = []
     for name in detectors:
         watch = Stopwatch()
-        scored = _DETECTOR_RUNNERS[name](train, dev, test, metrics)
+        if name == "framework" and framework_config is not None:
+            scored = _run_framework(train, dev, test, metrics, config=framework_config)
+        else:
+            scored = _DETECTOR_RUNNERS[name](train, dev, test, metrics)
         threshold = _calibrated_threshold(scored.dev_scores)
         predicted = intervals_from_scores(
             scored.test_scores,

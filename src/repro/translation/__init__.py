@@ -6,6 +6,7 @@ from .bleu import (
     bleu_breakdown,
     brevity_penalty,
     corpus_bleu,
+    mapping_proxy_scores,
     modified_precision,
     sentence_bleu,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "corpus_bleu",
     "diagnose_pair",
     "make_translator",
+    "mapping_proxy_scores",
     "modified_precision",
     "sentence_bleu",
     "train_with_early_stopping",

@@ -28,6 +28,7 @@ import numpy as np
 __all__ = [
     "corpus_bleu",
     "sentence_bleu",
+    "mapping_proxy_scores",
     "modified_precision",
     "brevity_penalty",
     "BleuBreakdown",
@@ -318,6 +319,199 @@ def sentence_bleu(
 ) -> float:
     """Smoothed single-sentence BLEU on the 0–100 scale."""
     return corpus_bleu([candidate], [reference], max_order=max_order, smooth=True)
+
+
+# ----------------------------------------------------------------------
+# Mapping-predictability proxy (the prescreen's scoring entry point)
+# ----------------------------------------------------------------------
+
+#: Sentinel for "no previous target word" in the proxy's context, one
+#: past every real compact id on the vectorised path and a private
+#: object on the Counter path.  Like :data:`~repro.lang.vocabulary.BOS`
+#: it can never collide with a real word.
+_PROXY_BOS = object()
+
+
+def _factorize_corpus(
+    sentences: Sequence[Sentence],
+) -> "tuple[np.ndarray, int] | None":
+    """A uniform-length corpus as a compact-id matrix, or ``None``.
+
+    Returns ``(ids, num_ids)`` where ``ids`` is a ``(sentences, length)``
+    ``int64`` matrix of dense token ids.  Ragged corpora, zero-length
+    sentences and token types numpy cannot order (e.g. the tuple
+    fallback words of overflowing alphabets) signal the slow path by
+    returning ``None``.  The ids are labels only — every statistic
+    computed from them is invariant under relabelling, which is what
+    makes the fast and slow paths (and full-matrix vs. per-pair
+    factorisation) agree exactly.
+    """
+    length = len(sentences[0])
+    if length == 0 or any(len(sentence) != length for sentence in sentences):
+        return None
+    try:
+        matrix = np.asarray([tuple(sentence) for sentence in sentences])
+    except (TypeError, ValueError):
+        return None
+    if matrix.ndim != 2 or matrix.dtype == object:
+        return None
+    unique, inverse = np.unique(matrix, return_inverse=True)
+    return inverse.reshape(matrix.shape).astype(np.int64), len(unique)
+
+
+def _loo_accuracy(matched: int, total: int) -> float:
+    """Leave-one-out mapping accuracy, ``1.0`` when nothing repeats.
+
+    ``matched``/``total`` are already first-observation-discounted: a
+    context seen once contributes no evidence either way, so a corpus
+    where no context ever repeats yields the conservative maximum
+    (nothing proved unpredictable) rather than a spurious perfect score
+    from memorisation.
+    """
+    return 1.0 if total == 0 else matched / total
+
+
+def _grouped_stats(joint_keys: np.ndarray, num_outputs: int) -> tuple[int, int]:
+    """LOO counts of the best deterministic context → output mapping.
+
+    ``joint_keys`` packs ``context * num_outputs + output`` per aligned
+    observation.  For each context the best mapping predicts its
+    majority output; leave-one-out counting credits ``best - 1`` of its
+    ``n - 1`` repeat observations, so singleton contexts (pure
+    memorisation) contribute nothing.  Returns ``(matched, total)``.
+    """
+    unique, counts = np.unique(joint_keys, return_counts=True)
+    contexts = unique // num_outputs
+    starts = np.flatnonzero(np.r_[True, contexts[1:] != contexts[:-1]])
+    best = np.maximum.reduceat(counts, starts)
+    totals = np.add.reduceat(counts, starts)
+    return int((best - 1).sum()), int((totals - 1).sum())
+
+
+def _vector_direction(
+    source_ids: np.ndarray,
+    num_source: int,
+    target_ids: np.ndarray,
+    num_target: int,
+    max_order: int,
+) -> float | None:
+    """Vectorised forward LOO predictability, or ``None`` on overflow.
+
+    Pools the LOO counts of every context order from 1 up to
+    ``max_order`` (clamped to the sentence width): sparse high-order
+    contexts rarely repeat, so they contribute few observations and the
+    pooled accuracy stays anchored by the orders with real evidence —
+    the same backoff economics as the translator itself.
+    """
+    order = min(max_order, source_ids.shape[1])
+    # Previous-target ids aligned with each scored position; the id
+    # ``num_target`` is the BOS sentinel (history restarts per sentence).
+    rows = target_ids.shape[0]
+    previous = np.concatenate(
+        [np.full((rows, 1), num_target, dtype=np.int64), target_ids[:, :-1]], axis=1
+    )
+    grams, num_grams = source_ids, num_source
+    matched = total = 0
+    for step in range(1, order + 1):
+        if step >= 2:
+            keys = grams[:, :-1] * np.int64(num_source) + source_ids[:, step - 1 :]
+            unique, inverse = np.unique(keys, return_inverse=True)
+            grams = inverse.reshape(keys.shape).astype(np.int64)
+            num_grams = len(unique)
+        if num_grams * (num_target + 1) * num_target >= 2 ** 62:
+            return None
+        context = grams * np.int64(num_target + 1) + previous[:, step - 1 :]
+        joint = (
+            context.ravel() * np.int64(num_target)
+            + target_ids[:, step - 1 :].ravel()
+        )
+        step_matched, step_total = _grouped_stats(joint, num_target)
+        matched += step_matched
+        total += step_total
+    return _loo_accuracy(matched, total)
+
+
+def _counter_direction(
+    sources: Sequence[Sentence], targets: Sequence[Sentence], max_order: int
+) -> float:
+    """Slow-path forward LOO predictability via dicts.
+
+    Handles ragged sentences (each aligned pair is trimmed to its
+    common length) and arbitrary hashable tokens; produces exactly the
+    statistics of the vectorised path on inputs both can score.  Like
+    the fast path it pools LOO counts over every context order from 1
+    to ``max_order``; pairs shorter than an order simply sit that order
+    out.
+    """
+    joint: Counter = Counter()
+    for source, target in zip(sources, targets):
+        length = min(len(source), len(target))
+        for order in range(1, min(max_order, length) + 1):
+            for position in range(order - 1, length):
+                gram = tuple(source[position - order + 1 : position + 1])
+                previous = target[position - 1] if position else _PROXY_BOS
+                joint[((order, gram, previous), target[position])] += 1
+    best: Counter = Counter()
+    totals: Counter = Counter()
+    for (context, _), count in joint.items():
+        best[context] = max(best[context], count)
+        totals[context] += count
+    matched = sum(count - 1 for count in best.values())
+    total = sum(count - 1 for count in totals.values())
+    return _loo_accuracy(matched, total)
+
+
+def mapping_proxy_scores(
+    sources: Sequence[Sentence],
+    targets: Sequence[Sentence],
+    max_order: int = 1,
+) -> tuple[float, float]:
+    """Directional translatability proxies on a 0–100 accuracy scale.
+
+    The forward score estimates the per-word accuracy the count-based
+    :class:`~repro.translation.ngram.NGramTranslator` could reach on
+    *unseen* data: each aligned target word is predicted from the
+    translator's backoff context — a source n-gram ending at its
+    position plus the previous target word — by the best deterministic
+    dictionary, under leave-one-out counting so singleton contexts
+    (pure memorisation) contribute no credit.  LOO counts are pooled
+    over every context order from 1 to ``max_order``: high orders only
+    weigh in where their contexts actually repeat, so pooling adds
+    sensitivity to longer-range structure without letting sparse
+    contexts inflate the score.  No model is trained; the score is a
+    handful of ``np.unique`` passes over the aligned corpora.
+
+    Returns ``(forward, reverse)``; swapping the arguments swaps the
+    two values exactly.  A corpus with no repeating context scores the
+    conservative 100.0 (no evidence of unpredictability).  Raises
+    ``ValueError`` when there are no aligned sentence pairs or no
+    aligned words at all (the prescreen layer maps that to its
+    documented degenerate affinity instead).
+    """
+    count = min(len(sources), len(targets))
+    if count == 0:
+        raise ValueError("mapping_proxy_scores requires at least one aligned sentence pair")
+    if max_order < 1:
+        raise ValueError("max_order must be >= 1")
+    sources = list(sources[:count])
+    targets = list(targets[:count])
+    if not any(min(len(s), len(t)) for s, t in zip(sources, targets)):
+        raise ValueError("no aligned words to score (zero-length sentences)")
+    source_ids = _factorize_corpus(sources)
+    target_ids = _factorize_corpus(targets)
+    forward = reverse = None
+    if (
+        source_ids is not None
+        and target_ids is not None
+        and source_ids[0].shape[1] == target_ids[0].shape[1]
+    ):
+        forward = _vector_direction(*source_ids, *target_ids, max_order)
+        reverse = _vector_direction(*target_ids, *source_ids, max_order)
+    if forward is None:
+        forward = _counter_direction(sources, targets, max_order)
+    if reverse is None:
+        reverse = _counter_direction(targets, sources, max_order)
+    return 100.0 * forward, 100.0 * reverse
 
 
 class BleuBreakdown:

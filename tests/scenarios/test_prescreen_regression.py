@@ -1,0 +1,53 @@
+"""Detection-quality regression wall for the pair prescreen.
+
+The equivalence tests in ``tests/graph`` prove the prescreen only drops
+pairs whose trained dev-BLEU would fall below every informative range;
+this suite checks the end-to-end consequence: running the full tiny-tier
+scenario library with ``prescreen="bleu"`` must not move per-scenario
+mean event recall by more than :data:`RECALL_TOLERANCE` relative to the
+unpruned framework.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.harness import (
+    generate_scenario,
+    harness_framework_config,
+    run_scenario,
+    scenario_names,
+)
+
+#: Maximum admissible drop (or gain) in per-scenario mean event recall
+#: when the prescreen is enabled.  Pruned pairs score below the
+#: detection range's low bound, so in practice the two runs agree
+#: exactly; the tolerance absorbs tie-breaking at the alarm threshold.
+RECALL_TOLERANCE = 0.02
+
+#: Seeds averaged per scenario.  Two independent draws keep the suite
+#: fast while making the comparison a mean rather than a single sample.
+SEEDS = (11, 29)
+
+
+def _mean_recall(name: str, prescreen: str) -> float:
+    config = harness_framework_config(prescreen=prescreen)
+    recalls = []
+    for seed in SEEDS:
+        data = generate_scenario(name, tier="tiny", seed=seed)
+        report = run_scenario(
+            data, detectors=("framework",), framework_config=config
+        )
+        recalls.append(report.outcome("framework").evaluation.recall)
+    return sum(recalls) / len(recalls)
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_prescreen_preserves_event_recall(name):
+    baseline = _mean_recall(name, prescreen="off")
+    pruned = _mean_recall(name, prescreen="bleu")
+    assert abs(pruned - baseline) <= RECALL_TOLERANCE, (
+        f"scenario {name!r}: mean event recall moved from {baseline:.3f} "
+        f"to {pruned:.3f} with prescreen enabled "
+        f"(tolerance {RECALL_TOLERANCE})"
+    )

@@ -100,6 +100,47 @@ class TestTrainDetectInspect:
         assert all(0.0 <= s <= 1.0 for s in payload["anomaly_scores"])
         assert payload["valid_pairs"]
 
+    def test_train_with_prescreen_reports_pruned(self, csv_logs, tmp_path, capsys):
+        train, dev, test, _ = csv_logs
+        model = tmp_path / "pruned.pkl"
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "train", str(train), str(dev),
+                "--model", str(model),
+                "--word-size", "4", "--sentence-length", "5",
+                "--range", "60:100", "--popular-threshold", "10",
+                "--prescreen", "bleu",
+                "--report-json", str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prescreen (bleu" in out
+        report = json.loads(report_path.read_text())
+        assert report["trained"] + report["pruned"] + report["skipped"] == 6
+        assert report["pruned"] == len(report["pruned_pairs"])
+        # The pruned model still detects.
+        assert main(["detect", str(test), "--model", str(model)]) == 0
+
+    def test_prescreen_floor_zero_prunes_nothing(self, csv_logs, tmp_path):
+        train, dev, _, _ = csv_logs
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "train", str(train), str(dev),
+                "--model", str(tmp_path / "m.pkl"),
+                "--word-size", "4", "--sentence-length", "5",
+                "--range", "60:100", "--popular-threshold", "10",
+                "--prescreen", "bleu", "--prescreen-floor", "0",
+                "--report-json", str(report_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["pruned"] == 0
+        assert report["trained"] == 6
+
     def test_simulate_plant_with_split(self, tmp_path, capsys):
         code = main(
             [
