@@ -139,6 +139,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel pair-training workers: a count or 'auto' (default 1)",
     )
     train.add_argument(
+        "--train-engine",
+        choices=("looped", "batched"),
+        default="looped",
+        help="pair-training engine: 'looped' (default) trains one model at "
+        "a time; 'batched' (seq2seq only) advances cohorts of "
+        "shape-compatible pairs in lockstep inside one tensor program "
+        "(see docs/architecture.md)",
+    )
+    train.add_argument(
+        "--cohort-size",
+        type=int,
+        default=None,
+        metavar="PAIRS",
+        help="maximum pairs per batched cohort (default 32; only "
+        "meaningful with --train-engine batched)",
+    )
+    train.add_argument(
         "--checkpoint",
         type=Path,
         default=None,
@@ -308,21 +325,26 @@ def _command_train(args: argparse.Namespace) -> int:
     _setup_observability(args)
     training = MultivariateEventLog.from_csv(args.training_csv)
     development = MultivariateEventLog.from_csv(args.development_csv)
-    config = FrameworkConfig(
-        language=LanguageConfig(
-            word_size=args.word_size,
-            word_stride=args.word_stride,
-            sentence_length=args.sentence_length,
-            sentence_stride=args.sentence_stride,
-        ),
-        engine=args.engine,
-        representation=args.representation,
-        detection_range=_parse_range(args.range),
-        popular_threshold=args.popular_threshold,
-        n_jobs=_parse_n_jobs(args.n_jobs),
-        prescreen=args.prescreen,
-        prescreen_floor=args.prescreen_floor,
-    )
+    try:
+        config = FrameworkConfig(
+            language=LanguageConfig(
+                word_size=args.word_size,
+                word_stride=args.word_stride,
+                sentence_length=args.sentence_length,
+                sentence_stride=args.sentence_stride,
+            ),
+            engine=args.engine,
+            representation=args.representation,
+            detection_range=_parse_range(args.range),
+            popular_threshold=args.popular_threshold,
+            n_jobs=_parse_n_jobs(args.n_jobs),
+            train_engine=args.train_engine,
+            train_cohort_size=args.cohort_size,
+            prescreen=args.prescreen,
+            prescreen_floor=args.prescreen_floor,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
     checkpoint = None
     checkpoint_path = args.checkpoint
     if checkpoint_path is None and args.resume:

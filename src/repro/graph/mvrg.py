@@ -109,6 +109,8 @@ class MultivariateRelationshipGraph:
         progress: Callable[[str, str, float], None] | None = None,
         n_jobs: int | str = 1,
         backend: str = "auto",
+        train_engine: str = "looped",
+        cohort_size: int | None = None,
         checkpoint: PairStore | str | None = None,
         retries: int = 1,
         store: "ArtifactStore | str | None" = None,
@@ -143,6 +145,13 @@ class MultivariateRelationshipGraph:
             default is the serial single-process build; parallel
             builds produce byte-identical scores because every pair
             model trains independently from a fresh seeded factory.
+        train_engine, cohort_size:
+            ``"looped"`` (default) trains each pair model on its own;
+            ``"batched"`` (seq2seq engine only) advances cohorts of up
+            to ``cohort_size`` shape-compatible pairs in lockstep
+            inside one tensor program (see
+            :class:`~repro.translation.BatchedPairTrainer` for the
+            equivalence contract), overriding ``backend``.
         checkpoint:
             Optional pair-level checkpoint journal (path or
             :class:`~repro.pipeline.persistence.PairCheckpointStore`);
@@ -202,11 +211,24 @@ class MultivariateRelationshipGraph:
             prescreen_config = prescreen
         else:
             prescreen_config = PrescreenConfig(method=prescreen)
+        if train_engine not in ("looped", "batched"):
+            raise ValueError(
+                f"unknown train engine {train_engine!r}; choose from ('looped', 'batched')"
+            )
         if model_factory is not None:
+            if train_engine == "batched":
+                raise ValueError("train_engine='batched' requires engine='seq2seq'")
             spec = ("factory", model_factory)
         else:
             translator_factory(engine, nmt_config)  # validate the engine name early
             spec = ("engine", engine, nmt_config)
+            if train_engine == "batched":
+                if engine != "seq2seq":
+                    raise ValueError(
+                        "train_engine='batched' requires engine='seq2seq' "
+                        f"(got engine={engine!r})"
+                    )
+                backend = "batched"
         if checkpoint is not None and not isinstance(checkpoint, PairStore):
             checkpoint = PairCheckpointStore(checkpoint)
         if store is not None and not isinstance(store, ArtifactStore):
@@ -223,6 +245,7 @@ class MultivariateRelationshipGraph:
             "executor_options": {
                 "n_jobs": n_jobs,
                 "backend": backend,
+                "cohort_size": cohort_size,
                 "retries": retries,
                 "progress": progress,
                 "checkpoint": checkpoint,

@@ -10,11 +10,11 @@ from __future__ import annotations
 import numpy as np
 
 from . import functional as F
-from .layers import Linear
+from .layers import BatchedLinear, Linear
 from .module import Module
 from .tensor import Tensor
 
-__all__ = ["LuongAttention"]
+__all__ = ["LuongAttention", "BatchedLuongAttention"]
 
 
 class LuongAttention(Module):
@@ -100,3 +100,114 @@ class LuongAttention(Module):
         combined = Tensor.concat([context, decoder_state], axis=1)
         attentional = self.combine_layer(combined).tanh()
         return attentional, weights
+
+
+class BatchedLuongAttention(Module):
+    """Luong attention over a leading pair axis.
+
+    The per-pair score/combine layers are stacked into
+    :class:`~repro.nn.layers.BatchedLinear` slabs; decoder states are
+    ``(pairs, batch, hidden)`` and encoder outputs ``(pairs, batch,
+    src_len, hidden)``.  Per pair the arithmetic matches
+    :class:`LuongAttention` slice for slice.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        score: str,
+        score_layer: BatchedLinear | None,
+        concat_layer: BatchedLinear | None,
+        score_vector: BatchedLinear | None,
+        combine_layer: BatchedLinear,
+    ) -> None:
+        super().__init__()
+        if score not in LuongAttention.SCORES:
+            raise ValueError(f"score must be one of {LuongAttention.SCORES}, got {score!r}")
+        self.hidden_size = hidden_size
+        self.score = score
+        if score == "general":
+            self.score_layer = score_layer
+        elif score == "concat":
+            self.concat_layer = concat_layer
+            self.score_vector = score_vector
+        self.combine_layer = combine_layer
+
+    @classmethod
+    def stack(cls, attentions: "list[LuongAttention]") -> "BatchedLuongAttention":
+        if not attentions:
+            raise ValueError("stack requires at least one attention module")
+        score = attentions[0].score
+        hidden = attentions[0].hidden_size
+        if any(a.score != score or a.hidden_size != hidden for a in attentions):
+            raise ValueError("stacked attentions must share score function and hidden size")
+        score_layer = concat_layer = score_vector = None
+        if score == "general":
+            score_layer = BatchedLinear.stack([a.score_layer for a in attentions])
+        elif score == "concat":
+            concat_layer = BatchedLinear.stack([a.concat_layer for a in attentions])
+            score_vector = BatchedLinear.stack([a.score_vector for a in attentions])
+        combine_layer = BatchedLinear.stack([a.combine_layer for a in attentions])
+        return cls(hidden, score, score_layer, concat_layer, score_vector, combine_layer)
+
+    def _sublayers(self) -> "list[BatchedLinear]":
+        layers = [self.combine_layer]
+        if self.score == "general":
+            layers.append(self.score_layer)
+        elif self.score == "concat":
+            layers.extend([self.concat_layer, self.score_vector])
+        return layers
+
+    def _scores(self, decoder_state: Tensor, encoder_outputs: Tensor) -> Tensor:
+        num_pairs, batch, src_len = encoder_outputs.shape[:3]
+        if self.score == "dot":
+            projected = decoder_state
+        elif self.score == "general":
+            projected = self.score_layer(decoder_state)
+        else:  # concat
+            expanded = Tensor.stack([decoder_state] * src_len, axis=2)
+            combined = Tensor.concat([expanded, encoder_outputs], axis=3)
+            energy = self.concat_layer(combined).tanh()
+            return self.score_vector(energy).reshape(num_pairs, batch, src_len)
+        return (
+            encoder_outputs * projected.reshape(num_pairs, batch, 1, self.hidden_size)
+        ).sum(axis=3)
+
+    def forward(
+        self,
+        decoder_state: Tensor,
+        encoder_outputs: Tensor,
+        source_mask: np.ndarray | None = None,
+    ) -> tuple[Tensor, Tensor]:
+        """Per-pair attentional vector and weights.
+
+        ``decoder_state`` is ``(pairs, batch, hidden)``,
+        ``encoder_outputs`` ``(pairs, batch, src_len, hidden)``, and the
+        optional ``source_mask`` ``(pairs, batch, src_len)``.  Returns
+        ``(attentional, weights)`` of shapes ``(pairs, batch, hidden)``
+        and ``(pairs, batch, src_len)``.
+        """
+        scores = self._scores(decoder_state, encoder_outputs)
+        if source_mask is not None:
+            penalty = np.where(np.asarray(source_mask) > 0, 0.0, -1e9)
+            scores = scores + Tensor(penalty)
+        weights = F.softmax(scores, axis=2)  # (pairs, batch, src_len)
+        context = (
+            encoder_outputs
+            * weights.reshape(weights.shape[0], weights.shape[1], weights.shape[2], 1)
+        ).sum(axis=2)
+        combined = Tensor.concat([context, decoder_state], axis=2)
+        attentional = self.combine_layer(combined).tanh()
+        return attentional, weights
+
+    def select_pairs(self, keep: np.ndarray) -> None:
+        for layer in self._sublayers():
+            layer.select_pairs(keep)
+
+    def unpack_into(self, attentions: "list[LuongAttention]") -> None:
+        self.combine_layer.unpack_into([a.combine_layer for a in attentions])
+        if self.score == "general":
+            self.score_layer.unpack_into([a.score_layer for a in attentions])
+        elif self.score == "concat":
+            self.concat_layer.unpack_into([a.concat_layer for a in attentions])
+            self.score_vector.unpack_into([a.score_vector for a in attentions])

@@ -11,7 +11,9 @@ __all__ = [
     "log_softmax",
     "cross_entropy",
     "masked_cross_entropy",
+    "pairwise_masked_cross_entropy",
     "dropout",
+    "dropout_per_pair",
 ]
 
 
@@ -89,6 +91,52 @@ def masked_cross_entropy(logits: Tensor, targets: np.ndarray, mask: np.ndarray) 
     return -(weighted.sum() / total)
 
 
+def pairwise_masked_cross_entropy(
+    logits: Tensor, targets: np.ndarray, mask: np.ndarray
+) -> Tensor:
+    """Per-pair masked cross entropy over a stacked pair axis.
+
+    The batched twin of :func:`masked_cross_entropy`: ``logits`` carry a
+    leading pair axis and the result is one mean negative
+    log-likelihood *per pair*, each normalised by that pair's own mask
+    total — exactly the scalar the looped trainer would compute for the
+    same pair in isolation.  Summing the returned vector and calling
+    ``backward`` therefore sends each pair's slab the same gradient as
+    ``len(pairs)`` independent scalar losses would.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(pairs, batch, steps, classes)``.
+    targets:
+        Integer array of shape ``(pairs, batch, steps)``.
+    mask:
+        Array of shape ``(pairs, batch, steps)``; nonzero marks real
+        tokens.
+
+    Returns
+    -------
+    Tensor of shape ``(pairs,)``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    mask = np.asarray(mask, dtype=np.float64)
+    num_pairs, batch, steps = targets.shape
+    totals = mask.reshape(num_pairs, -1).sum(axis=1)
+    if (totals <= 0).any():
+        raise ValueError(
+            "pairwise_masked_cross_entropy requires at least one unmasked "
+            "position per pair"
+        )
+    log_probs = log_softmax(logits, axis=-1)
+    pair_rows = np.repeat(np.arange(num_pairs), batch * steps)
+    batch_rows = np.tile(np.repeat(np.arange(batch), steps), num_pairs)
+    step_cols = np.tile(np.arange(steps), num_pairs * batch)
+    picked = log_probs[pair_rows, batch_rows, step_cols, targets.reshape(-1)]
+    weighted = picked * Tensor(mask.reshape(-1))
+    per_pair = weighted.reshape(num_pairs, batch * steps).sum(axis=1)
+    return -(per_pair / Tensor(totals))
+
+
 def dropout(x: Tensor, rate: float, training: bool, rng: np.random.Generator) -> Tensor:
     """Inverted dropout: scales kept activations by ``1 / (1 - rate)``."""
     if not training or rate <= 0.0:
@@ -97,4 +145,33 @@ def dropout(x: Tensor, rate: float, training: bool, rng: np.random.Generator) ->
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     keep = 1.0 - rate
     mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * Tensor(mask)
+
+
+def dropout_per_pair(
+    x: Tensor,
+    rate: float,
+    training: bool,
+    rngs: "list[np.random.Generator]",
+) -> Tensor:
+    """Inverted dropout over a stacked pair axis, one RNG stream per pair.
+
+    ``x`` has shape ``(pairs, ...)``; pair ``p``'s mask is drawn from
+    ``rngs[p]`` with exactly the call the looped path would make
+    (``rng.random(x.shape[1:])``), so each pair's dropout pattern — and
+    its RNG stream position — matches a model trained in isolation.
+    """
+    if not training or rate <= 0.0:
+        return x
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    if len(rngs) != x.shape[0]:
+        raise ValueError(
+            f"dropout_per_pair needs one RNG per pair: {len(rngs)} vs {x.shape[0]}"
+        )
+    keep = 1.0 - rate
+    slab_shape = x.shape[1:]
+    mask = np.stack(
+        [(rng.random(slab_shape) < keep).astype(np.float64) / keep for rng in rngs]
+    )
     return x * Tensor(mask)

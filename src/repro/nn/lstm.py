@@ -13,7 +13,7 @@ from . import functional as F
 from .module import Module, Parameter
 from .tensor import Tensor
 
-__all__ = ["LSTMCell", "LSTM", "LSTMState"]
+__all__ = ["LSTMCell", "LSTM", "LSTMState", "BatchedLSTMCell", "BatchedLSTM"]
 
 LSTMState = tuple[list[Tensor], list[Tensor]]
 """Per-layer hidden and cell states: ``(h_per_layer, c_per_layer)``."""
@@ -159,3 +159,159 @@ class LSTM(Module):
             if layer < self.num_layers - 1:
                 layer_input = F.dropout(layer_input, self.dropout_rate, self.training, self._rng)
         return layer_input, (h_states, c_states)
+
+
+class BatchedLSTMCell(Module):
+    """One LSTM layer advanced in lockstep for many pair models.
+
+    The per-pair ``weight_x``/``weight_h``/``bias`` matrices are stacked
+    along a leading pair axis, fusing the cohort's gate computation into
+    stacked BLAS calls: inputs ``(pairs, batch, input)`` against weights
+    ``(pairs, input, 4*hidden)``.  Each pair's slice runs through the
+    same arithmetic as :class:`LSTMCell`, so per-pair activations match
+    the looped cell.
+    """
+
+    def __init__(
+        self, weight_x: np.ndarray, weight_h: np.ndarray, bias: np.ndarray
+    ) -> None:
+        super().__init__()
+        self.num_pairs = weight_x.shape[0]
+        self.input_size = weight_x.shape[1]
+        self.hidden_size = weight_h.shape[1]
+        self.weight_x = Parameter(np.asarray(weight_x, dtype=np.float64), name="weight_x")
+        self.weight_h = Parameter(np.asarray(weight_h, dtype=np.float64), name="weight_h")
+        self.bias = Parameter(np.asarray(bias, dtype=np.float64), name="bias")
+
+    @classmethod
+    def stack(cls, cells: "list[LSTMCell]") -> "BatchedLSTMCell":
+        if not cells:
+            raise ValueError("stack requires at least one cell")
+        shape = (cells[0].input_size, cells[0].hidden_size)
+        if any((cell.input_size, cell.hidden_size) != shape for cell in cells):
+            raise ValueError("stacked LSTM cells must share dimensions")
+        weight_x = np.stack([cell.weight_x.data for cell in cells])
+        weight_h = np.stack([cell.weight_h.data for cell in cells])
+        bias = np.stack([cell.bias.data.reshape(1, -1) for cell in cells])
+        return cls(weight_x, weight_h, bias)
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        """Advance one step: ``(pairs, batch, *)`` in, ``(h, c)`` out."""
+        hidden = self.hidden_size
+        gates = x @ self.weight_x + h @ self.weight_h + self.bias
+        i_gate = gates[:, :, :hidden].sigmoid()
+        f_gate = gates[:, :, hidden : 2 * hidden].sigmoid()
+        g_gate = gates[:, :, 2 * hidden : 3 * hidden].tanh()
+        o_gate = gates[:, :, 3 * hidden :].sigmoid()
+        c_next = f_gate * c + i_gate * g_gate
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+    def zero_state(self, batch_size: int) -> tuple[Tensor, Tensor]:
+        zeros = np.zeros((self.num_pairs, batch_size, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+    def select_pairs(self, keep: np.ndarray) -> None:
+        for param in (self.weight_x, self.weight_h, self.bias):
+            param.data = param.data[keep]
+            param.zero_grad()
+        self.num_pairs = self.weight_x.data.shape[0]
+
+    def unpack_into(self, cells: "list[LSTMCell]") -> None:
+        if len(cells) != self.num_pairs:
+            raise ValueError(f"expected {self.num_pairs} cells, got {len(cells)}")
+        for index, cell in enumerate(cells):
+            cell.weight_x.data = self.weight_x.data[index].copy()
+            cell.weight_h.data = self.weight_h.data[index].copy()
+            cell.bias.data = self.bias.data[index, 0].copy()
+
+
+class BatchedLSTM(Module):
+    """Stack of :class:`BatchedLSTMCell` layers over a pair axis.
+
+    Mirrors :class:`LSTM` with inputs ``(pairs, batch, steps, input)``
+    and per-pair dropout streams: ``rngs[p]`` is pair ``p``'s own
+    generator, consumed with exactly the draws the looped model would
+    make, so lockstep training preserves each pair's RNG stream.
+    """
+
+    def __init__(
+        self,
+        cells: "list[BatchedLSTMCell]",
+        dropout: float,
+        rngs: "list[np.random.Generator]",
+    ) -> None:
+        super().__init__()
+        self.cells = cells
+        self.num_layers = len(cells)
+        self.hidden_size = cells[0].hidden_size
+        self.dropout_rate = dropout
+        self.rngs = list(rngs)
+
+    @classmethod
+    def stack(cls, lstms: "list[LSTM]", rngs: "list[np.random.Generator]") -> "BatchedLSTM":
+        if not lstms:
+            raise ValueError("stack requires at least one LSTM")
+        num_layers = lstms[0].num_layers
+        dropout = lstms[0].dropout_rate
+        if any(m.num_layers != num_layers or m.dropout_rate != dropout for m in lstms):
+            raise ValueError("stacked LSTMs must share num_layers and dropout")
+        cells = [
+            BatchedLSTMCell.stack([m.cells[layer] for m in lstms])
+            for layer in range(num_layers)
+        ]
+        return cls(cells, dropout, rngs)
+
+    @property
+    def num_pairs(self) -> int:
+        return self.cells[0].num_pairs
+
+    def zero_state(self, batch_size: int) -> LSTMState:
+        states = [cell.zero_state(batch_size) for cell in self.cells]
+        return [h for h, _ in states], [c for _, c in states]
+
+    def forward(self, inputs: Tensor, state: LSTMState | None = None) -> tuple[Tensor, LSTMState]:
+        """Run over ``(pairs, batch, steps, input)``; outputs stack on axis 2."""
+        batch, steps = inputs.shape[1], inputs.shape[2]
+        if state is None:
+            state = self.zero_state(batch)
+        h_states = list(state[0])
+        c_states = list(state[1])
+
+        top_outputs: list[Tensor] = []
+        for t in range(steps):
+            layer_input = inputs[:, :, t, :]
+            for layer, cell in enumerate(self.cells):
+                h_states[layer], c_states[layer] = cell(layer_input, h_states[layer], c_states[layer])
+                layer_input = h_states[layer]
+                if layer < self.num_layers - 1:
+                    layer_input = F.dropout_per_pair(
+                        layer_input, self.dropout_rate, self.training, self.rngs
+                    )
+            top_outputs.append(layer_input)
+
+        outputs = Tensor.stack(top_outputs, axis=2)
+        return outputs, (h_states, c_states)
+
+    def step(self, x: Tensor, state: LSTMState) -> tuple[Tensor, LSTMState]:
+        """Advance all pairs a single timestep (decoder usage)."""
+        h_states = list(state[0])
+        c_states = list(state[1])
+        layer_input = x
+        for layer, cell in enumerate(self.cells):
+            h_states[layer], c_states[layer] = cell(layer_input, h_states[layer], c_states[layer])
+            layer_input = h_states[layer]
+            if layer < self.num_layers - 1:
+                layer_input = F.dropout_per_pair(
+                    layer_input, self.dropout_rate, self.training, self.rngs
+                )
+        return layer_input, (h_states, c_states)
+
+    def select_pairs(self, keep: np.ndarray) -> None:
+        for cell in self.cells:
+            cell.select_pairs(keep)
+        self.rngs = [self.rngs[int(index)] for index in keep]
+
+    def unpack_into(self, lstms: "list[LSTM]") -> None:
+        for layer, cell in enumerate(self.cells):
+            cell.unpack_into([m.cells[layer] for m in lstms])

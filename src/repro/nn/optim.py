@@ -8,7 +8,7 @@ import numpy as np
 
 from .module import Parameter
 
-__all__ = ["SGD", "Adam", "clip_grad_norm"]
+__all__ = ["SGD", "Adam", "BatchedAdam", "clip_grad_norm", "clip_grad_norm_per_pair"]
 
 
 def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
@@ -30,6 +30,42 @@ def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
             if param.grad is not None:
                 param.grad *= scale
     return norm
+
+
+def clip_grad_norm_per_pair(
+    parameters: Sequence[Parameter], max_norm: float
+) -> np.ndarray:
+    """Clip each pair's gradient slab to its own global L2 norm.
+
+    Every parameter carries a leading pair axis (shape
+    ``(pairs, ...)``); the norm is taken per pair over that pair's
+    slices of *all* parameters, and only over-norm pairs are scaled —
+    exactly what :func:`clip_grad_norm` computes for each pair model in
+    the looped path.  Scale factors for in-norm pairs are exactly 1.0,
+    so their gradients are untouched bit-for-bit.
+
+    Returns the per-pair pre-clipping norms.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    with_grads = [param for param in parameters if param.grad is not None]
+    if not with_grads:
+        return np.zeros(0)
+    num_pairs = with_grads[0].shape[0]
+    total = np.zeros(num_pairs)
+    for param in with_grads:
+        if param.shape[0] != num_pairs:
+            raise ValueError(
+                "clip_grad_norm_per_pair requires a shared leading pair axis; "
+                f"got {param.shape[0]} vs {num_pairs}"
+            )
+        total += (param.grad.reshape(num_pairs, -1) ** 2).sum(axis=1)
+    norms = np.sqrt(total)
+    scales = np.where((norms > max_norm) & (norms > 0), max_norm / np.maximum(norms, 1e-300), 1.0)
+    if (scales != 1.0).any():
+        for param in with_grads:
+            param.grad *= scales.reshape((num_pairs,) + (1,) * (param.grad.ndim - 1))
+    return norms
 
 
 class Optimizer:
@@ -107,3 +143,26 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class BatchedAdam(Adam):
+    """Adam over per-pair parameter slabs.
+
+    Adam's update is elementwise, so running it on a stacked
+    ``(pairs, ...)`` slab is bit-identical to running a separate
+    :class:`Adam` per pair — provided every pair has taken the same
+    number of steps, which the lockstep cohort trainer guarantees.  The
+    only batched-specific behaviour is :meth:`select_pairs`, which
+    drops finished pairs' moment slices when the cohort compacts.
+    """
+
+    def select_pairs(self, keep: np.ndarray) -> None:
+        """Keep only the pair slices selected by ``keep``.
+
+        ``keep`` is an index or boolean array over the leading pair
+        axis.  The caller is responsible for slicing ``param.data`` of
+        every parameter with the same selector (the batched modules'
+        ``select_pairs`` methods do this).
+        """
+        self._first_moment = [m[keep] for m in self._first_moment]
+        self._second_moment = [v[keep] for v in self._second_moment]

@@ -477,3 +477,34 @@ class Tensor:
                 self._accumulate(full)
 
         return Tensor._make(data, (self,), backward)
+
+    def take_rows_batched(self, indices: np.ndarray) -> "Tensor":
+        """Per-model row gather for stacked embedding tables.
+
+        ``self`` has shape ``(models, rows, ...)`` — one row table per
+        model along the leading pair axis — and ``indices`` has shape
+        ``(models, *batch)`` with each model's indices addressing its
+        own table.  The result has shape
+        ``(models, *batch) + self.shape[2:]``.  This is the gather that
+        lets many pair models share one embedding lookup per step.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if self.ndim < 2 or idx.ndim < 1 or idx.shape[0] != self.shape[0]:
+            raise ValueError(
+                f"take_rows_batched requires a (models, rows, ...) table and "
+                f"(models, ...) indices; got {self.shape} and {idx.shape}"
+            )
+        models, rows = self.shape[0], self.shape[1]
+        lead = (models,) + (1,) * (idx.ndim - 1)
+        model_index = np.arange(models).reshape(lead)
+        data = self.data[model_index, idx]
+        tail = self.shape[2:]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                flat_idx = (idx + np.arange(models, dtype=np.int64).reshape(lead) * rows).reshape(-1)
+                np.add.at(full.reshape(-1, *tail), flat_idx, grad.reshape(-1, *tail))
+                self._accumulate(full)
+
+        return Tensor._make(data, (self,), backward)

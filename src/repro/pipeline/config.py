@@ -11,7 +11,13 @@ from ..lang.corpus import REPRESENTATIONS, LanguageConfig
 from ..translation.seq2seq import NMTConfig
 from .executor import BACKENDS as EXECUTOR_BACKENDS
 
-__all__ = ["FrameworkConfig"]
+__all__ = ["FrameworkConfig", "TRAIN_ENGINES"]
+
+#: Pair-training engines: ``"looped"`` trains each pair model on its
+#: own; ``"batched"`` advances shape-compatible cohorts in lockstep
+#: inside one tensor program (seq2seq only; see
+#: :class:`~repro.translation.BatchedPairTrainer`).
+TRAIN_ENGINES = ("looped", "batched")
 
 
 @dataclass(frozen=True)
@@ -27,7 +33,13 @@ class FrameworkConfig:
     bit-identical either way.
     ``n_jobs``/``executor_backend`` parallelise the Algorithm 1 pair
     loop (see :class:`~repro.pipeline.executor.PairExecutor`); results
-    are bit-identical to the serial build.  ``cache_dir`` names a
+    are bit-identical to the serial build.  ``train_engine`` selects
+    the pair-training engine: ``"looped"`` (default) trains one model
+    at a time, ``"batched"`` (seq2seq only) advances cohorts of up to
+    ``train_cohort_size`` shape-compatible pair models in lockstep
+    inside one tensor program — same valid-pair set and scores (see
+    :class:`~repro.translation.BatchedPairTrainer` for the exact
+    equivalence contract).  ``cache_dir`` names a
     content-addressed artifact store (see
     :class:`~repro.pipeline.artifacts.ArtifactStore`): fits through a
     cache restore unchanged pairs instead of retraining them.
@@ -51,6 +63,8 @@ class FrameworkConfig:
     threshold_quantile: float = 0.05
     n_jobs: int | str = 1
     executor_backend: str = "auto"
+    train_engine: str = "looped"
+    train_cohort_size: int | None = None
     cache_dir: str | None = None
     prescreen: str = "off"
     prescreen_floor: float | None = None
@@ -85,6 +99,18 @@ class FrameworkConfig:
                 f"unknown executor backend {self.executor_backend!r}; "
                 f"choose from {EXECUTOR_BACKENDS}"
             )
+        if self.train_engine not in TRAIN_ENGINES:
+            raise ValueError(
+                f"unknown train engine {self.train_engine!r}; "
+                f"choose from {TRAIN_ENGINES}"
+            )
+        if self.train_engine == "batched" and self.engine != "seq2seq":
+            raise ValueError(
+                "train_engine='batched' requires engine='seq2seq' "
+                f"(got engine={self.engine!r})"
+            )
+        if self.train_cohort_size is not None and self.train_cohort_size < 1:
+            raise ValueError("train_cohort_size must be >= 1")
 
     @classmethod
     def plant(cls, engine: str = "ngram", popular_threshold: int = POPULAR_IN_DEGREE) -> "FrameworkConfig":

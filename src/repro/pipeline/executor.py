@@ -38,7 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - heavy imports deferred to workers
 
 __all__ = ["PairExecutor", "PairTask", "SkippedPair", "BuildReport", "BACKENDS"]
 
-BACKENDS = ("auto", "serial", "thread", "process")
+BACKENDS = ("auto", "serial", "thread", "process", "batched")
 
 #: Engine-or-factory description shipped to workers.  ``("engine",
 #: name, nmt_config)`` is always picklable; ``("factory", callable)``
@@ -98,6 +98,8 @@ class BuildReport:
     skipped: list[SkippedPair] = field(default_factory=list)
     pruned: list[tuple[str, str]] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Number of lockstep tensor-program cohorts run (batched backend).
+    cohorts: int = 0
 
     @property
     def ok(self) -> bool:
@@ -118,6 +120,8 @@ class BuildReport:
             f"backend={self.backend}",
             f"{self.wall_seconds:.2f}s",
         ]
+        if self.cohorts:
+            parts.insert(5, f"{self.cohorts} cohort(s)")
         line = ", ".join(parts)
         for failure in self.skipped:
             line += f"\n  skipped {failure.source}->{failure.target}: {failure.error}"
@@ -133,6 +137,7 @@ class BuildReport:
             "resumed": len(self.resumed),
             "skipped": len(self.skipped),
             "pruned": len(self.pruned),
+            "cohorts": self.cohorts,
             "wall_seconds": self.wall_seconds,
             "trained_pairs": [list(pair) for pair in self.completed],
             "cached_pairs": [list(pair) for pair in self.cached],
@@ -199,9 +204,17 @@ class PairExecutor:
         Worker count; ``"auto"`` uses the CPU count.  ``1`` runs
         serially in-process (no pool).
     backend:
-        ``"thread"``, ``"process"``, ``"serial"``, or ``"auto"``.
-        ``"auto"`` picks threads for the GIL-light n-gram engine and
-        custom factories, processes for the CPU-bound seq2seq engine.
+        ``"thread"``, ``"process"``, ``"serial"``, ``"batched"``, or
+        ``"auto"``.  ``"auto"`` picks threads for the GIL-light n-gram
+        engine and custom factories, processes for the CPU-bound
+        seq2seq engine.  ``"batched"`` trains shape-compatible seq2seq
+        pairs in lockstep cohorts inside one tensor program (see
+        :class:`~repro.translation.BatchedPairTrainer`); pairs whose
+        corpora cannot be packed, or a whole cohort that fails, fall
+        back to serial looped training.
+    cohort_size:
+        Maximum pairs per batched cohort (``None`` uses the trainer's
+        default); only meaningful with the ``"batched"`` backend.
     retries:
         How many times a failed pair is retried (with a fresh model)
         before being recorded as a skipped edge.
@@ -228,6 +241,7 @@ class PairExecutor:
         progress: Callable[[str, str, float], None] | None = None,
         checkpoint: PairStore | None = None,
         metrics: MetricsRegistry | None = None,
+        cohort_size: int | None = None,
     ) -> None:
         if n_jobs == "auto":
             n_jobs = os.cpu_count() or 1
@@ -237,16 +251,27 @@ class PairExecutor:
             raise ValueError(f"unknown executor backend {backend!r}; choose from {BACKENDS}")
         if retries < 0:
             raise ValueError("retries must be non-negative")
+        if cohort_size is not None and cohort_size < 1:
+            raise ValueError("cohort_size must be >= 1")
         self.n_jobs = n_jobs
         self.backend = backend
         self.retries = retries
         self.progress = progress
         self.checkpoint = checkpoint
         self.metrics = metrics
+        self.cohort_size = cohort_size
 
     # ------------------------------------------------------------------
     def resolve_backend(self, spec: FactorySpec) -> str:
         """The concrete backend used for a factory spec."""
+        if self.backend == "batched":
+            if spec[0] == "engine" and spec[1] == "seq2seq":
+                return "batched"
+            logger.warning(
+                "batched backend requires the seq2seq engine; "
+                "falling back to auto resolution"
+            )
+            return "serial" if self.n_jobs == 1 else "thread"
         if self.n_jobs == 1 or self.backend == "serial":
             return "serial"
         if self.backend != "auto":
@@ -315,6 +340,8 @@ class PairExecutor:
 
         if backend == "serial":
             self._run_serial(pending, spec, record, report, local)
+        elif backend == "batched":
+            self._run_batched(pending, spec, record, report, local)
         else:
             self._run_pool(pending, spec, record, report, backend, local)
         report.wall_seconds = time.perf_counter() - start
@@ -355,6 +382,70 @@ class PairExecutor:
                         self._record_retry(task, error, attempt, metrics)
                 else:
                     break
+
+    def _run_batched(
+        self,
+        pending: list[PairTask],
+        spec: FactorySpec,
+        record: Callable[["PairwiseRelationship"], None],
+        report: BuildReport,
+        metrics: MetricsRegistry,
+    ) -> None:
+        """Train shape-compatible pairs in lockstep tensor-program cohorts.
+
+        Ragged/empty corpora and whole cohorts that fail for any reason
+        degrade to serial looped training, so the batched backend never
+        loses pairs the looped backend could train.
+        """
+        from ..graph.mvrg import PairwiseRelationship
+        from ..translation.batched import (
+            DEFAULT_COHORT_SIZE,
+            BatchedPairTrainer,
+            group_cohorts,
+        )
+
+        metrics.counter("train.cohorts")
+        metrics.counter("train.masked_steps")
+        trainer = BatchedPairTrainer(config=spec[2], metrics=metrics)
+        cohorts, leftovers = group_cohorts(
+            pending, self.cohort_size or DEFAULT_COHORT_SIZE
+        )
+        for cohort in cohorts:
+            try:
+                cohort_results = trainer.train_cohort(cohort)
+            except Exception as error:  # noqa: BLE001 - degrade to looped training
+                logger.warning(
+                    "cohort of %d pair(s) failed batched training, "
+                    "falling back to looped: %s",
+                    len(cohort),
+                    error,
+                    extra={"pairs": len(cohort)},
+                )
+                leftovers.extend(cohort)
+                continue
+            report.cohorts += 1
+            metrics.counter("train.cohorts").inc()
+            for result in cohort_results:
+                record(
+                    PairwiseRelationship(
+                        source=result.source,
+                        target=result.target,
+                        model=result.model,
+                        score=result.score,
+                        dev_sentence_scores=result.dev_sentence_scores,
+                        runtime_seconds=result.record.train_seconds
+                        + result.record.eval_seconds,
+                        train_seconds=result.record.train_seconds,
+                        eval_seconds=result.record.eval_seconds,
+                    )
+                )
+        if leftovers:
+            logger.debug(
+                "training %d pair(s) with the looped engine "
+                "(incompatible or failed cohorts)",
+                len(leftovers),
+            )
+            self._run_serial(leftovers, spec, record, report, metrics)
 
     def _run_pool(
         self,

@@ -176,6 +176,7 @@ class PairTrainStage(Stage):
             progress=progress,
             checkpoint=options.get("checkpoint"),
             metrics=context.metrics,
+            cohort_size=options.get("cohort_size"),
         )
         results, report = executor.run(pending, spec)
         report.cached = [task.pair for task in tasks if task.pair in cached]

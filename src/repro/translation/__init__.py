@@ -1,6 +1,13 @@
 """Directional sensor-to-sensor translation and BLEU scoring."""
 
 from .base import TranslationModel
+from .batched import (
+    DEFAULT_COHORT_SIZE,
+    BatchedPairTrainer,
+    CohortResult,
+    cohort_signature,
+    group_cohorts,
+)
 from .bleu import (
     BleuBreakdown,
     bleu_breakdown,
@@ -18,8 +25,11 @@ from .seq2seq import NMTConfig, Seq2SeqTranslator
 from .trainer import PairTrainer, TrainingRecord, train_with_early_stopping
 
 __all__ = [
+    "BatchedPairTrainer",
     "BeamHypothesis",
     "BleuBreakdown",
+    "CohortResult",
+    "DEFAULT_COHORT_SIZE",
     "ENGINES",
     "NGramTranslator",
     "NMTConfig",
@@ -31,8 +41,10 @@ __all__ = [
     "beam_search_translate",
     "bleu_breakdown",
     "brevity_penalty",
+    "cohort_signature",
     "corpus_bleu",
     "diagnose_pair",
+    "group_cohorts",
     "make_translator",
     "mapping_proxy_scores",
     "modified_precision",

@@ -81,6 +81,9 @@ class Seq2SeqTranslator(TranslationModel):
         self.target_vocab: Vocabulary | None = None
         self._rng = np.random.default_rng(self.config.seed)
         self.loss_history: list[float] = []
+        # Persisted across fit/continue chunks so interrupted training
+        # keeps its Adam moments (see trainer._continue_training).
+        self._optimizer: nn.Adam | None = None
         # Modules created in fit(), once vocab sizes are known.
         self._encoder_embedding: nn.Embedding | None = None
         self._encoder: nn.LSTM | None = None
@@ -193,7 +196,8 @@ class Seq2SeqTranslator(TranslationModel):
         self._build()
         self._set_training(True)
 
-        optimizer = nn.Adam(self.parameters(), lr=self.config.learning_rate)
+        self._optimizer = nn.Adam(self.parameters(), lr=self.config.learning_rate)
+        optimizer = self._optimizer
         pairs = corpus.pairs
         batch_size = min(self.config.batch_size, len(pairs))
         self.loss_history = []

@@ -132,6 +132,7 @@ def train_with_early_stopping(
     loss_history: list[float] = []
     eval_history: list[tuple[int, float]] = []
     best_bleu = -np.inf
+    best_state: dict | None = None
     stale = 0
     steps_done = 0
     stopped_early = False
@@ -164,6 +165,7 @@ def train_with_early_stopping(
         if dev_bleu > best_bleu + min_improvement:
             best_bleu = dev_bleu
             stale = 0
+            best_state = model.state_dict()
         else:
             stale += 1
             if stale >= patience:
@@ -175,6 +177,11 @@ def train_with_early_stopping(
         _continue_training(model, train_corpus, chunk)
         steps_done += chunk
         loss_history.extend(model.loss_history[-chunk:])
+
+    # Restore the best-scoring weights so the reported dev_bleu always
+    # describes the returned model, even when later chunks degraded it.
+    if best_state is not None:
+        model.load_state_dict(best_state)
 
     train_seconds = time.perf_counter() - start - eval_seconds
     record = TrainingRecord(
@@ -198,7 +205,14 @@ def _continue_training(
     from ..nn import functional as F
 
     model._set_training(True)
-    optimizer = nn.Adam(model.parameters(), lr=model.config.learning_rate)
+    # Reuse the optimizer from fit() so Adam's moment estimates and step
+    # count carry across chunks: chunked training then takes exactly the
+    # same optimisation path as one uninterrupted fit.  Models restored
+    # from pre-optimizer pickles start a fresh one.
+    optimizer = getattr(model, "_optimizer", None)
+    if optimizer is None:
+        optimizer = nn.Adam(model.parameters(), lr=model.config.learning_rate)
+        model._optimizer = optimizer
     pairs = corpus.pairs
     batch_size = min(model.config.batch_size, len(pairs))
     for _ in range(steps):

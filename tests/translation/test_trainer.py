@@ -80,3 +80,52 @@ class TestEarlyStopping:
         train, dev = corpora
         with pytest.raises(ValueError):
             train_with_early_stopping(train, dev, NMTConfig.small(), eval_every=0)
+
+
+class TestChunkedTrainingContinuity:
+    def test_chunked_equals_uninterrupted(self, corpora):
+        # The optimizer persists across fit/continue chunks, so chunked
+        # training follows the exact optimisation path of one
+        # uninterrupted fit: same Adam moments, same RNG stream.
+        from repro.translation import Seq2SeqTranslator
+        from repro.translation.trainer import _continue_training
+
+        train, _ = corpora
+        base = dict(
+            embedding_size=8,
+            hidden_size=10,
+            num_layers=2,
+            dropout=0.1,
+            batch_size=8,
+            seed=2,
+        )
+        full = Seq2SeqTranslator(NMTConfig(training_steps=60, **base)).fit(train)
+        chunked = Seq2SeqTranslator(NMTConfig(training_steps=20, **base)).fit(train)
+        _continue_training(chunked, train, 20)
+        _continue_training(chunked, train, 20)
+
+        state_full, state_chunked = full.state_dict(), chunked.state_dict()
+        for key in state_full:
+            np.testing.assert_array_equal(state_full[key], state_chunked[key], err_msg=key)
+
+
+class TestBestWeightsRestored:
+    def test_reported_bleu_describes_returned_model(self, corpora):
+        # Later chunks may degrade the model below its best evaluation;
+        # the best weights are restored so record.dev_bleu is always
+        # reproducible by rescoring the returned model.
+        train, dev = corpora
+        config = NMTConfig(
+            embedding_size=8,
+            hidden_size=10,
+            num_layers=1,
+            dropout=0.0,
+            training_steps=90,
+            batch_size=8,
+            seed=3,
+        )
+        model, record = train_with_early_stopping(
+            train, dev, config, eval_every=15, patience=3, min_improvement=0.0
+        )
+        assert record.dev_bleu == model.score(dev)
+        assert record.dev_bleu == max(bleu for _, bleu in record.eval_history)
