@@ -1,0 +1,31 @@
+"""Scaling benchmarks: how the system behaves as the data grows.
+
+:mod:`repro.bench.scale` runs the size-tiered ladder — generate a
+plant log of a tier's size, ingest it both chunked and fully resident,
+fit the framework, and detect — recording wall seconds, Python-heap
+peaks and per-stage event throughput as ``repro-scale-v1`` records in
+``BENCH_scale.json``.  The ladder is the regression harness for the
+chunked streaming ingest core: every run re-asserts that chunked and
+in-memory ingest produce bit-identical frame digests and that chunked
+ingest peaks below full-log residency.
+"""
+
+from .scale import (
+    SCALE_SCHEMA,
+    SCALE_TIERS,
+    ScaleTier,
+    append_scale_record,
+    load_scale_bench,
+    run_scale_ladder,
+    run_scale_tier,
+)
+
+__all__ = [
+    "SCALE_SCHEMA",
+    "SCALE_TIERS",
+    "ScaleTier",
+    "append_scale_record",
+    "load_scale_bench",
+    "run_scale_ladder",
+    "run_scale_tier",
+]

@@ -13,7 +13,10 @@ Three subcommands mirror the framework's lifecycle on CSV event logs
 ``train`` (alias ``build``) accepts ``--cache-dir`` to reuse pair
 models from a content-addressed artifact cache across rebuilds; the
 companion ``cache`` subcommand inspects or garbage-collects such a
-cache.
+cache.  ``train`` and ``detect`` accept ``--chunk-size`` to stream
+their CSVs through the chunked ingest path (bit-identical results,
+bounded peak memory), and ``bench scale`` runs the size-tiered
+scaling ladder into ``BENCH_scale.json``.
 
 Example::
 
@@ -95,6 +98,15 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("training_csv", type=Path)
     train.add_argument("development_csv", type=Path)
     train.add_argument("--model", type=Path, required=True, help="output model path")
+    train.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="stream the CSVs through the chunked ingest path, this many "
+        "rows at a time (bit-identical to the default in-memory load; "
+        "bounds peak memory on large logs)",
+    )
     train.add_argument("--word-size", type=int, default=10)
     train.add_argument("--word-stride", type=int, default=1)
     train.add_argument("--sentence-length", type=int, default=20)
@@ -192,6 +204,14 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("testing_csv", type=Path)
     detect.add_argument("--model", type=Path, required=True)
     detect.add_argument("--threshold", type=float, default=0.5, help="alarm threshold")
+    detect.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="stream the testing CSV through the chunked ingest path "
+        "(bit-identical scores; bounds peak memory on large logs)",
+    )
     detect.add_argument("--json", action="store_true", help="emit JSON instead of text")
     _add_observability_arguments(detect)
 
@@ -263,6 +283,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_arguments(scenarios)
 
+    bench = sub.add_parser(
+        "bench",
+        help="run scaling benchmarks",
+        description="Scaling benchmarks: 'scale' runs the size-tiered "
+        "ladder (generate, chunked + resident ingest, fit, detect per "
+        "tier) and logs repro-scale-v1 records with wall seconds, heap "
+        "peaks and per-stage throughput.",
+    )
+    bench.add_argument(
+        "action", choices=("scale",), help="benchmark family to run"
+    )
+    bench.add_argument(
+        "--tiers",
+        type=str,
+        default=None,
+        metavar="NAMES",
+        help="comma-separated tier names, smallest first "
+        "(default: the full ladder; see docs/cli.md)",
+    )
+    bench.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="rows per chunk for the chunked-ingest phase (default 256)",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=None, help="override each tier's generator seed"
+    )
+    bench.add_argument(
+        "--bench",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append repro-scale-v1 records to this benchmark JSON "
+        "(one record per tier, keyed on tier/chunk_size/seed)",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+    _add_observability_arguments(bench)
+
     simulate = sub.add_parser(
         "simulate", help="generate a synthetic dataset to files"
     )
@@ -321,10 +383,20 @@ def _write_metrics(framework: AnalyticsFramework, args: argparse.Namespace) -> N
         print(f"metrics snapshot written to {path}", file=sys.stderr)
 
 
+def _check_chunk_size(args: argparse.Namespace) -> None:
+    if args.chunk_size is not None and args.chunk_size < 1:
+        raise SystemExit(f"invalid --chunk-size {args.chunk_size}; must be >= 1")
+
+
 def _command_train(args: argparse.Namespace) -> int:
     _setup_observability(args)
-    training = MultivariateEventLog.from_csv(args.training_csv)
-    development = MultivariateEventLog.from_csv(args.development_csv)
+    _check_chunk_size(args)
+    training = MultivariateEventLog.from_csv(
+        args.training_csv, chunk_size=args.chunk_size
+    )
+    development = MultivariateEventLog.from_csv(
+        args.development_csv, chunk_size=args.chunk_size
+    )
     try:
         config = FrameworkConfig(
             language=LanguageConfig(
@@ -401,8 +473,11 @@ def _command_train(args: argparse.Namespace) -> int:
 
 def _command_detect(args: argparse.Namespace) -> int:
     _setup_observability(args)
+    _check_chunk_size(args)
     framework = load_framework(args.model)
-    testing = MultivariateEventLog.from_csv(args.testing_csv)
+    testing = MultivariateEventLog.from_csv(
+        args.testing_csv, chunk_size=args.chunk_size
+    )
     result = framework.detect(testing)
     _write_metrics(framework, args)
     if args.json:
@@ -570,6 +645,56 @@ def _command_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    _setup_observability(args)
+    from .bench.scale import DEFAULT_SCALE_CHUNK, SCALE_TIERS, run_scale_ladder
+
+    chunk_size = DEFAULT_SCALE_CHUNK if args.chunk_size is None else args.chunk_size
+    if chunk_size < 1:
+        raise SystemExit(f"invalid --chunk-size {chunk_size}; must be >= 1")
+    tiers = None
+    if args.tiers is not None:
+        tiers = [name for name in args.tiers.split(",") if name]
+        unknown = [name for name in tiers if name not in SCALE_TIERS]
+        if unknown:
+            raise SystemExit(
+                f"unknown tier(s) {unknown}; choose from {sorted(SCALE_TIERS)}"
+            )
+    metrics = MetricsRegistry()
+    records = run_scale_ladder(
+        tiers=tiers,
+        chunk_size=chunk_size,
+        seed=args.seed,
+        bench_path=args.bench,
+        metrics=metrics,
+    )
+    if args.metrics_json is not None:
+        path = metrics.write_json(args.metrics_json)
+        print(f"metrics snapshot written to {path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(records, indent=2))
+        return 0
+    rows = []
+    for record in records:
+        phases = record["phases"]
+        rows.append(
+            {
+                "tier": record["tier"],
+                "events": record["total_events"],
+                "ingest chunked s": f"{phases['ingest_chunked']['seconds']:.2f}",
+                "ingest peak MB": f"{phases['ingest_chunked']['peak_bytes'] / 1e6:.1f}",
+                "resident peak MB": f"{phases['ingest_resident']['peak_bytes'] / 1e6:.1f}",
+                "fit s": f"{phases['fit']['seconds']:.2f}",
+                "detect s": f"{phases['detect']['seconds']:.2f}",
+                "rss MB": f"{record['ru_maxrss_kb'] / 1024:.0f}",
+            }
+        )
+    print(ascii_table(rows, title=f"Scale ladder (chunk_size={chunk_size})"))
+    if args.bench is not None:
+        print(f"benchmark records appended to {args.bench}")
+    return 0
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     from .datasets import (
         BackblazeConfig,
@@ -633,6 +758,7 @@ def main(argv: list[str] | None = None) -> int:
         "inspect": _command_inspect,
         "cache": _command_cache,
         "scenarios": _command_scenarios,
+        "bench": _command_bench,
         "simulate": _command_simulate,
     }
     return handlers[args.command](args)

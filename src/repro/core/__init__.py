@@ -11,13 +11,23 @@ sit on top of:
   ``uint16`` codes;
 - :class:`EventFrame` stacks the per-sensor code rows of an aligned
   multivariate log into a single ``(num_sensors, num_samples)`` code
-  matrix that windowing and fingerprinting read with zero-copy views.
+  matrix that windowing and fingerprinting read with zero-copy views;
+- :class:`EventFrameBuilder` grows that matrix chunk-at-a-time for
+  streaming ingest, using :meth:`StateTable.extend`'s stable-code
+  growable interning, and finalises bit-identically to a one-shot
+  build.
 
 :mod:`repro.lang` keeps its string-facing constructors and iteration
 APIs as thin shims that decode lazily from this representation.
 """
 
-from .frame import EventFrame
+from .frame import EventFrame, EventFrameBuilder
 from .state_table import UNKNOWN_STATE, StateTable, pack_ngrams
 
-__all__ = ["EventFrame", "StateTable", "UNKNOWN_STATE", "pack_ngrams"]
+__all__ = [
+    "EventFrame",
+    "EventFrameBuilder",
+    "StateTable",
+    "UNKNOWN_STATE",
+    "pack_ngrams",
+]

@@ -6,12 +6,21 @@ An :class:`EventFrame` stores one aligned log as a single
 once at dataset ingest; every later consumer — windowing, encryption,
 fingerprinting, slicing — reads zero-copy views of the matrix instead
 of re-materialising Python strings.
+
+:class:`EventFrameBuilder` is the chunked ingest path: it folds
+``{sensor: [state, ...]}`` blocks into growing per-sensor code lists
+(interned through growable :class:`StateTable`\\ s so early codes never
+move), then finalises into an :class:`EventFrame` whose
+:meth:`~EventFrame.digest` is bit-identical to a one-shot build over
+the concatenated events.  Row digests roll chunk-at-a-time during
+finalisation and are cached on the frame, so downstream fingerprinting
+never rescans the matrix.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import TYPE_CHECKING, Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -20,7 +29,25 @@ from .state_table import CODE_DTYPE, StateTable
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..lang.events import EventSequence
 
-__all__ = ["EventFrame"]
+__all__ = ["EventFrame", "EventFrameBuilder"]
+
+
+def _row_hasher(sensor: str, states: Sequence[str]) -> "hashlib._Hash":
+    """The shared row-digest prefix: sensor name plus table states.
+
+    Row digests are ``prefix + raw little-endian code bytes``; keeping
+    the prefix construction in one place guarantees the builder's
+    rolling digests and :meth:`EventFrame.row_digest` agree byte for
+    byte.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(sensor.encode("utf-8"))
+    hasher.update(b"\x00")
+    for state in states:
+        hasher.update(state.encode("utf-8"))
+        hasher.update(b"\x1f")
+    hasher.update(b"\x00")
+    return hasher
 
 
 class EventFrame:
@@ -37,7 +64,7 @@ class EventFrame:
         One fitted :class:`StateTable` per sensor.
     """
 
-    __slots__ = ("sensors", "codes", "tables")
+    __slots__ = ("sensors", "codes", "tables", "_row_digests")
 
     def __init__(
         self,
@@ -57,6 +84,11 @@ class EventFrame:
             raise ValueError(f"missing state tables for sensors: {missing}")
         self.codes = codes
         self.tables = {name: tables[name] for name in self.sensors}
+        # Memoized row digests: rows and tables are immutable by
+        # contract, so a digest computed (or pre-seeded by the chunked
+        # builder) once is valid forever.  Views produced by
+        # slice/select start with an empty cache of their own.
+        self._row_digests: dict[str, str] = {}
 
     @classmethod
     def from_sequences(cls, sequences: "Iterable[EventSequence]") -> "EventFrame":
@@ -121,19 +153,20 @@ class EventFrame:
         Hashes the interned representation directly — the code bytes in
         fixed little-endian ``uint16`` plus the table's states — rather
         than re-rendering the row to strings, so fingerprinting stays a
-        single pass over packed memory.
+        single pass over packed memory.  Digests are memoized (frames
+        are immutable), and frames produced by
+        :class:`EventFrameBuilder` arrive with the cache pre-seeded
+        from the rolling per-chunk digests.
         """
-        table = self.tables[sensor]
-        hasher = hashlib.sha256()
-        hasher.update(sensor.encode("utf-8"))
-        hasher.update(b"\x00")
-        for state in table.states:
-            hasher.update(state.encode("utf-8"))
-            hasher.update(b"\x1f")
-        hasher.update(b"\x00")
+        cached = self._row_digests.get(sensor)
+        if cached is not None:
+            return cached
+        hasher = _row_hasher(sensor, self.tables[sensor].states)
         row = np.ascontiguousarray(self.row(sensor), dtype="<u2")
         hasher.update(row.tobytes())
-        return hasher.hexdigest()
+        digest = hasher.hexdigest()
+        self._row_digests[sensor] = digest
+        return digest
 
     def digest(self) -> str:
         """Fingerprint of the whole frame (sensor order is significant)."""
@@ -142,3 +175,153 @@ class EventFrame:
             hasher.update(self.row_digest(sensor).encode("ascii"))
             hasher.update(b"\x1e")
         return hasher.hexdigest()
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        # The digest cache is derivable; dropping it keeps pickles
+        # byte-stable regardless of what was fingerprinted in-session.
+        return (self.sensors, self.codes, self.tables)
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple) and len(state) == 2:
+            # Legacy default slot-state pickles from before the digest
+            # cache existed: (None, {slot: value}).
+            slots = state[1]
+            sensors, codes, tables = slots["sensors"], slots["codes"], slots["tables"]
+        else:
+            sensors, codes, tables = state
+        self.sensors = sensors
+        self.codes = codes
+        self.tables = tables
+        self._row_digests = {}
+
+
+class EventFrameBuilder:
+    """Fold event chunks into a growing columnar core.
+
+    The chunked counterpart of a one-shot :class:`EventFrame` build:
+    feed ``{sensor: [state, ...]}`` blocks to :meth:`append` in sample
+    order, then call :meth:`finalize`.  Internally each sensor's states
+    are interned through a growable :class:`StateTable` (codes assigned
+    by early chunks never move when later chunks surface novel states)
+    and each chunk is kept as one small ``uint16`` code block, so peak
+    memory is the final matrix plus one chunk of strings — never the
+    whole decoded log.
+
+    Finalisation canonicalises every sensor's table to the paper's
+    alphanumeric order, recodes the accumulated blocks with one gather
+    per block while rolling the per-row digests chunk-at-a-time, and
+    returns an :class:`EventFrame` that is bit-identical (matrix,
+    tables and :meth:`~EventFrame.digest`) to a one-shot build over the
+    concatenated events.  The digest cache rides along on the frame, so
+    downstream stage fingerprints reuse the rolling digests instead of
+    rescanning the matrix.
+    """
+
+    def __init__(self, sensors: "Iterable[str] | None" = None) -> None:
+        self._sensors: tuple[str, ...] | None = (
+            None if sensors is None else tuple(str(name) for name in sensors)
+        )
+        if self._sensors is not None:
+            self._check_duplicate_sensors(self._sensors)
+        self._tables: dict[str, StateTable] = {}
+        self._blocks: dict[str, list[np.ndarray]] = {}
+        self._samples = 0
+        self._finalized = False
+
+    @staticmethod
+    def _check_duplicate_sensors(names: Sequence[str]) -> None:
+        seen: set[str] = set()
+        duplicates = [name for name in names if name in seen or seen.add(name)]
+        if duplicates:
+            raise ValueError(f"duplicate sensor name: {duplicates[0]!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def sensors(self) -> tuple[str, ...]:
+        """Sensor order, fixed by the constructor or the first chunk."""
+        return self._sensors or ()
+
+    @property
+    def num_samples(self) -> int:
+        """Samples appended so far."""
+        return self._samples
+
+    def __len__(self) -> int:
+        return self._samples
+
+    # ------------------------------------------------------------------
+    def append(self, chunk: "Mapping[str, Sequence[str]]") -> None:
+        """Fold one ``{sensor: [state, ...]}`` block into the core.
+
+        The first chunk fixes the sensor set and order; every later
+        chunk must cover exactly the same sensors, and all columns of a
+        chunk must share one length (the chunk's sample count).  Empty
+        chunks are permitted and contribute nothing.
+        """
+        if self._finalized:
+            raise RuntimeError("builder is finalized; create a new one")
+        if self._sensors is None:
+            names = tuple(str(name) for name in chunk)
+            self._check_duplicate_sensors(names)
+            self._sensors = names
+        else:
+            got = {str(name) for name in chunk}
+            expected = set(self._sensors)
+            if got != expected:
+                missing = sorted(expected - got)
+                extra = sorted(got - expected)
+                raise ValueError(
+                    f"chunk sensors diverge from the first chunk's: "
+                    f"missing {missing}, unexpected {extra}"
+                )
+        lengths = {name: len(chunk[name]) for name in self._sensors}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"chunk columns are not aligned; lengths={lengths}")
+        length = next(iter(lengths.values())) if lengths else 0
+        if length == 0:
+            return
+        for name in self._sensors:
+            events = [str(event) for event in chunk[name]]
+            table = self._tables.get(name)
+            if table is None:
+                table = StateTable.from_events(name, events)
+            else:
+                table = table.extend(events)
+            self._tables[name] = table
+            self._blocks.setdefault(name, []).append(table.encode(events))
+        self._samples += length
+
+    def finalize(self) -> EventFrame:
+        """Canonicalise tables, recode blocks and seal the frame.
+
+        After this the builder refuses further :meth:`append` calls.
+        """
+        if self._finalized:
+            raise RuntimeError("builder is already finalized")
+        self._finalized = True
+        if self._sensors is None:
+            return EventFrame((), np.zeros((0, 0), dtype=CODE_DTYPE), {})
+        matrix = np.empty((len(self._sensors), self._samples), dtype=CODE_DTYPE)
+        tables: dict[str, StateTable] = {}
+        digests: dict[str, str] = {}
+        for row, name in enumerate(self._sensors):
+            grown = self._tables.get(name)
+            if grown is None:  # all chunks were empty
+                grown = StateTable(name, ())
+            table, recode = grown.canonical()
+            tables[name] = table
+            hasher = _row_hasher(name, table.states)
+            position = 0
+            for block in self._blocks.get(name, ()):
+                if recode is not None:
+                    block = recode[block]
+                stop = position + len(block)
+                matrix[row, position:stop] = block
+                hasher.update(np.ascontiguousarray(block, dtype="<u2").tobytes())
+                position = stop
+            digests[name] = hasher.hexdigest()
+        self._blocks.clear()
+        frame = EventFrame(self._sensors, matrix, tables)
+        frame._row_digests.update(digests)
+        return frame

@@ -11,6 +11,15 @@ Code ``len(states)`` is reserved for states never seen at fit time (the
 paper's unknown character); tables therefore support at most 65534
 distinct states in a ``uint16`` code space, far beyond the paper's
 maximum observed cardinality of 7.
+
+Chunked ingest adds a *growable* mode: :meth:`StateTable.extend`
+returns a table whose existing codes are untouched and whose novel
+states are appended in first-seen order, so codes assigned while early
+chunks were folded in never move when later chunks surface new states.
+A grown table is therefore not necessarily sorted;
+:meth:`StateTable.canonical` recovers the alphanumerically sorted
+table together with the recode vector that translates grown codes into
+canonical ones in a single vectorised gather.
 """
 
 from __future__ import annotations
@@ -66,6 +75,71 @@ class StateTable:
     def from_events(cls, sensor: str, events: Iterable[str]) -> "StateTable":
         """Intern the distinct states of an event stream."""
         return cls(sensor, sorted({str(event) for event in events}))
+
+    @classmethod
+    def _grown(cls, sensor: str, states: tuple[str, ...]) -> "StateTable":
+        """Construct a (possibly unsorted) grown table without the
+        sorted-order validation — only :meth:`extend` may call this;
+        states are already distinct strings in first-seen order."""
+        if len(states) > _MAX_STATES:
+            raise ValueError(
+                f"sensor {sensor!r} has {len(states)} distinct states, "
+                f"exceeding the {_MAX_STATES}-state code space"
+            )
+        table = cls.__new__(cls)
+        table.sensor = str(sensor)
+        table.states = states
+        table._index = {state: code for code, state in enumerate(states)}
+        return table
+
+    # ------------------------------------------------------------------
+    # Growable interning (chunked ingest)
+    # ------------------------------------------------------------------
+    @property
+    def is_sorted(self) -> bool:
+        """Whether states are in canonical alphanumeric order."""
+        return all(
+            self.states[i] < self.states[i + 1] for i in range(len(self.states) - 1)
+        )
+
+    def extend(self, new_states: Iterable[str]) -> "StateTable":
+        """Grow the table with any unseen states, keeping codes stable.
+
+        Every code this table already assigned keeps its value in the
+        returned table; states never seen before are appended in
+        first-seen order and take the next codes.  Returns ``self``
+        unchanged when nothing new appears, so chunked ingest pays for
+        a new table only on the (rare) chunks that enlarge a sensor's
+        alphabet.  The result may be unsorted — finalisation recovers
+        the paper's alphanumeric order via :meth:`canonical`.
+        """
+        index = self._index
+        novel: list[str] = []
+        seen_novel: set[str] = set()
+        for state in new_states:
+            state = str(state)
+            if state not in index and state not in seen_novel:
+                seen_novel.add(state)
+                novel.append(state)
+        if not novel:
+            return self
+        return StateTable._grown(self.sensor, self.states + tuple(novel))
+
+    def canonical(self) -> "tuple[StateTable, np.ndarray | None]":
+        """The sorted table over the same states, plus a recode vector.
+
+        Returns ``(table, recode)`` where ``table`` is the
+        alphanumerically sorted :class:`StateTable` a one-shot
+        :meth:`from_events` fit would have produced, and ``recode`` is
+        the gather vector such that ``recode[grown_code]`` is the
+        canonical code for the same state (with the trailing slot
+        translating the unknown code).  ``recode`` is ``None`` when the
+        table is already sorted — codes are then canonical as-is.
+        """
+        if self.is_sorted:
+            return self, None
+        ordered = StateTable(self.sensor, sorted(self.states))
+        return ordered, ordered.recode_lookup(self)
 
     # ------------------------------------------------------------------
     @property

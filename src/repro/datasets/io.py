@@ -1,9 +1,28 @@
-"""Persisting generated datasets to disk.
+"""Persisting generated datasets to disk, and streaming them back.
 
 Benchmarks regenerate datasets from seeds, but users adapting the
 library to their own systems need file formats: the plant dataset saves
 as the event-log CSV plus a ground-truth JSON sidecar; the drive
 population saves as one SMART CSV per drive plus a manifest.
+
+Loading is chunked and hardened.  :func:`iter_event_chunks` streams a
+one-column-per-sensor event CSV as ``{sensor: [state, ...]}`` blocks
+for :class:`~repro.core.EventFrameBuilder`, so a log is never resident
+as Python strings all at once; :func:`iter_drive_traces` streams a
+saved drive population one :class:`DriveTrace` at a time.  Messy input
+is either repaired or rejected with a distinct, actionable error:
+
+- a UTF-8 byte-order mark is stripped (files are opened with
+  ``utf-8-sig``) — *repair*;
+- completely blank lines are skipped — *repair*;
+- ragged rows (wrong column count) raise :class:`RaggedRowError`
+  naming the file, 1-based row number and expected/actual arity;
+- duplicate header columns raise :class:`HeaderError`;
+- a missing or empty header raises :class:`HeaderError`;
+- per-drive SMART streams validate the ``day`` column: a repeated day
+  raises :class:`TimestampError` ("duplicate"), a decreasing day
+  raises :class:`TimestampError` ("out-of-order"), and non-numeric
+  values raise :class:`TimestampError` naming the offending cell.
 """
 
 from __future__ import annotations
@@ -11,6 +30,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
@@ -19,13 +39,91 @@ from .plant import PlantConfig, PlantDataset
 from ..lang.events import MultivariateEventLog
 
 __all__ = [
+    "HeaderError",
+    "RaggedRowError",
+    "TimestampError",
+    "iter_event_chunks",
+    "iter_drive_traces",
     "save_plant_dataset",
     "load_plant_dataset",
     "save_backblaze_dataset",
     "load_backblaze_dataset",
 ]
 
+#: Default rows per chunk for the streaming readers.
+DEFAULT_CHUNK_SIZE = 4096
 
+
+class HeaderError(ValueError):
+    """A CSV header is missing, empty, or names a sensor twice."""
+
+
+class RaggedRowError(ValueError):
+    """A CSV data row does not match the header's column count."""
+
+
+class TimestampError(ValueError):
+    """A per-drive SMART stream's day column is not strictly increasing."""
+
+
+# ----------------------------------------------------------------------
+# Chunked event-log reader
+# ----------------------------------------------------------------------
+def _read_header(reader: "csv.reader", path: Path) -> list[str]:
+    header = next(reader, None)
+    if header is None or not any(cell.strip() for cell in header):
+        raise HeaderError(f"{path}: missing or empty CSV header row")
+    duplicates = sorted({name for name in header if header.count(name) > 1})
+    if duplicates:
+        raise HeaderError(f"{path}: duplicate header column(s) {duplicates}")
+    return header
+
+
+def iter_event_chunks(
+    path: "str | Path", chunk_size: int | None = DEFAULT_CHUNK_SIZE
+) -> Iterator[dict[str, list[str]]]:
+    """Stream an event CSV as ``{sensor: [state, ...]}`` chunks.
+
+    Each yielded chunk covers up to ``chunk_size`` consecutive rows
+    (``None`` means the whole file in one chunk); the first chunk is
+    always yielded — possibly with empty columns — so a data-less file
+    still communicates its sensor set.  See the module docstring for
+    the repair/reject policy on messy input.
+    """
+    path = Path(path)
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    # utf-8-sig transparently strips a leading BOM (documented repair);
+    # BOM-less files read identically.
+    with path.open(newline="", encoding="utf-8-sig") as handle:
+        reader = csv.reader(handle)
+        header = _read_header(reader, path)
+        columns: list[list[str]] = [[] for _ in header]
+        filled = 0
+        yielded = False
+        for number, row in enumerate(reader, start=2):
+            if not row:  # blank line (documented repair: skipped)
+                continue
+            if len(row) != len(header):
+                raise RaggedRowError(
+                    f"{path}: ragged CSV row {number}: expected "
+                    f"{len(header)} column(s), got {len(row)}"
+                )
+            for column, value in zip(columns, row):
+                column.append(value)
+            filled += 1
+            if chunk_size is not None and filled >= chunk_size:
+                yield dict(zip(header, columns))
+                columns = [[] for _ in header]
+                filled = 0
+                yielded = True
+        if filled or not yielded:
+            yield dict(zip(header, columns))
+
+
+# ----------------------------------------------------------------------
+# Plant dataset
+# ----------------------------------------------------------------------
 def save_plant_dataset(dataset: PlantDataset, directory: str | Path) -> Path:
     """Write ``events.csv`` and ``ground_truth.json`` under ``directory``."""
     directory = Path(directory)
@@ -51,10 +149,16 @@ def save_plant_dataset(dataset: PlantDataset, directory: str | Path) -> Path:
     return directory
 
 
-def load_plant_dataset(directory: str | Path) -> PlantDataset:
-    """Load a dataset written by :func:`save_plant_dataset`."""
+def load_plant_dataset(
+    directory: str | Path, chunk_size: int | None = None
+) -> PlantDataset:
+    """Load a dataset written by :func:`save_plant_dataset`.
+
+    ``chunk_size`` streams the event CSV through the chunked ingest
+    path (bit-identical to the in-memory load).
+    """
     directory = Path(directory)
-    log = MultivariateEventLog.from_csv(directory / "events.csv")
+    log = MultivariateEventLog.from_csv(directory / "events.csv", chunk_size=chunk_size)
     payload = json.loads((directory / "ground_truth.json").read_text())
     config_data = payload["config"]
     config = PlantConfig(
@@ -79,19 +183,42 @@ def load_plant_dataset(directory: str | Path) -> PlantDataset:
     )
 
 
+# ----------------------------------------------------------------------
+# Backblaze drive population
+# ----------------------------------------------------------------------
+def _save_drive_csv(drive: DriveTrace, directory: Path) -> Path:
+    """Write one drive's SMART history as ``<serial>.csv``."""
+    columns = sorted(drive.values)
+    path = directory / f"{drive.serial}.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["day"] + columns)
+        for day in range(drive.days_observed):
+            writer.writerow(
+                [day] + [repr(float(drive.values[c][day])) for c in columns]
+            )
+    return path
+
+
 def save_backblaze_dataset(dataset: BackblazeDataset, directory: str | Path) -> Path:
-    """Write one ``<serial>.csv`` per drive plus ``manifest.json``."""
+    """Write one ``<serial>.csv`` per drive plus ``manifest.json``.
+
+    Drives are written strictly one at a time — each trace's rows are
+    rendered and flushed before the next drive is touched — so saving a
+    lazily generated population never needs every trace list resident.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    for drive in dataset.drives:
-        columns = sorted(drive.values)
-        with (directory / f"{drive.serial}.csv").open("w", newline="") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(["day"] + columns)
-            for day in range(drive.days_observed):
-                writer.writerow(
-                    [day] + [repr(float(drive.values[c][day])) for c in columns]
-                )
+    entries: list[dict] = []
+    for drive in dataset:
+        _save_drive_csv(drive, directory)
+        entries.append(
+            {
+                "serial": drive.serial,
+                "failed": drive.failed,
+                "failure_day": drive.failure_day,
+            }
+        )
     manifest = {
         "config": {
             "num_drives": dataset.config.num_drives,
@@ -102,21 +229,92 @@ def save_backblaze_dataset(dataset: BackblazeDataset, directory: str | Path) -> 
             "incident_rate": dataset.config.incident_rate,
             "seed": dataset.config.seed,
         },
-        "drives": [
-            {
-                "serial": drive.serial,
-                "failed": drive.failed,
-                "failure_day": drive.failure_day,
-            }
-            for drive in dataset.drives
-        ],
+        "drives": entries,
     }
     (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
     return directory
 
 
+def _read_drive_csv(path: Path) -> dict[str, np.ndarray]:
+    """Stream one per-drive SMART CSV into float arrays.
+
+    Validates row arity (:class:`RaggedRowError`) and the ``day``
+    column's strict monotonicity (:class:`TimestampError` with distinct
+    duplicate/out-of-order messages); blank lines and a BOM are
+    repaired as in :func:`iter_event_chunks`.
+    """
+    with path.open(newline="", encoding="utf-8-sig") as handle:
+        reader = csv.reader(handle)
+        header = _read_header(reader, path)
+        if header[0] != "day":
+            raise HeaderError(
+                f"{path}: first column must be 'day', got {header[0]!r}"
+            )
+        names = header[1:]
+        columns: dict[str, list[float]] = {name: [] for name in names}
+        previous_day: int | None = None
+        for number, row in enumerate(reader, start=2):
+            if not row:  # blank line (documented repair: skipped)
+                continue
+            if len(row) != len(header):
+                raise RaggedRowError(
+                    f"{path}: ragged CSV row {number}: expected "
+                    f"{len(header)} column(s), got {len(row)}"
+                )
+            try:
+                day = int(row[0])
+            except ValueError as error:
+                raise TimestampError(
+                    f"{path}: row {number}: day {row[0]!r} is not an integer"
+                ) from error
+            if previous_day is not None:
+                if day == previous_day:
+                    raise TimestampError(
+                        f"{path}: row {number}: duplicate timestamp day {day}"
+                    )
+                if day < previous_day:
+                    raise TimestampError(
+                        f"{path}: row {number}: out-of-order timestamp day "
+                        f"{day} after day {previous_day}"
+                    )
+            previous_day = day
+            for name, value in zip(names, row[1:]):
+                try:
+                    columns[name].append(float(value))
+                except ValueError as error:
+                    raise ValueError(
+                        f"{path}: row {number}: column {name!r} value "
+                        f"{value!r} is not a number"
+                    ) from error
+    return {name: np.asarray(values, dtype=np.float64) for name, values in columns.items()}
+
+
+def iter_drive_traces(directory: str | Path) -> Iterator[DriveTrace]:
+    """Stream a saved population one :class:`DriveTrace` at a time.
+
+    Reads ``manifest.json`` once, then parses each drive's CSV lazily,
+    so consumers that process drives independently (the per-drive HDD
+    pipeline, fleet sharding) never hold more than one trace's arrays.
+    """
+    directory = Path(directory)
+    manifest = json.loads((directory / "manifest.json").read_text())
+    for entry in manifest["drives"]:
+        values = _read_drive_csv(directory / f"{entry['serial']}.csv")
+        yield DriveTrace(
+            serial=entry["serial"],
+            values=values,
+            failed=entry["failed"],
+            failure_day=entry["failure_day"],
+        )
+
+
 def load_backblaze_dataset(directory: str | Path) -> BackblazeDataset:
-    """Load a population written by :func:`save_backblaze_dataset`."""
+    """Load a population written by :func:`save_backblaze_dataset`.
+
+    Materialises the full :class:`BackblazeDataset`; use
+    :func:`iter_drive_traces` to stream drives without holding every
+    trace list in memory.
+    """
     directory = Path(directory)
     manifest = json.loads((directory / "manifest.json").read_text())
     config_data = manifest["config"]
@@ -129,22 +327,4 @@ def load_backblaze_dataset(directory: str | Path) -> BackblazeDataset:
         incident_rate=config_data["incident_rate"],
         seed=config_data["seed"],
     )
-    drives = []
-    for entry in manifest["drives"]:
-        path = directory / f"{entry['serial']}.csv"
-        with path.open(newline="") as handle:
-            reader = csv.reader(handle)
-            header = next(reader)
-            columns: dict[str, list[float]] = {name: [] for name in header[1:]}
-            for row in reader:
-                for name, value in zip(header[1:], row[1:]):
-                    columns[name].append(float(value))
-        drives.append(
-            DriveTrace(
-                serial=entry["serial"],
-                values={name: np.asarray(values) for name, values in columns.items()},
-                failed=entry["failed"],
-                failure_day=entry["failure_day"],
-            )
-        )
-    return BackblazeDataset(drives=drives, config=config)
+    return BackblazeDataset(drives=list(iter_drive_traces(directory)), config=config)

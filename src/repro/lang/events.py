@@ -21,7 +21,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from ..core import EventFrame, StateTable
+from ..core import EventFrame, EventFrameBuilder, StateTable
 from ..core.state_table import CODE_DTYPE
 
 __all__ = ["EventSequence", "MultivariateEventLog"]
@@ -206,19 +206,41 @@ class MultivariateEventLog:
         return cls(EventSequence(name, events) for name, events in mapping.items())
 
     @classmethod
-    def from_csv(cls, path: str | Path) -> "MultivariateEventLog":
-        """Load a log from a CSV with one column per sensor."""
+    def from_csv(
+        cls, path: str | Path, chunk_size: int | None = None
+    ) -> "MultivariateEventLog":
+        """Load a log from a CSV with one column per sensor.
+
+        With ``chunk_size`` the file is streamed through
+        :func:`repro.datasets.io.iter_event_chunks` and folded into the
+        log via :meth:`from_chunks`, so peak memory is the final
+        ``uint16`` code matrix plus one chunk of strings instead of the
+        whole decoded file; the result is bit-identical to the
+        in-memory load (same :meth:`~repro.core.EventFrame.digest`).
+        """
         path = Path(path)
-        with path.open(newline="") as handle:
-            reader = csv.reader(handle)
-            header = next(reader)
-            columns: list[list[str]] = [[] for _ in header]
-            for row in reader:
-                if len(row) != len(header):
-                    raise ValueError(f"ragged CSV row in {path}: {row!r}")
-                for column, value in zip(columns, row):
-                    column.append(value)
-        return cls(EventSequence(name, column) for name, column in zip(header, columns))
+        # Local import: repro.datasets.io imports this module at load
+        # time, so the reader is resolved lazily to avoid the cycle.
+        from ..datasets.io import iter_event_chunks
+
+        if chunk_size is not None:
+            return cls.from_chunks(iter_event_chunks(path, chunk_size))
+        # In-memory fast case: one chunk spanning the whole file.
+        return cls.from_chunks(iter_event_chunks(path, None))
+
+    @classmethod
+    def from_chunks(cls, chunks) -> "MultivariateEventLog":
+        """Fold an iterable of ``{sensor: [state, ...]}`` chunks.
+
+        Chunks are consumed one at a time through an
+        :class:`~repro.core.EventFrameBuilder`; the frame (codes,
+        state tables, digests) is bit-identical to constructing the
+        log from the concatenated columns in one shot.
+        """
+        builder = EventFrameBuilder()
+        for chunk in chunks:
+            builder.append(chunk)
+        return cls._from_frame(builder.finalize())
 
     def to_csv(self, path: str | Path) -> Path:
         """Write the log to a CSV with one column per sensor."""

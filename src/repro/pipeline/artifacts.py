@@ -107,10 +107,14 @@ def fingerprint_sequence(sequence: "EventSequence") -> str:
 def fingerprint_log(log: "MultivariateEventLog") -> str:
     """Fingerprint a whole event log (sensor order is significant).
 
-    Equal to ``log.frame.digest()`` — the per-row digests are folded
-    with the same separator :func:`combine_fingerprints` uses.
+    Delegates to :meth:`repro.core.EventFrame.digest`, which folds the
+    per-row digests with the same separator
+    :func:`combine_fingerprints` uses — the value is identical to
+    combining :func:`fingerprint_sequence` over the log's sequences,
+    but reuses the frame's digest cache (pre-seeded by the chunked
+    ingest builder) instead of rescanning the code matrix.
     """
-    return combine_fingerprints(*(fingerprint_sequence(seq) for seq in log))
+    return log.frame.digest()
 
 
 def combine_fingerprints(*parts: str) -> str:

@@ -28,7 +28,10 @@ class CorpusStage(Stage):
     # 2: sentences default to packed integer word keys; the sentence
     # representation is part of the fingerprint so "codes" and
     # "strings" corpora never alias in the store.
-    version = "2"
+    # 3: chunked streaming ingest — log fingerprints now come from the
+    # frame's rolling digest cache; identical bytes for chunked and
+    # in-memory ingest, but the bump fences off pre-streaming caches.
+    version = "3"
     inputs = (
         "training_log",
         "development_log",

@@ -25,7 +25,12 @@ class EncryptStage(Stage):
     name = "encrypt"
     # 2: fingerprints hash the interned columnar codes (same codebooks,
     # new digests), so caches written by version 1 are never reused.
-    version = "2"
+    # 3: chunked streaming ingest — logs may arrive through
+    # EventFrameBuilder with pre-seeded rolling digests; the digest
+    # bytes are unchanged (chunked and in-memory ingest of the same
+    # data produce identical keys), but the bump fences off caches
+    # written before the growable-interning code path existed.
+    version = "3"
     inputs = ("training_log",)
     outputs = ("encoders", "discarded_sensors")
 

@@ -1,0 +1,197 @@
+"""Messy-input corpus for the chunked readers.
+
+Every case in :mod:`repro.datasets.io`'s documented repair/reject
+policy gets a concrete fixture: repairs (BOM, blank lines) must load
+to exactly the clean file's content, rejections (ragged rows, header
+problems, non-monotonic day columns, bad floats) must raise the
+documented error class with an actionable message naming the file and
+row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.backblaze import BackblazeConfig, BackblazeDataset, DriveTrace
+from repro.datasets.io import (
+    HeaderError,
+    RaggedRowError,
+    TimestampError,
+    iter_drive_traces,
+    iter_event_chunks,
+    load_backblaze_dataset,
+    save_backblaze_dataset,
+)
+from repro.lang.events import MultivariateEventLog
+
+CLEAN = "a,b\nx,y\nx,z\nw,y\n"
+
+
+def collect(path, chunk_size=None):
+    chunks = list(iter_event_chunks(path, chunk_size))
+    merged = {name: [] for name in chunks[0]}
+    for chunk in chunks:
+        for name, column in chunk.items():
+            merged[name].extend(column)
+    return merged
+
+
+class TestEventChunkRepairs:
+    def test_clean_file_baseline(self, tmp_path):
+        path = tmp_path / "clean.csv"
+        path.write_text(CLEAN)
+        assert collect(path) == {"a": ["x", "x", "w"], "b": ["y", "z", "y"]}
+
+    def test_bom_is_stripped(self, tmp_path):
+        path = tmp_path / "bom.csv"
+        path.write_bytes(b"\xef\xbb\xbf" + CLEAN.encode("utf-8"))
+        # Repair: the BOM must not leak into the first sensor's name.
+        assert collect(path) == {"a": ["x", "x", "w"], "b": ["y", "z", "y"]}
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("a,b\nx,y\n\n\nx,z\n\nw,y\n")
+        assert collect(path) == {"a": ["x", "x", "w"], "b": ["y", "z", "y"]}
+        # The repair holds at every chunk size, including boundaries.
+        for size in (1, 2, 64):
+            assert collect(path, size) == {"a": ["x", "x", "w"], "b": ["y", "z", "y"]}
+
+    def test_header_only_file_yields_empty_columns(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b\n")
+        assert collect(path) == {"a": [], "b": []}
+        log = MultivariateEventLog.from_csv(path)
+        assert log.sensors == ["a", "b"]
+        assert log.num_samples == 0
+
+
+class TestEventChunkRejections:
+    def test_ragged_row_names_file_row_and_arity(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\nx,y\nx\n")
+        with pytest.raises(RaggedRowError, match="ragged CSV row 3"):
+            collect(path)
+        with pytest.raises(ValueError, match="expected 2 column\\(s\\), got 1"):
+            collect(path)
+
+    def test_ragged_row_via_log_loader(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\nx,y\nx,y,z\n")
+        with pytest.raises(ValueError, match="ragged"):
+            MultivariateEventLog.from_csv(path, chunk_size=1)
+
+    def test_duplicate_header_rejected(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text("a,b,a\nx,y,z\n")
+        with pytest.raises(HeaderError, match="duplicate header"):
+            collect(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(HeaderError, match="missing or empty"):
+            collect(path)
+
+    def test_bad_chunk_size_rejected(self, tmp_path):
+        path = tmp_path / "clean.csv"
+        path.write_text(CLEAN)
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(iter_event_chunks(path, 0))
+
+
+def _drive_dir(tmp_path, rows, name="drv1"):
+    """A one-drive population directory with hand-written SMART rows."""
+    (tmp_path / "manifest.json").write_text(
+        '{"config": {"num_drives": 1, "days": 3, "failure_fraction": 0.5,'
+        ' "silent_failure_fraction": 0.0, "ramp_days": 2,'
+        ' "incident_rate": 0.01, "seed": 1},'
+        ' "drives": [{"serial": "%s", "failed": false, "failure_day": null}]}'
+        % name
+    )
+    (tmp_path / f"{name}.csv").write_text("day,smart_5\n" + rows)
+    return tmp_path
+
+
+class TestDriveStreamTimestamps:
+    def test_clean_stream(self, tmp_path):
+        directory = _drive_dir(tmp_path, "0,1.0\n1,2.0\n2,3.0\n")
+        (trace,) = list(iter_drive_traces(directory))
+        assert trace.serial == "drv1"
+        assert trace.values["smart_5"].tolist() == [1.0, 2.0, 3.0]
+
+    def test_duplicate_day_rejected(self, tmp_path):
+        directory = _drive_dir(tmp_path, "0,1.0\n1,2.0\n1,3.0\n")
+        with pytest.raises(TimestampError, match="duplicate timestamp day 1"):
+            list(iter_drive_traces(directory))
+
+    def test_out_of_order_day_rejected(self, tmp_path):
+        directory = _drive_dir(tmp_path, "0,1.0\n2,2.0\n1,3.0\n")
+        with pytest.raises(TimestampError, match="out-of-order timestamp day 1"):
+            list(iter_drive_traces(directory))
+
+    def test_non_integer_day_rejected(self, tmp_path):
+        directory = _drive_dir(tmp_path, "0,1.0\nsoon,2.0\n")
+        with pytest.raises(TimestampError, match="'soon' is not an integer"):
+            list(iter_drive_traces(directory))
+
+    def test_bad_float_names_column_and_row(self, tmp_path):
+        directory = _drive_dir(tmp_path, "0,1.0\n1,broken\n")
+        with pytest.raises(ValueError, match="'smart_5'.*'broken' is not a number"):
+            list(iter_drive_traces(directory))
+
+    def test_ragged_smart_row_rejected(self, tmp_path):
+        directory = _drive_dir(tmp_path, "0,1.0\n1\n")
+        with pytest.raises(RaggedRowError, match="ragged CSV row 3"):
+            list(iter_drive_traces(directory))
+
+    def test_blank_lines_and_bom_repaired(self, tmp_path):
+        directory = _drive_dir(tmp_path, "0,1.0\n\n1,2.0\n")
+        csv_path = directory / "drv1.csv"
+        csv_path.write_bytes(b"\xef\xbb\xbf" + csv_path.read_bytes())
+        (trace,) = list(iter_drive_traces(directory))
+        assert trace.values["smart_5"].tolist() == [1.0, 2.0]
+
+
+class TestBackblazeStreamingRoundTrip:
+    def _dataset(self):
+        config = BackblazeConfig.small()
+        rng = np.random.default_rng(3)
+        drives = [
+            DriveTrace(
+                serial=f"drive{i}",
+                values={
+                    "smart_5": rng.random(5),
+                    "smart_187": rng.random(5),
+                },
+                failed=i == 0,
+                failure_day=4 if i == 0 else None,
+            )
+            for i in range(3)
+        ]
+        return BackblazeDataset(drives=drives, config=config)
+
+    def test_streamed_iteration_matches_full_load(self, tmp_path):
+        dataset = self._dataset()
+        save_backblaze_dataset(dataset, tmp_path)
+        loaded = load_backblaze_dataset(tmp_path)
+        streamed = list(iter_drive_traces(tmp_path))
+        assert [d.serial for d in streamed] == [d.serial for d in loaded]
+        for full, lazy in zip(loaded, streamed):
+            assert full.failed == lazy.failed
+            assert full.failure_day == lazy.failure_day
+            for column in full.values:
+                assert np.array_equal(full.values[column], lazy.values[column])
+
+    def test_streaming_is_lazy(self, tmp_path):
+        dataset = self._dataset()
+        save_backblaze_dataset(dataset, tmp_path)
+        iterator = iter_drive_traces(tmp_path)
+        first = next(iterator)
+        assert first.serial == "drive0"
+        # Corrupt a later drive's file: an eager loader would already
+        # have parsed (and rejected) it, a lazy one fails only on reach.
+        (tmp_path / "drive2.csv").write_text("day,smart_5\n0,bad\n")
+        assert next(iterator).serial == "drive1"
+        with pytest.raises(ValueError, match="not a number"):
+            next(iterator)
