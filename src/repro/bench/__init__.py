@@ -8,8 +8,23 @@ peaks and per-stage event throughput as ``repro-scale-v1`` records in
 chunked streaming ingest core: every run re-asserts that chunked and
 in-memory ingest produce bit-identical frame digests and that chunked
 ingest peaks below full-log residency.
+
+:mod:`repro.bench.online` measures the serving path: multi-tenant
+chunk streams through the sharded
+:class:`~repro.service.StreamingDetectionService`, swept across shard
+counts, recording events/second and p99 ingest-to-emit window latency
+as ``repro-online-v1`` records in ``BENCH_online.json`` — with every
+record also asserting a fully cached warm start and exact merged-feed
+parity against batch detection.
 """
 
+from .online import (
+    DEFAULT_SHARD_COUNTS,
+    ONLINE_SCHEMA,
+    append_online_record,
+    load_online_bench,
+    run_online_bench,
+)
 from .scale import (
     SCALE_SCHEMA,
     SCALE_TIERS,
@@ -21,11 +36,16 @@ from .scale import (
 )
 
 __all__ = [
+    "DEFAULT_SHARD_COUNTS",
+    "ONLINE_SCHEMA",
     "SCALE_SCHEMA",
     "SCALE_TIERS",
     "ScaleTier",
+    "append_online_record",
     "append_scale_record",
+    "load_online_bench",
     "load_scale_bench",
+    "run_online_bench",
     "run_scale_ladder",
     "run_scale_tier",
 ]

@@ -15,8 +15,11 @@ models from a content-addressed artifact cache across rebuilds; the
 companion ``cache`` subcommand inspects or garbage-collects such a
 cache.  ``train`` and ``detect`` accept ``--chunk-size`` to stream
 their CSVs through the chunked ingest path (bit-identical results,
-bounded peak memory), and ``bench scale`` runs the size-tiered
-scaling ladder into ``BENCH_scale.json``.
+bounded peak memory), ``serve`` runs the sharded streaming detection
+service over one or more tenant streams (see ``docs/service.md``),
+``bench scale`` runs the size-tiered scaling ladder into
+``BENCH_scale.json`` and ``bench online`` sweeps the streaming
+service across shard counts into ``BENCH_online.json``.
 
 Example::
 
@@ -283,16 +286,94 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_arguments(scenarios)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the sharded streaming detection service",
+        description="Sharded streaming detection: each NAME=CSV pair is "
+        "one tenant stream, routed to a shard and scored incrementally "
+        "against the saved model; windows from every shard interleave "
+        "into one merged fleet feed.  With --snapshot-dir the service "
+        "restores a prior snapshot before ingesting and writes a fresh "
+        "one after draining, so a restarted run resumes mid-stream.",
+    )
+    serve.add_argument(
+        "streams",
+        nargs="+",
+        metavar="NAME=CSV",
+        help="tenant streams: a stream name and its event CSV",
+    )
+    serve.add_argument("--model", type=Path, required=True)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="number of detector shards (default 1)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        metavar="ITEMS",
+        help="per-shard ingest queue bound in work items (default 64)",
+    )
+    serve.add_argument(
+        "--backpressure",
+        choices=("block", "reject"),
+        default="block",
+        help="full-queue policy: 'block' the producer (default, lossless) "
+        "or 'reject' the chunk (bounded latency; drops are counted "
+        "under service.dropped)",
+    )
+    serve.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="samples per submitted chunk (default 256)",
+    )
+    serve.add_argument(
+        "--snapshot-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="restore stream state from this directory when a snapshot "
+        "is present, and write one after the run drains",
+    )
+    serve.add_argument(
+        "--threshold", type=float, default=0.5, help="alarm threshold"
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    _add_observability_arguments(serve)
+
     bench = sub.add_parser(
         "bench",
         help="run scaling benchmarks",
         description="Scaling benchmarks: 'scale' runs the size-tiered "
         "ladder (generate, chunked + resident ingest, fit, detect per "
         "tier) and logs repro-scale-v1 records with wall seconds, heap "
-        "peaks and per-stage throughput.",
+        "peaks and per-stage throughput; 'online' sweeps the sharded "
+        "streaming service across shard counts and logs repro-online-v1 "
+        "records with events/second and p99 window latency.",
     )
     bench.add_argument(
-        "action", choices=("scale",), help="benchmark family to run"
+        "action", choices=("scale", "online"), help="benchmark family to run"
+    )
+    bench.add_argument(
+        "--shard-counts",
+        type=str,
+        default=None,
+        metavar="COUNTS",
+        help="bench online: comma-separated shard counts to sweep "
+        "(default 1,2,4)",
+    )
+    bench.add_argument(
+        "--tenants",
+        type=int,
+        default=4,
+        help="bench online: tenant streams replaying the scenario log "
+        "(default 4)",
     )
     bench.add_argument(
         "--tiers",
@@ -645,8 +726,190 @@ def _command_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service import StreamingDetectionService, has_snapshot
+
+    _setup_observability(args)
+    _check_chunk_size(args)
+    chunk_size = 256 if args.chunk_size is None else args.chunk_size
+    if args.shards < 1:
+        raise SystemExit(f"invalid --shards {args.shards}; must be >= 1")
+
+    streams: dict[str, Path] = {}
+    for spec in args.streams:
+        name, separator, csv_path = spec.partition("=")
+        if not separator or not name or not csv_path:
+            raise SystemExit(
+                f"invalid stream {spec!r}; expected NAME=CSV"
+            )
+        if name in streams:
+            raise SystemExit(f"duplicate stream name {name!r}")
+        streams[name] = Path(csv_path)
+
+    framework = load_framework(args.model)
+    if framework.graph is None:
+        print("model is not fitted", file=sys.stderr)
+        return 1
+    logs = {
+        name: MultivariateEventLog.from_csv(path, chunk_size=args.chunk_size)
+        for name, path in streams.items()
+    }
+
+    metrics = MetricsRegistry()
+    service = StreamingDetectionService(
+        framework.graph,
+        list(streams),
+        num_shards=args.shards,
+        queue_depth=64 if args.queue_depth is None else args.queue_depth,
+        backpressure=args.backpressure,
+        score_range=framework.config.detection_range,
+        metrics=metrics,
+        autostart=False,
+    )
+    restored = False
+    if args.snapshot_dir is not None and has_snapshot(args.snapshot_dir):
+        service.restore(args.snapshot_dir)
+        restored = True
+        print(f"resumed from snapshot {args.snapshot_dir}", file=sys.stderr)
+    service.start()
+
+    # Interleave the tenant streams chunk-by-chunk, the shape a fleet
+    # of concurrent producers would deliver.
+    for name, log in logs.items():
+        for start in range(0, log.num_samples, chunk_size):
+            stop = min(start + chunk_size, log.num_samples)
+            block = {
+                sensor: log[sensor].events[start:stop]
+                for sensor in log.sensors
+            }
+            service.submit(name, block)
+    feed = service.merged_feed()
+    pending = {k: v for k, v in service.pending_samples().items() if v}
+    errors = {tenant: str(error) for tenant, error in service.errors.items()}
+    if args.snapshot_dir is not None:
+        service.snapshot(args.snapshot_dir)
+        print(f"snapshot written to {args.snapshot_dir}", file=sys.stderr)
+    service.close()
+
+    dropped = int(metrics.value("service.dropped", 0))
+    if args.metrics_json is not None:
+        path = metrics.write_json(args.metrics_json)
+        print(f"metrics snapshot written to {path}", file=sys.stderr)
+
+    if args.json:
+        payload = {
+            "shards": args.shards,
+            "tenants": list(streams),
+            "restored": restored,
+            "windows": [
+                {
+                    "tenant": fleet_window.tenant,
+                    "shard": fleet_window.shard_id,
+                    "window_index": fleet_window.window.window_index,
+                    "start_sample": fleet_window.window.start_sample,
+                    "anomaly_score": fleet_window.window.anomaly_score,
+                    "broken_pairs": [
+                        list(pair)
+                        for pair in fleet_window.window.broken_pairs
+                    ],
+                }
+                for fleet_window in feed
+            ],
+            "alarms": [
+                [fw.tenant, fw.window.window_index]
+                for fw in feed
+                if fw.window.anomaly_score >= args.threshold
+            ],
+            "pending_samples": pending,
+            "dropped_chunks": dropped,
+            "errors": errors,
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if errors else 0
+
+    print(
+        f"served {len(streams)} stream(s) over {args.shards} shard(s): "
+        f"{len(feed)} windows"
+    )
+    for fleet_window in feed:
+        window = fleet_window.window
+        alarm = "  <-- ALARM" if window.anomaly_score >= args.threshold else ""
+        print(
+            f"{fleet_window.tenant:>16s} shard {fleet_window.shard_id} "
+            f"window {window.window_index:4d}: {window.anomaly_score:5.3f}"
+            f"{alarm}"
+        )
+    if pending:
+        print(f"pending residual samples: {pending}")
+    if dropped:
+        print(f"dropped chunks under reject backpressure: {dropped}")
+    for tenant, error in errors.items():
+        print(f"quarantined {tenant}: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+def _command_bench_online(args: argparse.Namespace) -> int:
+    from .bench.online import (
+        DEFAULT_ONLINE_CHUNK,
+        DEFAULT_SHARD_COUNTS,
+        run_online_bench,
+    )
+
+    shard_counts: tuple[int, ...] = DEFAULT_SHARD_COUNTS
+    if args.shard_counts is not None:
+        try:
+            shard_counts = tuple(
+                int(value) for value in args.shard_counts.split(",") if value
+            )
+        except ValueError as error:
+            raise SystemExit(
+                f"invalid --shard-counts {args.shard_counts!r}; "
+                "expected comma-separated integers"
+            ) from error
+    if not shard_counts or any(count < 1 for count in shard_counts):
+        raise SystemExit(f"invalid --shard-counts {args.shard_counts!r}")
+    if args.tenants < 1:
+        raise SystemExit(f"invalid --tenants {args.tenants}; must be >= 1")
+    chunk_size = DEFAULT_ONLINE_CHUNK if args.chunk_size is None else args.chunk_size
+
+    metrics = MetricsRegistry()
+    records = run_online_bench(
+        shard_counts=shard_counts,
+        num_tenants=args.tenants,
+        seed=11 if args.seed is None else args.seed,
+        chunk_size=chunk_size,
+        bench_path=args.bench,
+        metrics=metrics,
+    )
+    if args.metrics_json is not None:
+        path = metrics.write_json(args.metrics_json)
+        print(f"metrics snapshot written to {path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(records, indent=2))
+        return 0
+    rows = [
+        {
+            "shards": record["shards"],
+            "tenants": record["tenants"],
+            "events/s": f"{record['events_per_second']:.0f}",
+            "p50 ms": f"{record['p50_latency_seconds'] * 1e3:.1f}",
+            "p99 ms": f"{record['p99_latency_seconds'] * 1e3:.1f}",
+            "windows": record["windows"],
+            "parity": record["parity"],
+            "warm trained": record["warm_start"]["trained"],
+        }
+        for record in records
+    ]
+    print(ascii_table(rows, title=f"Online service bench (chunk_size={chunk_size})"))
+    if args.bench is not None:
+        print(f"benchmark records appended to {args.bench}")
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     _setup_observability(args)
+    if args.action == "online":
+        return _command_bench_online(args)
     from .bench.scale import DEFAULT_SCALE_CHUNK, SCALE_TIERS, run_scale_ladder
 
     chunk_size = DEFAULT_SCALE_CHUNK if args.chunk_size is None else args.chunk_size
@@ -758,6 +1021,7 @@ def main(argv: list[str] | None = None) -> int:
         "inspect": _command_inspect,
         "cache": _command_cache,
         "scenarios": _command_scenarios,
+        "serve": _command_serve,
         "bench": _command_bench,
         "simulate": _command_simulate,
     }

@@ -18,12 +18,32 @@ a block of samples with one vectorised encode per sensor, and
 :meth:`OnlineAnomalyDetector.stream_from_reader` drives a whole
 chunked reader (e.g. :func:`repro.datasets.io.iter_event_chunks`)
 without ever materialising the full test log.
+
+Lifecycle contract (the streaming service in :mod:`repro.service`
+relies on all three):
+
+- **Failure atomicity** — if scoring raises mid-call (e.g. a translate
+  error), :meth:`push`/:meth:`push_chunk` roll the detector back to its
+  pre-call state (buffers, sample clock, window clock, metrics), so a
+  caller may retry the same call without double-scoring a window or
+  desynchronising the window clock.
+- **Residual visibility** — samples that arrive after the last
+  completed window are reported by :attr:`pending_samples` and can be
+  explicitly discarded with :meth:`flush` at end-of-stream; they are
+  never dropped silently.
+- **Snapshot/restore** — :meth:`state_dict` captures the mutable stream
+  state (buffers and clocks) as a JSON-serialisable dict and
+  :meth:`load_state_dict` restores it onto a detector built from the
+  same graph/configuration, so a restarted consumer resumes mid-stream
+  without re-scoring or skipping windows.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -119,6 +139,7 @@ class OnlineAnomalyDetector:
             "online.windows_scored",
             "online.pairs_evaluated",
             "online.pairs_broken",
+            "online.samples_flushed",
         ):
             self.metrics.counter(name)
 
@@ -133,30 +154,52 @@ class OnlineAnomalyDetector:
         """Samples between consecutive windows (detection granularity)."""
         return self._config.effective_sentence_stride * self._config.word_stride
 
+    @property
+    def samples_seen(self) -> int:
+        """Samples ingested over the detector's lifetime."""
+        return self._samples_seen
+
+    @property
+    def windows_emitted(self) -> int:
+        """Windows scored over the detector's lifetime."""
+        return self._windows_emitted
+
+    @property
+    def pending_samples(self) -> int:
+        """Buffered samples no emitted window has started from yet.
+
+        This is the residual tail a finite stream leaves behind: samples
+        at or after the next window's start that have not completed that
+        window.  At end-of-stream these would otherwise sit in the
+        buffers invisibly — report them, or discard them explicitly with
+        :meth:`flush`.
+        """
+        return self._samples_seen - self._next_window_start()
+
     def _next_window_start(self) -> int:
         return self._windows_emitted * self.window_stride
 
+    # ------------------------------------------------------------------
     def push(self, sample: Mapping[str, str]) -> list[WindowScore]:
         """Feed one multivariate sample; return any newly completed windows.
 
         ``sample`` maps sensor name → categorical state.  Sensors the
         detector does not use are ignored; missing monitored sensors
         raise, since silent gaps would desynchronise the windows.
+
+        Unseen states are interned to the unknown code by the same
+        :class:`~repro.core.StateTable` mapping :meth:`push_chunk`'s
+        vectorised encode uses, so both ingest paths score never-seen
+        states identically.
         """
         missing = [name for name in self._sensors if name not in sample]
         if missing:
             raise KeyError(f"sample is missing monitored sensors: {missing}")
-        for name in self._sensors:
-            self._buffers[name].append(
-                self._encoders[name].table.code_of(str(sample[name]))
-            )
-        self._samples_seen += 1
-        self.metrics.counter("online.samples_ingested").inc()
-
-        emitted: list[WindowScore] = []
-        while self._next_window_start() + self.window_span <= self._samples_seen:
-            emitted.append(self._score_window())
-        return emitted
+        codes = {
+            name: [self._encoders[name].table.code_of(str(sample[name]))]
+            for name in self._sensors
+        }
+        return self._ingest(codes, 1)
 
     def push_chunk(self, chunk: "Mapping[str, Sequence[str]]") -> list[WindowScore]:
         """Feed a block of consecutive samples; return completed windows.
@@ -177,18 +220,13 @@ class OnlineAnomalyDetector:
         length = next(iter(lengths.values()))
         if length == 0:
             return []
-        for name in self._sensors:
-            codes = self._encoders[name].table.encode(
-                [str(event) for event in chunk[name]]
-            )
-            self._buffers[name].extend(codes.tolist())
-        self._samples_seen += length
-        self.metrics.counter("online.samples_ingested").inc(length)
-
-        emitted: list[WindowScore] = []
-        while self._next_window_start() + self.window_span <= self._samples_seen:
-            emitted.append(self._score_window())
-        return emitted
+        codes = {
+            name: self._encoders[name]
+            .table.encode([str(event) for event in chunk[name]])
+            .tolist()
+            for name in self._sensors
+        }
+        return self._ingest(codes, length)
 
     def stream_from_reader(
         self, chunks: "Iterable[Mapping[str, Sequence[str]]]"
@@ -200,12 +238,70 @@ class OnlineAnomalyDetector:
         one chunk at a time; windows are yielded as soon as the samples
         completing them arrive, so peak memory is one chunk of strings
         plus the detector's trimmed code buffers, never the full test
-        log.
+        log.  Samples the stream leaves behind without completing a
+        window remain visible via :attr:`pending_samples`.
         """
         for chunk in chunks:
             yield from self.push_chunk(chunk)
 
-    def _score_window(self) -> WindowScore:
+    def flush(self) -> int:
+        """Discard the residual tail that can never complete a window.
+
+        Finite streams end between window boundaries; the trailing
+        samples are reported by :attr:`pending_samples` and dropped here
+        explicitly (recorded as ``online.samples_flushed``).  The sample
+        clock rewinds to the last window boundary, so a detector that
+        keeps ingesting after a flush continues with a consistent window
+        clock — as if the discarded samples never arrived.  Returns the
+        number of samples discarded.
+        """
+        dropped = self.pending_samples
+        if dropped:
+            boundary = self._next_window_start()
+            for name in self._sensors:
+                del self._buffers[name][boundary - self._trimmed :]
+            self._samples_seen = boundary
+        self.metrics.counter("online.samples_flushed").inc(dropped)
+        self.metrics.gauge("online.pending_samples").set(0)
+        return dropped
+
+    # ------------------------------------------------------------------
+    def _ingest(self, codes: Mapping[str, list[int]], count: int) -> list[WindowScore]:
+        """Commit ``count`` interned samples and score completed windows.
+
+        Failure-atomic: appends, the sample clock, the window clock and
+        all metrics either commit together after every completed window
+        scored cleanly, or roll back together when scoring raises — so a
+        retried ``push``/``push_chunk`` neither double-scores a window
+        nor skips one.  Trimming is deferred to the commit point, which
+        keeps rollback a pure tail truncation (the dropped prefix never
+        has to be reconstructed).
+        """
+        base_length = self._samples_seen - self._trimmed
+        clocks = (self._samples_seen, self._windows_emitted)
+        emitted: list[WindowScore] = []
+        seconds: list[float] = []
+        try:
+            for name in self._sensors:
+                self._buffers[name].extend(codes[name])
+            self._samples_seen += count
+            while self._next_window_start() + self.window_span <= self._samples_seen:
+                emitted.append(self._score_window(seconds))
+        except BaseException:
+            for name in self._sensors:
+                del self._buffers[name][base_length:]
+            self._samples_seen, self._windows_emitted = clocks
+            raise
+        self._trim_buffers()
+        self._commit_metrics(count, emitted, seconds)
+        return emitted
+
+    def _score_window(self, seconds: list[float]) -> WindowScore:
+        """Score the next due window; only the window clock advances.
+
+        Metric commits live in :meth:`_commit_metrics` so a later window
+        failing in the same ingest call leaves no half-recorded state.
+        """
         watch = Stopwatch()
         start = self._next_window_start()
         stop = start + self.window_span
@@ -232,13 +328,8 @@ class OnlineAnomalyDetector:
             broken_pairs=tuple(broken),
         )
         self._windows_emitted += 1
-        self._trim_buffers()
-        seconds = watch.elapsed
-        self.metrics.counter("online.windows_scored").inc()
-        self.metrics.counter("online.pairs_evaluated").inc(len(self._pairs))
-        self.metrics.counter("online.pairs_broken").inc(len(broken))
-        # The serving hot path: one observation per emitted window.
-        self.metrics.histogram("online.window_seconds").observe(seconds)
+        elapsed = watch.elapsed
+        seconds.append(elapsed)
         logger.debug(
             "window %d (start sample %d): a_t=%.4f, %d/%d pairs broken "
             "in %.4fs",
@@ -247,15 +338,34 @@ class OnlineAnomalyDetector:
             window.anomaly_score,
             len(broken),
             len(self._pairs),
-            seconds,
+            elapsed,
             extra={
                 "window_index": window.window_index,
                 "anomaly_score": window.anomaly_score,
                 "broken_pairs": len(broken),
-                "seconds": seconds,
+                "seconds": elapsed,
             },
         )
         return window
+
+    def _commit_metrics(
+        self, count: int, emitted: list[WindowScore], seconds: list[float]
+    ) -> None:
+        """Record one successful ingest call's counters in one pass."""
+        self.metrics.counter("online.samples_ingested").inc(count)
+        if emitted:
+            self.metrics.counter("online.windows_scored").inc(len(emitted))
+            self.metrics.counter("online.pairs_evaluated").inc(
+                len(self._pairs) * len(emitted)
+            )
+            self.metrics.counter("online.pairs_broken").inc(
+                sum(len(window.broken_pairs) for window in emitted)
+            )
+            window_seconds = self.metrics.histogram("online.window_seconds")
+            for elapsed in seconds:
+                # The serving hot path: one observation per emitted window.
+                window_seconds.observe(elapsed)
+        self.metrics.gauge("online.pending_samples").set(self.pending_samples)
 
     def _trim_buffers(self) -> None:
         """Drop samples no future window can reference (bounded memory)."""
@@ -266,3 +376,86 @@ class OnlineAnomalyDetector:
         for name in self._sensors:
             del self._buffers[name][:drop]
         self._trimmed = keep_from
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def stream_fingerprint(self) -> str:
+        """Digest of everything the stream state depends on.
+
+        Covers the monitored sensors, window geometry, valid pairs and
+        break thresholds — a snapshot taken from one detector only loads
+        onto another with the same fingerprint, so state can never be
+        restored onto a differently-trained or differently-configured
+        model without an explicit error.
+        """
+        payload = {
+            "sensors": list(self._sensors),
+            "window_span": self.window_span,
+            "window_stride": self.window_stride,
+            "pairs": [list(pair) for pair in self._pairs],
+            "thresholds": [self._thresholds[pair] for pair in self._pairs],
+        }
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot of the mutable stream state.
+
+        Captures the code buffers and the sample/window/trim clocks plus
+        the :meth:`stream_fingerprint`; everything else (models,
+        thresholds, valid pairs) is a pure function of the graph and
+        construction arguments and is *not* serialised — rebuild the
+        detector, then :meth:`load_state_dict` this dict onto it.
+        """
+        return {
+            "fingerprint": self.stream_fingerprint(),
+            "buffers": {name: list(self._buffers[name]) for name in self._sensors},
+            "samples_seen": self._samples_seen,
+            "windows_emitted": self._windows_emitted,
+            "trimmed": self._trimmed,
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`state_dict` onto this detector.
+
+        The snapshot's fingerprint must match this detector's
+        :meth:`stream_fingerprint` and the buffers must be internally
+        consistent with the clocks; a detector resumed this way emits
+        exactly the windows the original would have emitted — no window
+        is re-scored and none is skipped.
+        """
+        expected = self.stream_fingerprint()
+        recorded = state.get("fingerprint")
+        if recorded != expected:
+            raise ValueError(
+                "snapshot fingerprint mismatch: state was captured from a "
+                f"detector with fingerprint {str(recorded)[:12]}…, this "
+                f"detector is {expected[:12]}… (different graph, score "
+                "range, thresholds or windowing)"
+            )
+        samples_seen = int(state["samples_seen"])
+        windows_emitted = int(state["windows_emitted"])
+        trimmed = int(state["trimmed"])
+        buffers = state["buffers"]
+        missing = [name for name in self._sensors if name not in buffers]
+        if missing:
+            raise ValueError(f"snapshot is missing sensor buffers: {missing}")
+        expected_length = samples_seen - trimmed
+        for name in self._sensors:
+            if len(buffers[name]) != expected_length:
+                raise ValueError(
+                    f"snapshot buffer for sensor {name!r} holds "
+                    f"{len(buffers[name])} samples, clocks imply "
+                    f"{expected_length}"
+                )
+        if not 0 <= trimmed <= samples_seen:
+            raise ValueError(
+                f"snapshot clocks are inconsistent: trimmed={trimmed}, "
+                f"samples_seen={samples_seen}"
+            )
+        self._buffers = {name: [int(c) for c in buffers[name]] for name in self._sensors}
+        self._samples_seen = samples_seen
+        self._windows_emitted = windows_emitted
+        self._trimmed = trimmed
+        self.metrics.gauge("online.pending_samples").set(self.pending_samples)

@@ -1,0 +1,37 @@
+"""Sharded streaming detection service.
+
+Promotes :class:`~repro.detection.OnlineAnomalyDetector` from a library
+class to a long-running, multi-tenant service: a :class:`ShardRouter`
+partitions tenant streams (sensor groups, drives) across shards, each
+:class:`DetectorShard` owns one relationship graph plus the online
+detectors of its tenants and drains a bounded ingest queue on its own
+worker thread, and :class:`StreamingDetectionService` merges every
+shard's :class:`~repro.detection.WindowScore` emissions into a single
+fleet-level feed with shard/tenant identity attached.  Shard state
+snapshots to disk (``repro-service-snapshot-v1``) and restores onto a
+fresh service so a restart resumes mid-stream without re-scoring or
+skipping windows.  See ``docs/service.md``.
+"""
+
+from .router import ShardRouter
+from .shard import DEFAULT_QUEUE_DEPTH, DetectorShard, FleetWindow
+from .service import StreamingDetectionService, warm_start_graph
+from .snapshot import (
+    SERVICE_SNAPSHOT_SCHEMA,
+    has_snapshot,
+    read_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "DEFAULT_QUEUE_DEPTH",
+    "DetectorShard",
+    "FleetWindow",
+    "SERVICE_SNAPSHOT_SCHEMA",
+    "ShardRouter",
+    "StreamingDetectionService",
+    "has_snapshot",
+    "read_snapshot",
+    "warm_start_graph",
+    "write_snapshot",
+]

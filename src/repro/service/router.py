@@ -1,0 +1,111 @@
+"""Tenant → shard routing.
+
+A :class:`ShardRouter` assigns every tenant key (a sensor group, a
+drive serial, a production line) to one of ``num_shards`` shards.  The
+default placement is a *stable* content hash — the same key always
+lands on the same shard, across processes and Python versions (the
+built-in ``hash`` is salted per process and would scatter a restarted
+fleet) — and explicit :meth:`ShardRouter.assign` overrides pin hot
+tenants wherever capacity planning wants them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping
+
+__all__ = ["ShardRouter"]
+
+
+def _stable_hash(key: str) -> int:
+    """Process-independent 64-bit hash of a tenant key."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ShardRouter:
+    """Deterministic partitioning of tenant keys across shards.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of shards to spread tenants over (>= 1).
+    assignments:
+        Optional explicit ``{tenant: shard}`` placements; keys not
+        listed fall back to the stable hash.  Assignments survive
+        :meth:`to_dict`/:meth:`from_dict` round trips, so a restored
+        service routes exactly as the snapshotted one did.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        assignments: "Mapping[str, int] | None" = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self._num_shards = int(num_shards)
+        self._assignments: dict[str, int] = {}
+        for key, shard in dict(assignments or {}).items():
+            self.assign(key, shard)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Number of shards this router spreads keys over."""
+        return self._num_shards
+
+    @property
+    def assignments(self) -> dict[str, int]:
+        """A copy of the explicit ``{tenant: shard}`` overrides."""
+        return dict(self._assignments)
+
+    def assign(self, key: str, shard: int) -> None:
+        """Pin ``key`` to ``shard``, overriding the hash placement."""
+        shard = int(shard)
+        if not 0 <= shard < self._num_shards:
+            raise ValueError(
+                f"shard {shard} out of range for {self._num_shards} shard(s)"
+            )
+        self._assignments[str(key)] = shard
+
+    def shard_of(self, key: str) -> int:
+        """The shard ``key`` routes to (explicit assignment wins)."""
+        key = str(key)
+        assigned = self._assignments.get(key)
+        if assigned is not None:
+            return assigned
+        return _stable_hash(key) % self._num_shards
+
+    def partition(self, keys: Iterable[str]) -> dict[int, list[str]]:
+        """Group ``keys`` by shard; every shard id appears in the result.
+
+        Keys keep their input order within a shard, so partitioning is
+        deterministic in (keys, assignments).
+        """
+        groups: dict[int, list[str]] = {shard: [] for shard in range(self._num_shards)}
+        for key in keys:
+            groups[self.shard_of(key)].append(str(key))
+        return groups
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (for service snapshots)."""
+        return {
+            "num_shards": self._num_shards,
+            "assignments": dict(self._assignments),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ShardRouter":
+        """Rebuild a router from :meth:`to_dict` output."""
+        return cls(
+            int(payload["num_shards"]),
+            {str(k): int(v) for k, v in dict(payload.get("assignments", {})).items()},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardRouter({self._num_shards} shards, "
+            f"{len(self._assignments)} pinned)"
+        )

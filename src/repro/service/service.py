@@ -1,0 +1,365 @@
+"""Fleet-level streaming detection.
+
+:class:`StreamingDetectionService` is the tentpole assembly: a
+:class:`~repro.service.router.ShardRouter` places tenant streams onto
+shards, each :class:`~repro.service.shard.DetectorShard` scores its
+tenants on a worker thread, and every emitted window lands in one
+merged fleet feed with shard/tenant identity attached.
+
+Two model layouts are supported:
+
+- **Pooled fleet model** — pass one trained graph; every shard serves
+  tenants against the same object.  Translation models are read-only
+  after fitting, so sharing is thread-safe and costs no extra memory
+  (the paper's single-plant model watching many production lines).
+- **Per-shard models** — pass a sequence/mapping of graphs, one per
+  shard (e.g. one model per drive cohort in the Backblaze setting).
+
+The merged feed has two views.  :meth:`StreamingDetectionService.poll`
+drains windows in completion order — the live view a dashboard tails.
+:meth:`StreamingDetectionService.merged_feed` waits for quiescence and
+returns the whole feed in canonical stream order
+``(start_sample, window_index, shard_id, tenant)``, which is
+deterministic regardless of thread interleaving — the view tests and
+the parity benchmark compare against batch detection.
+"""
+
+from __future__ import annotations
+
+import queue as _queue_module
+import threading
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from ..graph.mvrg import MultivariateRelationshipGraph
+from ..graph.ranges import DETECTION_RANGE, ScoreRange
+from ..obs import MetricsRegistry, get_logger
+from .router import ShardRouter
+from .shard import DEFAULT_QUEUE_DEPTH, DetectorShard, FleetWindow
+from .snapshot import read_snapshot, write_snapshot
+
+__all__ = ["StreamingDetectionService", "warm_start_graph"]
+
+logger = get_logger(__name__)
+
+
+def warm_start_graph(
+    config,
+    training_log,
+    development_log,
+    store,
+) -> MultivariateRelationshipGraph:
+    """Rebuild a service's graph from the artifact cache.
+
+    A restarting service must not retrain its pair models from scratch:
+    with the content-addressed :class:`~repro.pipeline.artifacts.ArtifactStore`
+    a re-``fit`` over unchanged logs resolves every pair from cache
+    (``build_report.cached == pairs``, ``trained == 0``), so warm-up
+    cost is deserialisation, not training.  Returns the rebuilt graph.
+    """
+    from ..pipeline.framework import AnalyticsFramework
+
+    framework = AnalyticsFramework(config).fit(
+        training_log, development_log, cache_dir=store
+    )
+    report = framework.build_report
+    if report is not None and report.num_trained:
+        logger.warning(
+            "warm start trained %d pair(s) from scratch (cache miss); "
+            "expected a fully cached rebuild",
+            report.num_trained,
+            extra={
+                "trained": report.num_trained,
+                "cached": len(report.cached),
+            },
+        )
+    return framework.graph
+
+
+class StreamingDetectionService:
+    """Sharded, multi-tenant online detection with one merged feed.
+
+    Parameters
+    ----------
+    graph:
+        One trained graph (replicated across shards — the pooled fleet
+        model), or a sequence of ``num_shards`` graphs, or a
+        ``{shard_id: graph}`` mapping.
+    tenants:
+        Stream keys to serve (sensor groups, drive serials).  Each is
+        routed to a shard and given its own online detector.
+    num_shards, router:
+        Either a shard count (a fresh stable-hash router is built) or a
+        pre-configured :class:`ShardRouter`; a router wins when both are
+        given and must agree with the graphs' shard count.
+    queue_depth, backpressure:
+        Per-shard ingest queue bound and full-queue policy, forwarded
+        to :class:`DetectorShard`.
+    score_range, threshold, quantile, margin:
+        Detector configuration, forwarded to every tenant's
+        :class:`~repro.detection.OnlineAnomalyDetector`.
+    metrics:
+        Shared registry for ``online.*`` and ``service.*`` series; a
+        private one is created when omitted.
+    autostart:
+        Start the shard worker threads immediately (default).  Pass
+        ``False`` to restore a snapshot before the first sample.
+    """
+
+    def __init__(
+        self,
+        graph: "MultivariateRelationshipGraph | Sequence | Mapping",
+        tenants: Iterable[str],
+        *,
+        num_shards: int = 1,
+        router: ShardRouter | None = None,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        backpressure: str = "block",
+        score_range: ScoreRange = DETECTION_RANGE,
+        threshold: str = "dev-quantile",
+        quantile: float = 0.05,
+        margin: float = 0.0,
+        metrics: MetricsRegistry | None = None,
+        autostart: bool = True,
+    ) -> None:
+        self.router = router if router is not None else ShardRouter(num_shards)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        graphs = self._resolve_graphs(graph, self.router.num_shards)
+        self.tenants = [str(tenant) for tenant in tenants]
+        if len(set(self.tenants)) != len(self.tenants):
+            raise ValueError(f"duplicate tenant keys: {self.tenants}")
+        if not self.tenants:
+            raise ValueError("a service needs at least one tenant stream")
+        self._feed: "_queue_module.SimpleQueue[FleetWindow]" = (
+            _queue_module.SimpleQueue()
+        )
+        self._feed_lock = threading.Lock()
+        self._drained: list[FleetWindow] = []
+        self.shards: dict[int, DetectorShard] = {
+            shard_id: DetectorShard(
+                shard_id,
+                graphs[shard_id],
+                score_range=score_range,
+                threshold=threshold,
+                quantile=quantile,
+                margin=margin,
+                queue_depth=queue_depth,
+                backpressure=backpressure,
+                emit=self._feed.put,
+                metrics=self.metrics,
+            )
+            for shard_id in range(self.router.num_shards)
+        }
+        self.placement = self.router.partition(self.tenants)
+        for shard_id, keys in self.placement.items():
+            for tenant in keys:
+                self.shards[shard_id].add_tenant(tenant)
+        self.metrics.gauge("service.shards").set(len(self.shards))
+        self.metrics.gauge("service.tenants").set(len(self.tenants))
+        for name in ("service.dropped", "service.errors", "service.windows_emitted"):
+            self.metrics.counter(name)
+        self._closed = False
+        if autostart:
+            self.start()
+
+    @staticmethod
+    def _resolve_graphs(graph, num_shards: int) -> dict[int, MultivariateRelationshipGraph]:
+        if isinstance(graph, MultivariateRelationshipGraph):
+            return {shard: graph for shard in range(num_shards)}
+        if isinstance(graph, Mapping):
+            graphs = {int(shard): g for shard, g in graph.items()}
+        else:
+            graphs = {shard: g for shard, g in enumerate(graph)}
+        if sorted(graphs) != list(range(num_shards)):
+            raise ValueError(
+                f"need one graph per shard 0..{num_shards - 1}, "
+                f"got shard ids {sorted(graphs)}"
+            )
+        return graphs
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start every shard's worker thread (idempotent)."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        for shard in self.shards.values():
+            shard.start()
+
+    @property
+    def running(self) -> bool:
+        """Whether every shard worker is alive."""
+        return all(shard.running for shard in self.shards.values())
+
+    def submit(self, tenant: str, chunk: "Mapping[str, Sequence[str]]") -> bool:
+        """Route one chunk to its tenant's shard; returns acceptance.
+
+        ``False`` only under ``"reject"`` backpressure with that shard's
+        queue full (the chunk was dropped and counted under
+        ``service.dropped``).
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        return self.shards[self.router.shard_of(tenant)].submit(tenant, chunk)
+
+    def join(self) -> None:
+        """Block until every accepted chunk has been scored."""
+        for shard in self.shards.values():
+            shard.join()
+
+    def close(self) -> None:
+        """Drain outstanding work and stop all shard workers (idempotent)."""
+        for shard in self.shards.values():
+            shard.stop()
+        self._closed = True
+
+    def __enter__(self) -> "StreamingDetectionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Merged fleet feed
+    # ------------------------------------------------------------------
+    def poll(self) -> list[FleetWindow]:
+        """Drain newly emitted windows in completion order (the live view).
+
+        Completion order interleaves shards as their workers finish
+        windows; it is *not* deterministic across runs.  Use
+        :meth:`merged_feed` for the canonical ordering.
+        """
+        drained: list[FleetWindow] = []
+        while True:
+            try:
+                drained.append(self._feed.get_nowait())
+            except _queue_module.Empty:
+                break
+        with self._feed_lock:
+            self._drained.extend(drained)
+        return drained
+
+    def merged_feed(self) -> list[FleetWindow]:
+        """The full fleet feed in canonical stream order.
+
+        Waits for quiescence (:meth:`join`), then returns every window
+        emitted so far — including those already seen via :meth:`poll`
+        — sorted by ``(start_sample, window_index, shard_id, tenant)``.
+        The ordering is a pure function of the submitted streams, so
+        two runs over the same chunks produce identical feeds no matter
+        how the shard threads interleaved.
+        """
+        self.join()
+        self.poll()
+        with self._feed_lock:
+            feed = list(self._drained)
+        feed.sort(
+            key=lambda fw: (
+                fw.window.start_sample,
+                fw.window.window_index,
+                fw.shard_id,
+                fw.tenant,
+            )
+        )
+        return feed
+
+    def feed_for(self, tenant: str) -> "list[FleetWindow]":
+        """One tenant's subsequence of :meth:`merged_feed`, stream-ordered."""
+        return [fw for fw in self.merged_feed() if fw.tenant == tenant]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending_samples(self) -> dict[str, int]:
+        """Residual buffered samples per tenant across the fleet."""
+        pending: dict[str, int] = {}
+        for shard in self.shards.values():
+            pending.update(shard.pending_samples())
+        return pending
+
+    def flush(self) -> dict[str, int]:
+        """Discard every tenant's residual tail; call on a quiescent service.
+
+        Returns ``{tenant: samples_dropped}`` for tenants that had a
+        tail (see :meth:`~repro.detection.OnlineAnomalyDetector.flush`).
+        """
+        self.join()
+        dropped: dict[str, int] = {}
+        for shard in self.shards.values():
+            for tenant, detector in shard.detectors.items():
+                count = detector.flush()
+                if count:
+                    dropped[tenant] = count
+        return dropped
+
+    @property
+    def errors(self) -> dict[str, BaseException]:
+        """Quarantined tenants and the error that poisoned each."""
+        merged: dict[str, BaseException] = {}
+        for shard in self.shards.values():
+            merged.update(shard.errors)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self, directory: "str | Path") -> Path:
+        """Write a ``repro-service-snapshot-v1`` directory; returns it.
+
+        The service is joined first so no accepted chunk is half-scored;
+        the snapshot then captures every tenant's exact stream position.
+        """
+        self.join()
+        manifest = {
+            "router": self.router.to_dict(),
+            "tenants": {
+                tenant: self.router.shard_of(tenant) for tenant in self.tenants
+            },
+            "fingerprints": {
+                tenant: detector.stream_fingerprint()
+                for shard in self.shards.values()
+                for tenant, detector in shard.detectors.items()
+            },
+        }
+        states = {
+            shard_id: shard.snapshot_state()
+            for shard_id, shard in self.shards.items()
+        }
+        return write_snapshot(directory, manifest, states)
+
+    def restore(self, directory: "str | Path") -> None:
+        """Load a snapshot onto this service, resuming every stream.
+
+        Restore is *tenant-keyed*: each tenant's state is delivered to
+        whichever shard serves it now, so a service restarted with a
+        different shard count still resumes every stream exactly — the
+        shard layout is an execution detail, not part of stream state.
+        Tenants present here but absent from the snapshot start fresh;
+        snapshot tenants this service does not serve raise.
+        """
+        manifest, shard_states = read_snapshot(directory)
+        tenant_states: dict[str, Mapping] = {}
+        for state in shard_states.values():
+            tenant_states.update(dict(state.get("tenants", {})))
+        unknown = sorted(set(tenant_states) - set(self.tenants))
+        if unknown:
+            raise ValueError(
+                f"snapshot contains tenants this service does not serve: "
+                f"{unknown}"
+            )
+        for tenant, tenant_state in tenant_states.items():
+            shard = self.shards[self.router.shard_of(tenant)]
+            shard.detectors[tenant].load_state_dict(tenant_state)
+        logger.info(
+            "restored %d tenant stream(s) from %s",
+            len(tenant_states),
+            directory,
+            extra={"tenants": len(tenant_states)},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamingDetectionService({len(self.shards)} shard(s), "
+            f"{len(self.tenants)} tenant(s))"
+        )

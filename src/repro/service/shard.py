@@ -1,0 +1,305 @@
+"""One shard of the streaming detection service.
+
+A :class:`DetectorShard` owns one trained relationship graph and the
+per-tenant :class:`~repro.detection.OnlineAnomalyDetector` streams
+routed to it.  Ingest runs thread-per-shard: producers enqueue
+``(tenant, chunk)`` work items onto a *bounded* queue and the shard's
+worker drains it, scoring completed windows and handing each one to the
+service's merged feed as a :class:`FleetWindow` with shard/tenant
+identity and ingest-to-emit latency attached.
+
+Backpressure is explicit: the queue depth is bounded, and a full queue
+either blocks the producer (``backpressure="block"``, lossless) or
+rejects the chunk (``backpressure="reject"``, bounded-latency), with
+rejections counted under ``service.dropped`` and the observed depth
+tracked by ``service.queue_depth``.
+
+A tenant whose scoring raises is quarantined — the error is recorded,
+subsequent chunks for that tenant are dropped, and the shard's other
+tenants keep streaming.  Because the online detector's ingest is
+failure-atomic, the quarantined tenant's state is exactly its state
+before the poisoned chunk, so an operator can resubmit it after fixing
+the cause.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..detection.online import OnlineAnomalyDetector, WindowScore
+from ..graph.mvrg import MultivariateRelationshipGraph
+from ..graph.ranges import DETECTION_RANGE, ScoreRange
+from ..obs import MetricsRegistry, get_logger
+
+__all__ = ["DEFAULT_QUEUE_DEPTH", "DetectorShard", "FleetWindow"]
+
+logger = get_logger(__name__)
+
+#: Default bound on a shard's ingest queue (work items, not samples).
+DEFAULT_QUEUE_DEPTH = 64
+
+#: Queue sentinel asking the worker thread to exit.
+_STOP = None
+
+_BACKPRESSURE_POLICIES = ("block", "reject")
+
+
+@dataclass(frozen=True)
+class FleetWindow:
+    """One merged-feed entry: a window score with fleet identity.
+
+    ``latency_seconds`` measures ingest-to-emit latency — the time from
+    the producing chunk's enqueue to the window's emission — which is
+    the serving-path number the ``repro-online-v1`` benchmark reports
+    as p99 window latency.
+    """
+
+    shard_id: int
+    tenant: str
+    window: WindowScore
+    latency_seconds: float
+
+
+class DetectorShard:
+    """One ingest worker: a graph, its tenants' detectors, a bounded queue.
+
+    Parameters
+    ----------
+    shard_id:
+        This shard's index in the service.
+    graph:
+        Trained relationship graph every tenant on this shard is scored
+        against.  Translation models are read-only after fitting, so
+        shards may share one graph object (the pooled fleet-model
+        deployment) or own distinct graphs (per-group models).
+    score_range, threshold, quantile, margin:
+        Forwarded to each tenant's
+        :class:`~repro.detection.OnlineAnomalyDetector`.
+    queue_depth:
+        Bound on the ingest queue, in work items.
+    backpressure:
+        ``"block"`` (default) makes :meth:`submit` wait for queue space;
+        ``"reject"`` makes it drop the chunk and return ``False``.
+    emit:
+        Callback receiving each :class:`FleetWindow` (the service's
+        merged feed).
+    metrics:
+        Shared :class:`~repro.obs.MetricsRegistry`; per-tenant detector
+        counters (``online.*``) and service counters (``service.*``)
+        accumulate here.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        graph: MultivariateRelationshipGraph,
+        *,
+        score_range: ScoreRange = DETECTION_RANGE,
+        threshold: str = "dev-quantile",
+        quantile: float = 0.05,
+        margin: float = 0.0,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        backpressure: str = "block",
+        emit: Callable[[FleetWindow], None],
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if backpressure not in _BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {backpressure!r}; "
+                f"choose from {_BACKPRESSURE_POLICIES}"
+            )
+        self.shard_id = int(shard_id)
+        self.graph = graph
+        self.queue_depth = int(queue_depth)
+        self.backpressure = backpressure
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._detector_kwargs = {
+            "score_range": score_range,
+            "threshold": threshold,
+            "quantile": quantile,
+            "margin": margin,
+        }
+        self._emit = emit
+        self.detectors: dict[str, OnlineAnomalyDetector] = {}
+        self.errors: dict[str, BaseException] = {}
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.queue_depth)
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def tenants(self) -> list[str]:
+        """Tenant keys this shard serves, in registration order."""
+        return list(self.detectors)
+
+    def add_tenant(self, tenant: str) -> OnlineAnomalyDetector:
+        """Register a tenant stream; returns its fresh detector.
+
+        Call before :meth:`start` (tenant registration is not
+        synchronised with the worker thread).
+        """
+        tenant = str(tenant)
+        if tenant in self.detectors:
+            raise ValueError(
+                f"tenant {tenant!r} already registered on shard {self.shard_id}"
+            )
+        detector = OnlineAnomalyDetector(
+            self.graph, metrics=self.metrics, **self._detector_kwargs
+        )
+        self.detectors[tenant] = detector
+        return detector
+
+    # ------------------------------------------------------------------
+    # Ingest loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-shard-{self.shard_id}", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def running(self) -> bool:
+        """Whether the worker thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def submit(self, tenant: str, chunk: "Mapping[str, Sequence[str]]") -> bool:
+        """Enqueue one chunk for ``tenant``; returns acceptance.
+
+        Under ``"block"`` backpressure the call waits for queue space
+        and always returns ``True``; under ``"reject"`` a full queue
+        drops the chunk, bumps ``service.dropped`` and returns
+        ``False`` so the producer can shed load or retry later.
+        """
+        if tenant not in self.detectors:
+            raise KeyError(
+                f"unknown tenant {tenant!r} on shard {self.shard_id}; "
+                f"registered: {self.tenants}"
+            )
+        item = (tenant, chunk, time.perf_counter())
+        if self.backpressure == "block":
+            self._queue.put(item)
+        else:
+            try:
+                self._queue.put_nowait(item)
+            except queue.Full:
+                self.metrics.counter("service.dropped").inc()
+                logger.debug(
+                    "shard %d rejected a chunk for tenant %s (queue full)",
+                    self.shard_id,
+                    tenant,
+                    extra={"shard": self.shard_id, "tenant": tenant},
+                )
+                return False
+        self.metrics.gauge("service.queue_depth").set(self._queue.qsize())
+        return True
+
+    def join(self) -> None:
+        """Block until every accepted work item has been processed."""
+        self._queue.join()
+
+    def stop(self) -> None:
+        """Drain outstanding work, then stop the worker (idempotent)."""
+        if self._thread is None:
+            return
+        self._queue.put(_STOP)
+        self._thread.join()
+        self._thread = None
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                tenant, chunk, enqueued = item
+                if tenant in self.errors:
+                    # Quarantined stream: scoring already failed once;
+                    # dropping keeps the tenant's state at the last
+                    # cleanly-scored sample (see class docstring).
+                    self.metrics.counter("service.quarantined_chunks").inc()
+                    continue
+                detector = self.detectors[tenant]
+                try:
+                    windows = detector.push_chunk(chunk)
+                except BaseException as error:  # noqa: BLE001 - quarantine, don't die
+                    self.errors[tenant] = error
+                    self.metrics.counter("service.errors").inc()
+                    logger.warning(
+                        "shard %d quarantined tenant %s after a scoring "
+                        "error: %s",
+                        self.shard_id,
+                        tenant,
+                        error,
+                        extra={"shard": self.shard_id, "tenant": tenant},
+                    )
+                    continue
+                latency = time.perf_counter() - enqueued
+                self._publish(tenant, windows, latency)
+            finally:
+                self._queue.task_done()
+
+    def _publish(
+        self, tenant: str, windows: "list[WindowScore]", latency: float
+    ) -> None:
+        if not windows:
+            return
+        for window in windows:
+            self._emit(
+                FleetWindow(
+                    shard_id=self.shard_id,
+                    tenant=tenant,
+                    window=window,
+                    latency_seconds=latency,
+                )
+            )
+        self.metrics.counter("service.windows_emitted").inc(len(windows))
+        latency_metric = self.metrics.histogram("service.latency_seconds")
+        for _ in windows:
+            latency_metric.observe(latency)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def pending_samples(self) -> dict[str, int]:
+        """Residual buffered samples per tenant (see the online detector)."""
+        return {
+            tenant: detector.pending_samples
+            for tenant, detector in self.detectors.items()
+        }
+
+    def snapshot_state(self) -> dict:
+        """Serialisable per-tenant stream state; call on a quiescent shard."""
+        return {
+            "shard_id": self.shard_id,
+            "tenants": {
+                tenant: detector.state_dict()
+                for tenant, detector in self.detectors.items()
+            },
+        }
+
+    def restore_state(self, state: Mapping) -> None:
+        """Load :meth:`snapshot_state` output onto this shard's tenants."""
+        tenants = dict(state.get("tenants", {}))
+        unknown = [tenant for tenant in tenants if tenant not in self.detectors]
+        if unknown:
+            raise ValueError(
+                f"snapshot names tenants unknown to shard {self.shard_id}: "
+                f"{unknown}"
+            )
+        for tenant, tenant_state in tenants.items():
+            self.detectors[tenant].load_state_dict(tenant_state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DetectorShard({self.shard_id}, {len(self.detectors)} tenant(s), "
+            f"backpressure={self.backpressure!r})"
+        )

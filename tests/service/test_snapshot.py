@@ -1,0 +1,205 @@
+"""Service snapshot/restore: a restarted fleet resumes mid-stream.
+
+The acceptance scenario: a service is killed mid-stream after a
+snapshot; a fresh service restores it and ingests the remainder; the
+concatenated merged feed is sample-for-sample identical to a run that
+was never interrupted — no window re-scored, none skipped.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.graph import ScoreRange
+from repro.service import (
+    SERVICE_SNAPSHOT_SCHEMA,
+    StreamingDetectionService,
+    has_snapshot,
+    read_snapshot,
+    write_snapshot,
+)
+
+FULL_RANGE = ScoreRange(0.0, 100.0, inclusive_high=True)
+
+TENANTS = ["line-a", "line-b", "line-c"]
+
+
+@pytest.fixture(scope="module")
+def snapshot_setup(fitted_plant_framework, plant_dataset):
+    graph = fitted_plant_framework.graph
+    _, _, test = plant_dataset.split(10, 3)
+    return graph, test
+
+
+def _chunks(test, chunk_size: int):
+    return [
+        {
+            name: test[name].events[start : start + chunk_size]
+            for name in test.sensors
+        }
+        for start in range(0, test.num_samples, chunk_size)
+    ]
+
+
+def _drive(service, blocks):
+    for block in blocks:
+        for tenant in TENANTS:
+            service.submit(tenant, block)
+
+
+def _feed_key(feed):
+    """The merged feed as comparable plain data."""
+    return [
+        (
+            fw.tenant,
+            fw.window.window_index,
+            fw.window.start_sample,
+            fw.window.anomaly_score,
+            fw.window.broken_pairs,
+        )
+        for fw in feed
+    ]
+
+
+class TestSnapshotFiles:
+    def test_has_snapshot_requires_a_manifest(self, tmp_path):
+        assert not has_snapshot(tmp_path)
+        write_snapshot(tmp_path, {"router": {}}, {0: {"tenants": {}}})
+        assert has_snapshot(tmp_path)
+
+    def test_roundtrip_preserves_manifest_and_states(self, tmp_path):
+        manifest = {"router": {"num_shards": 2, "assignments": {}}}
+        states = {
+            0: {"shard_id": 0, "tenants": {"a": {"samples_seen": 5}}},
+            1: {"shard_id": 1, "tenants": {}},
+        }
+        write_snapshot(tmp_path, manifest, states)
+        loaded_manifest, loaded_states = read_snapshot(tmp_path)
+        assert loaded_manifest["schema"] == SERVICE_SNAPSHOT_SCHEMA
+        assert loaded_manifest["router"] == manifest["router"]
+        assert loaded_states[0]["tenants"]["a"]["samples_seen"] == 5
+        assert sorted(loaded_states) == [0, 1]
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no service snapshot"):
+            read_snapshot(tmp_path)
+
+    def test_foreign_schema_rejected(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"schema": "something-else"})
+        )
+        with pytest.raises(ValueError, match="schema"):
+            read_snapshot(tmp_path)
+
+    def test_manifest_naming_missing_shard_file_rejected(self, tmp_path):
+        write_snapshot(tmp_path, {}, {0: {"tenants": {}}})
+        (tmp_path / "shard-0000.json").unlink()
+        with pytest.raises(ValueError, match="missing shard file"):
+            read_snapshot(tmp_path)
+
+
+class TestServiceRestore:
+    def test_killed_service_resumes_sample_for_sample(
+        self, snapshot_setup, tmp_path
+    ):
+        """The acceptance scenario, across a shard-count change."""
+        graph, test = snapshot_setup
+        blocks = _chunks(test, 37)
+        cut = len(blocks) // 2
+
+        # The uninterrupted reference run.
+        with StreamingDetectionService(
+            graph, TENANTS, num_shards=2, score_range=FULL_RANGE
+        ) as reference:
+            _drive(reference, blocks)
+            expected = _feed_key(reference.merged_feed())
+        assert expected
+
+        # First half, snapshot, kill.
+        snapshot_dir = tmp_path / "snap"
+        first = StreamingDetectionService(
+            graph, TENANTS, num_shards=2, score_range=FULL_RANGE
+        )
+        _drive(first, blocks[:cut])
+        first_feed = _feed_key(first.merged_feed())
+        first.snapshot(snapshot_dir)
+        first.close()
+        assert has_snapshot(snapshot_dir)
+
+        # Restore onto a *different* shard layout and finish the stream.
+        second = StreamingDetectionService(
+            graph, TENANTS, num_shards=3, score_range=FULL_RANGE, autostart=False
+        )
+        second.restore(snapshot_dir)
+        second.start()
+        _drive(second, blocks[cut:])
+        second_feed = _feed_key(second.merged_feed())
+        second.close()
+
+        resumed = sorted(first_feed + second_feed)
+        assert resumed == sorted(expected)
+        # No window re-scored, none skipped: indices per tenant are a
+        # contiguous 0..n-1 run.
+        for tenant in TENANTS:
+            indices = sorted(k[1] for k in resumed if k[0] == tenant)
+            assert indices == list(range(len(indices)))
+
+    def test_restore_rejects_unserved_tenants(self, snapshot_setup, tmp_path):
+        graph, test = snapshot_setup
+        blocks = _chunks(test, 64)[:2]
+        with StreamingDetectionService(
+            graph, TENANTS, score_range=FULL_RANGE
+        ) as service:
+            _drive(service, blocks)
+            service.snapshot(tmp_path / "snap")
+        smaller = StreamingDetectionService(
+            graph, TENANTS[:1], score_range=FULL_RANGE, autostart=False
+        )
+        with pytest.raises(ValueError, match="does not serve"):
+            smaller.restore(tmp_path / "snap")
+        smaller.close()
+
+    def test_restore_rejects_mismatched_configuration(
+        self, snapshot_setup, tmp_path
+    ):
+        """State must never land on a differently-configured detector."""
+        graph, test = snapshot_setup
+        blocks = _chunks(test, 64)[:2]
+        with StreamingDetectionService(
+            graph, TENANTS, score_range=FULL_RANGE
+        ) as service:
+            _drive(service, blocks)
+            service.snapshot(tmp_path / "snap")
+        other = StreamingDetectionService(
+            graph,
+            TENANTS,
+            score_range=FULL_RANGE,
+            margin=0.1,  # different thresholds -> different fingerprint
+            autostart=False,
+        )
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            other.restore(tmp_path / "snap")
+        other.close()
+
+    def test_snapshot_then_keep_streaming_then_snapshot_again(
+        self, snapshot_setup, tmp_path
+    ):
+        """Snapshots are checkpoints, not terminal states."""
+        graph, test = snapshot_setup
+        blocks = _chunks(test, 64)
+        snapshot_dir = tmp_path / "snap"
+        with StreamingDetectionService(
+            graph, TENANTS, score_range=FULL_RANGE
+        ) as service:
+            _drive(service, blocks[:2])
+            service.snapshot(snapshot_dir)
+            early_manifest, early_states = read_snapshot(snapshot_dir)
+            _drive(service, blocks[2:4])
+            service.snapshot(snapshot_dir)
+            late_manifest, late_states = read_snapshot(snapshot_dir)
+        early = early_states[0]["tenants"][TENANTS[0]]["samples_seen"]
+        late = late_states[0]["tenants"][TENANTS[0]]["samples_seen"]
+        assert late > early
+        assert early_manifest["tenants"] == late_manifest["tenants"]

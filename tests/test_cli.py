@@ -480,3 +480,123 @@ class TestScenariosCommand:
     def test_unknown_detector_rejected(self):
         with pytest.raises(SystemExit, match="unknown detectors"):
             main(["scenarios", "run", "dropout", "--detectors", "oracle"])
+
+
+class TestServeCommand:
+    def test_serve_feed_matches_detect(self, csv_logs, trained_model, capsys):
+        """The merged service feed must carry exactly the batch scores."""
+        _, _, test, _ = csv_logs
+        assert main(["detect", str(test), "--model", str(trained_model), "--json"]) == 0
+        batch = json.loads(capsys.readouterr().out)
+
+        code = main(
+            [
+                "serve",
+                f"lineA={test}",
+                f"lineB={test}",
+                "--model", str(trained_model),
+                "--shards", "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shards"] == 2
+        assert sorted(payload["tenants"]) == ["lineA", "lineB"]
+        assert payload["restored"] is False
+        assert payload["dropped_chunks"] == 0
+        assert payload["errors"] == {}
+        for tenant in ("lineA", "lineB"):
+            scores = [
+                w["anomaly_score"]
+                for w in payload["windows"]
+                if w["tenant"] == tenant
+            ]
+            assert len(scores) == len(batch["anomaly_scores"])
+            np.testing.assert_allclose(
+                scores, batch["anomaly_scores"], atol=1e-12
+            )
+
+    def test_serve_snapshot_roundtrip(self, csv_logs, trained_model, tmp_path, capsys):
+        _, _, test, _ = csv_logs
+        snap = tmp_path / "snap"
+        args = [
+            "serve", f"lineA={test}",
+            "--model", str(trained_model),
+            "--snapshot-dir", str(snap),
+            "--json",
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["restored"] is False
+        assert (snap / "manifest.json").exists()
+
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["restored"] is True
+        # The resumed run continues the stream instead of restarting it.
+        first_max = max(w["window_index"] for w in first["windows"])
+        second_min = min(w["window_index"] for w in second["windows"])
+        assert second_min == first_max + 1
+
+    def test_serve_text_output(self, csv_logs, trained_model, capsys):
+        _, _, test, _ = csv_logs
+        code = main(
+            ["serve", f"only={test}", "--model", str(trained_model)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 1 stream(s)" in out
+        assert "shard 0 window" in out
+
+    def test_serve_writes_metrics_snapshot(self, csv_logs, trained_model, tmp_path):
+        from repro.obs import SNAPSHOT_SCHEMA
+
+        _, _, test, _ = csv_logs
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            [
+                "serve", f"only={test}",
+                "--model", str(trained_model),
+                "--metrics-json", str(metrics_path),
+            ]
+        ) == 0
+        payload = json.loads(metrics_path.read_text())
+        assert payload["schema"] == SNAPSHOT_SCHEMA
+        assert payload["metrics"]["service.windows_emitted"]["value"] > 0
+        assert payload["metrics"]["service.dropped"]["value"] == 0
+
+    def test_serve_invalid_stream_spec_rejected(self, trained_model):
+        with pytest.raises(SystemExit, match="NAME=CSV"):
+            main(["serve", "no-equals-sign", "--model", str(trained_model)])
+
+    def test_serve_duplicate_stream_rejected(self, csv_logs, trained_model):
+        _, _, test, _ = csv_logs
+        with pytest.raises(SystemExit, match="duplicate stream"):
+            main(
+                [
+                    "serve", f"x={test}", f"x={test}",
+                    "--model", str(trained_model),
+                ]
+            )
+
+    def test_serve_invalid_shards_rejected(self, csv_logs, trained_model):
+        _, _, test, _ = csv_logs
+        with pytest.raises(SystemExit, match="--shards"):
+            main(
+                [
+                    "serve", f"x={test}",
+                    "--model", str(trained_model),
+                    "--shards", "0",
+                ]
+            )
+
+
+class TestBenchOnlineCommand:
+    def test_invalid_shard_counts_rejected(self):
+        with pytest.raises(SystemExit, match="shard-counts"):
+            main(["bench", "online", "--shard-counts", "two,four"])
+
+    def test_invalid_tenants_rejected(self):
+        with pytest.raises(SystemExit, match="tenants"):
+            main(["bench", "online", "--tenants", "0"])

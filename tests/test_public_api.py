@@ -26,6 +26,8 @@ SUBPACKAGES = [
     "repro.pipeline",
     "repro.report",
     "repro.scenarios",
+    "repro.service",
+    "repro.bench",
 ]
 
 
